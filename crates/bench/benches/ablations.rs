@@ -1,0 +1,172 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * RAC controller window size — how fast adaptation converges;
+//! * admission-gate overhead — the cost RAC adds to an uncontended view
+//!   (the paper: "compared with multi-TM, multi-view shows little extra
+//!   overhead from the RAC mechanism");
+//! * orec-table size — false-conflict rate of the striped ownership table;
+//! * NOrec vs OrecEagerRedo raw transaction throughput at Q = N.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use votm::{Addr, QuotaMode, TmAlgorithm, Votm, VotmConfig};
+use votm_rac::ControllerConfig;
+use votm_sim::{SimConfig, SimExecutor};
+
+/// Virtual makespan of a hot-spot workload with a given controller window.
+fn adaptive_makespan(window: u64) -> u64 {
+    let sys = Votm::new(VotmConfig {
+        algorithm: TmAlgorithm::OrecEagerRedo,
+        n_threads: 16,
+        controller: ControllerConfig {
+            window_attempts: window,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let view = sys.create_view(64, QuotaMode::Adaptive);
+    let mut ex = SimExecutor::new(SimConfig::default());
+    for t in 0..16u64 {
+        let view = Arc::clone(&view);
+        ex.spawn(move |rt| async move {
+            let mut rng = votm_utils::XorShift64::new(t + 1);
+            for _ in 0..30 {
+                view.transact(&rt, async |tx| {
+                    for _ in 0..12 {
+                        let a = Addr(rng.next_below(16) as u32);
+                        let v = tx.read(a).await?;
+                        tx.write(a, v + 1).await?;
+                    }
+                    Ok(())
+                })
+                .await;
+            }
+        });
+    }
+    ex.run().vtime
+}
+
+fn controller_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_controller_window");
+    for window in [32u64, 128, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            b.iter(|| black_box(adaptive_makespan(w)))
+        });
+    }
+    g.finish();
+}
+
+/// Gate overhead: disjoint-access workload with RAC (Fixed N) vs without
+/// (Unrestricted). The virtual-time difference is the RAC admission cost.
+fn gate_overhead(c: &mut Criterion) {
+    fn run(quota: QuotaMode) -> u64 {
+        let sys = Votm::new(VotmConfig {
+            algorithm: TmAlgorithm::NOrec,
+            n_threads: 8,
+            ..Default::default()
+        });
+        let view = sys.create_view(4096, quota);
+        let mut ex = SimExecutor::new(SimConfig::default());
+        for t in 0..8u32 {
+            let view = Arc::clone(&view);
+            ex.spawn(move |rt| async move {
+                for i in 0..100u64 {
+                    view.transact(&rt, async |tx| tx.write(Addr(t * 64), i).await)
+                        .await;
+                }
+            });
+        }
+        ex.run().vtime
+    }
+    let mut g = c.benchmark_group("ablation_gate_overhead");
+    g.bench_function("rac_fixed_n", |b| b.iter(|| black_box(run(QuotaMode::Fixed(8)))));
+    g.bench_function("unrestricted", |b| {
+        b.iter(|| black_box(run(QuotaMode::Unrestricted)))
+    });
+    g.finish();
+}
+
+/// Raw commit throughput of the two algorithms on disjoint data at Q = N
+/// (how much cheaper OrecEagerRedo's per-access path is than NOrec's
+/// revalidation — the paper's §III-D discussion).
+fn algorithm_throughput(c: &mut Criterion) {
+    fn run(algo: TmAlgorithm) -> u64 {
+        let sys = Votm::new(VotmConfig {
+            algorithm: algo,
+            n_threads: 8,
+            ..Default::default()
+        });
+        let view = sys.create_view(8192, QuotaMode::Unrestricted);
+        let mut ex = SimExecutor::new(SimConfig::default());
+        for t in 0..8u32 {
+            let view = Arc::clone(&view);
+            ex.spawn(move |rt| async move {
+                for i in 0..50u64 {
+                    view.transact(&rt, async |tx| {
+                        let base = t * 1000;
+                        for k in 0..10 {
+                            let a = Addr(base + k);
+                            let v = tx.read(a).await?;
+                            tx.write(a, v + i).await?;
+                        }
+                        Ok(())
+                    })
+                    .await;
+                }
+            });
+        }
+        ex.run().vtime
+    }
+    let mut g = c.benchmark_group("ablation_algorithm_throughput");
+    for algo in TmAlgorithm::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &a| {
+            b.iter(|| black_box(run(a)))
+        });
+    }
+    g.finish();
+}
+
+/// Dictionary-structure ablation: STAMP's ordered (tree) dictionary vs our
+/// hash dictionary in the Intruder decode path.
+fn dictionary_structure(c: &mut Criterion) {
+    use votm_intruder::{generate, run_sim_with_dict, DictKind, GenConfig, Version};
+    let input = Arc::new(generate(&GenConfig {
+        attack_percent: 10,
+        max_length: 64,
+        flows: 256,
+        seed: 1,
+    }));
+    let mut g = c.benchmark_group("ablation_dictionary_structure");
+    for (label, kind) in [("hash", DictKind::Hash), ("ordered", DictKind::Ordered)] {
+        let input = Arc::clone(&input);
+        g.bench_function(label, move |b| {
+            b.iter(|| {
+                black_box(run_sim_with_dict(
+                    &input,
+                    16,
+                    TmAlgorithm::NOrec,
+                    Version::MultiView,
+                    [QuotaMode::Fixed(16), QuotaMode::Fixed(16)],
+                    SimConfig::default(),
+                    kind,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = ablations;
+    config = configure();
+    targets = controller_window, gate_overhead, algorithm_throughput, dictionary_structure
+}
+criterion_main!(ablations);

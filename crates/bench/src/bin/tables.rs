@@ -1,0 +1,164 @@
+//! Regenerates the paper's Tables III–X.
+//!
+//! ```text
+//! tables [--table N]... [--eigen-scale F] [--intruder-scale F]
+//!        [--threads N] [--seed S] [--cap-factor K]
+//! ```
+//!
+//! With no `--table` arguments all eight paper tables run in order; tables
+//! 11 (three-algorithm comparison) and 12 (thread scaling) are extension
+//! experiments requested explicitly. Output is
+//! markdown (paste-ready for EXPERIMENTS.md). Scales default to the values
+//! recorded in EXPERIMENTS.md; `--eigen-scale 1.0 --intruder-scale 1.0`
+//! reproduces the paper's full workload sizes (hours of virtual-time
+//! simulation on one core — bring a book).
+
+use votm::TmAlgorithm;
+use votm_bench::{fmt, Settings};
+
+struct Args {
+    tables: Vec<u32>,
+    settings: Settings,
+}
+
+fn parse_args() -> Args {
+    let mut settings = Settings::default();
+    let mut tables = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| -> String {
+            argv.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--table" => tables.push(
+                value("--table")
+                    .parse()
+                    .expect("--table takes a number 3..=10"),
+            ),
+            "--eigen-scale" => {
+                settings.eigen_scale = value("--eigen-scale").parse().expect("bad scale")
+            }
+            "--intruder-scale" => {
+                settings.intruder_scale = value("--intruder-scale").parse().expect("bad scale")
+            }
+            "--threads" => settings.n_threads = value("--threads").parse().expect("bad threads"),
+            "--seed" => settings.seed = value("--seed").parse().expect("bad seed"),
+            "--cap-factor" => {
+                settings.cap_factor = value("--cap-factor").parse().expect("bad factor")
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: tables [--table N]... [--eigen-scale F] [--intruder-scale F] \
+                     [--threads N] [--seed S] [--cap-factor K]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    if tables.is_empty() {
+        tables = (3..=10).collect();
+    }
+    Args { tables, settings }
+}
+
+fn main() {
+    let args = parse_args();
+    let s = &args.settings;
+    println!(
+        "# VOTM table reproduction (eigen-scale {}, intruder-scale {:.6}, N={}, seed {}, cap {}x)\n",
+        s.eigen_scale, s.intruder_scale, s.n_threads, s.seed, s.cap_factor
+    );
+    for table in &args.tables {
+        let t0 = std::time::Instant::now();
+        let output = match table {
+            3 => fmt::sweep_table(
+                "Table III — single-view Eigenbench, VOTM-OrecEagerRedo",
+                &votm_bench::eigen_single_view_sweep(s, TmAlgorithm::OrecEagerRedo),
+            ),
+            4 => fmt::sweep_table(
+                "Table IV — single-view Intruder, VOTM-OrecEagerRedo",
+                &votm_bench::intruder_single_view_sweep(s, TmAlgorithm::OrecEagerRedo),
+            ),
+            5 => fmt::multi_view_sweep_table(
+                "Table V — multi-view Eigenbench, VOTM-OrecEagerRedo (Q2 = N)",
+                &votm_bench::eigen_multi_view_sweep(s, TmAlgorithm::OrecEagerRedo),
+            ),
+            6 => {
+                let eigen = votm_bench::adaptive_eigen(s, TmAlgorithm::OrecEagerRedo);
+                let intruder = votm_bench::adaptive_intruder(s, TmAlgorithm::OrecEagerRedo);
+                fmt::adaptive_table(
+                    "Table VI — adaptive RAC, VOTM-OrecEagerRedo: Eigenbench",
+                    &eigen,
+                ) + "\n"
+                    + &fmt::adaptive_table(
+                        "Table VI — adaptive RAC, VOTM-OrecEagerRedo: Intruder",
+                        &intruder,
+                    )
+            }
+            7 => fmt::sweep_table(
+                "Table VII — single-view Eigenbench, VOTM-NOrec",
+                &votm_bench::eigen_single_view_sweep(s, TmAlgorithm::NOrec),
+            ),
+            8 => fmt::sweep_table(
+                "Table VIII — single-view Intruder, VOTM-NOrec",
+                &votm_bench::intruder_single_view_sweep(s, TmAlgorithm::NOrec),
+            ),
+            9 => fmt::multi_view_sweep_table(
+                "Table IX — multi-view Eigenbench, VOTM-NOrec (Q2 = N)",
+                &votm_bench::eigen_multi_view_sweep(s, TmAlgorithm::NOrec),
+            ),
+            10 => {
+                let eigen = votm_bench::adaptive_eigen(s, TmAlgorithm::NOrec);
+                let intruder = votm_bench::adaptive_intruder(s, TmAlgorithm::NOrec);
+                let mv = votm_bench::intruder_multi_view_full_quota(s, TmAlgorithm::NOrec);
+                fmt::adaptive_table("Table X — adaptive RAC, VOTM-NOrec: Eigenbench", &eigen)
+                    + "\n"
+                    + &fmt::adaptive_table(
+                        "Table X — adaptive RAC, VOTM-NOrec: Intruder",
+                        &intruder,
+                    )
+                    + &format!(
+                        "\n(multi-view Intruder, Q1=Q2=N fixed: {} s, delta(Q1)={}, delta(Q2)={})\n",
+                        fmt::runtime(mv.status, mv.runtime_s),
+                        fmt::delta(mv.views[0].delta()),
+                        fmt::delta(mv.views[1].delta()),
+                    )
+            }
+            11 => {
+                let rows = votm_bench::algorithm_comparison(s);
+                fmt::adaptive_table(
+                    "Extension — three-algorithm comparison, multi-view adaptive \
+                     (first 3 rows Eigenbench, last 3 Intruder; not in the paper)",
+                    &rows,
+                )
+            }
+            12 => {
+                let rows = votm_bench::thread_scaling(s);
+                let mut lines = vec![vec![
+                    "N".to_string(),
+                    "single-view (s)".to_string(),
+                    "multi-view (s)".to_string(),
+                    "speedup".to_string(),
+                ]];
+                for (n, single, multi) in rows {
+                    lines.push(vec![
+                        n.to_string(),
+                        format!("{single:.4}"),
+                        format!("{multi:.4}"),
+                        format!("{:.2}x", single / multi),
+                    ]);
+                }
+                format!(
+                    "### Extension — Intruder/NOrec multi-view speedup vs thread count \
+                     (not in the paper)\n\n{}",
+                    fmt::markdown(&lines)
+                )
+            }
+            other => panic!("no such table: {other} (expected 3..=12)"),
+        };
+        println!("{output}");
+        println!("_(generated in {:.1}s wall time)_\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,234 @@
+//! Paper-style formatting of experiment rows: human-scaled counts
+//! (`7.01m`, `5.26G`) and table layouts matching the paper's.
+
+use votm_sim::RunStatus;
+
+use crate::{AdaptiveRow, SweepRow};
+
+/// Formats a count the way the paper does: `3.2m`, `5.26G`, `49.8T`.
+pub fn count(x: u64) -> String {
+    let x = x as f64;
+    const UNITS: [(f64, &str); 4] = [
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "m"),
+        (1e3, "k"),
+    ];
+    for (scale, suffix) in UNITS {
+        if x >= scale {
+            let mut s = format!("{:.3}", x / scale);
+            while s.ends_with('0') {
+                s.pop();
+            }
+            if s.ends_with('.') {
+                s.pop();
+            }
+            s.push_str(suffix);
+            return s;
+        }
+    }
+    format!("{x:.0}")
+}
+
+/// Runtime cell: seconds with sensible precision, or "livelock".
+pub fn runtime(status: RunStatus, seconds: f64) -> String {
+    match status {
+        RunStatus::Livelock => "livelock".to_string(),
+        RunStatus::Completed => {
+            if seconds >= 100.0 {
+                format!("{seconds:.0}")
+            } else if seconds >= 1.0 {
+                format!("{seconds:.1}")
+            } else {
+                format!("{seconds:.4}")
+            }
+        }
+        other => format!("{other:?}"),
+    }
+}
+
+/// δ cell: "N/A" at Q ≤ 1 (paper convention).
+pub fn delta(d: Option<f64>) -> String {
+    match d {
+        None => "N/A".to_string(),
+        Some(d) if d == f64::INFINITY => "inf".to_string(),
+        Some(d) if d >= 10.0 => format!("{d:.1}"),
+        Some(d) if d >= 0.01 => format!("{d:.2}"),
+        Some(d) => format!("{d:.4}"),
+    }
+}
+
+fn cell_or_livelock(status: RunStatus, s: String) -> String {
+    if status == RunStatus::Livelock {
+        "livelock".into()
+    } else {
+        s
+    }
+}
+
+/// Renders a single-view sweep (Tables III, IV, VII, VIII) as markdown.
+pub fn sweep_table(title: &str, rows: &[SweepRow]) -> String {
+    let mut out = format!("### {title}\n\n");
+    let header: Vec<String> = std::iter::once("Q".to_string())
+        .chain(rows.iter().map(|r| r.q.to_string()))
+        .collect();
+    let mut lines: Vec<Vec<String>> = vec![header];
+    lines.push(row_line("Runtime(s)", rows, |r| {
+        runtime(r.status, r.runtime_s)
+    }));
+    lines.push(row_line("#abort", rows, |r| {
+        cell_or_livelock(r.status, count(r.views[0].tm.aborts))
+    }));
+    lines.push(row_line("#tx", rows, |r| {
+        cell_or_livelock(r.status, count(r.views[0].tm.commits))
+    }));
+    lines.push(row_line("cycles_aborted", rows, |r| {
+        cell_or_livelock(r.status, count(r.views[0].tm.cycles_aborted))
+    }));
+    lines.push(row_line("cycles_successful", rows, |r| {
+        cell_or_livelock(r.status, count(r.views[0].tm.cycles_successful))
+    }));
+    lines.push(row_line("delta(Q)", rows, |r| {
+        cell_or_livelock(r.status, delta(r.views[0].delta()))
+    }));
+    out.push_str(&markdown(&lines));
+    out
+}
+
+/// Renders a multi-view sweep (Tables V, IX): per-view statistics with Q₂
+/// pinned.
+pub fn multi_view_sweep_table(title: &str, rows: &[SweepRow]) -> String {
+    let mut out = format!("### {title}\n\n");
+    let header: Vec<String> = std::iter::once("Q1".to_string())
+        .chain(rows.iter().map(|r| r.q.to_string()))
+        .collect();
+    let mut lines = vec![header];
+    lines.push(row_line("Runtime(s)", rows, |r| {
+        runtime(r.status, r.runtime_s)
+    }));
+    for (vi, label) in [(0usize, "1"), (1, "2")] {
+        lines.push(row_line(&format!("#abort{label}"), rows, |r| {
+            cell_or_livelock(r.status, count(r.views[vi].tm.aborts))
+        }));
+        lines.push(row_line(&format!("#tx{label}"), rows, |r| {
+            cell_or_livelock(r.status, count(r.views[vi].tm.commits))
+        }));
+        lines.push(row_line(&format!("cycles_aborted{label}"), rows, |r| {
+            cell_or_livelock(r.status, count(r.views[vi].tm.cycles_aborted))
+        }));
+        lines.push(row_line(&format!("cycles_successful{label}"), rows, |r| {
+            cell_or_livelock(r.status, count(r.views[vi].tm.cycles_successful))
+        }));
+        lines.push(row_line(&format!("delta(Q{label})"), rows, |r| {
+            cell_or_livelock(r.status, delta(r.views[vi].delta()))
+        }));
+    }
+    out.push_str(&markdown(&lines));
+    out
+}
+
+/// Renders an adaptive comparison block (half of Table VI or X).
+pub fn adaptive_table(title: &str, rows: &[AdaptiveRow]) -> String {
+    let mut out = format!("### {title}\n\n");
+    let mut lines = vec![vec![
+        "version".to_string(),
+        "time(s)".to_string(),
+        "Q".to_string(),
+        "#abort".to_string(),
+        "#tx".to_string(),
+    ]];
+    for r in rows {
+        let qcell = if r.quotas.is_empty() {
+            "-".to_string()
+        } else {
+            r.quotas
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        lines.push(vec![
+            r.version.to_string(),
+            runtime(r.status, r.runtime_s),
+            cell_or_livelock(r.status, qcell),
+            cell_or_livelock(r.status, count(r.aborts)),
+            cell_or_livelock(r.status, count(r.commits)),
+        ]);
+    }
+    out.push_str(&markdown(&lines));
+    out
+}
+
+fn row_line<F: Fn(&SweepRow) -> String>(label: &str, rows: &[SweepRow], f: F) -> Vec<String> {
+    std::iter::once(label.to_string())
+        .chain(rows.iter().map(f))
+        .collect()
+}
+
+/// Column-aligned markdown table from rows of cells (first row = header).
+pub fn markdown(lines: &[Vec<String>]) -> String {
+    let cols = lines.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for line in lines {
+        for (i, cell) in line.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let render = |line: &[String]| -> String {
+        let cells: Vec<String> = line
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+            .collect();
+        format!("| {} |\n", cells.join(" | "))
+    };
+    let mut out = String::new();
+    out.push_str(&render(&lines[0]));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+    for line in &lines[1..] {
+        out.push_str(&render(line));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_formats_like_paper() {
+        assert_eq!(count(0), "0");
+        assert_eq!(count(999), "999");
+        assert_eq!(count(3_200_000), "3.2m");
+        assert_eq!(count(7_010_000), "7.01m");
+        assert_eq!(count(5_260_000_000), "5.26G");
+        assert_eq!(count(49_800_000_000_000), "49.8T");
+    }
+
+    #[test]
+    fn runtime_cells() {
+        assert_eq!(runtime(RunStatus::Livelock, 1.0), "livelock");
+        assert_eq!(runtime(RunStatus::Completed, 241.23), "241");
+        assert_eq!(runtime(RunStatus::Completed, 63.81), "63.8");
+        assert_eq!(runtime(RunStatus::Completed, 0.00171), "0.0017");
+    }
+
+    #[test]
+    fn delta_cells() {
+        assert_eq!(delta(None), "N/A");
+        assert_eq!(delta(Some(0.49)), "0.49");
+        assert_eq!(delta(Some(30.7)), "30.7");
+        assert_eq!(delta(Some(0.0003)), "0.0003");
+    }
+
+    #[test]
+    fn markdown_is_aligned() {
+        let md = markdown(&[
+            vec!["a".into(), "bb".into()],
+            vec!["ccc".into(), "d".into()],
+        ]);
+        assert!(md.contains("| a   | bb |"));
+        assert!(md.contains("| ccc | d  |"));
+    }
+}

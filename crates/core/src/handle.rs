@@ -1,0 +1,315 @@
+//! The transaction handle and retry driver.
+//!
+//! [`drive_transaction`] implements the paper's `acquire_view` /
+//! `release_view` protocol (§II):
+//!
+//! * **acquire**: block until admitted by the view's RAC gate; admission at
+//!   quota 1 is exclusive and selects the uninstrumented lock mode.
+//! * run the body; **release**: try to commit. On failure: abort, roll
+//!   back, *decrease P and reacquire the view* — re-admission matters
+//!   because the quota may have changed while we were inside.
+//!
+//! Every operation charges its cost to the runtime, so under the simulator
+//! each shared access is an interleaving point and under real threads the
+//! charge is free. Per-attempt work is recorded into the view's statistics
+//! as aborted or successful cycles — the inputs to δ(Q).
+
+use votm_rac::AdmissionMode;
+use votm_sim::Rt;
+use votm_stm::{cost, Addr, CommitPhase, OpError, TxCtx};
+use votm_utils::Backoff;
+
+use crate::view::View;
+
+/// The current transaction attempt must be rolled back and retried.
+///
+/// Returned by [`TxHandle`] operations on conflict; propagate it with `?`.
+/// The driver catches it, rolls back, and re-runs the body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxAbort;
+
+/// Consecutive `Busy` retries of one read/write before the attempt aborts
+/// (bounded spinning, TinySTM-style; breaks reader/writer wait-for cycles).
+const BUSY_ABORT_LIMIT: u32 = 64;
+
+/// In-transaction capability: all shared-memory access inside
+/// [`View::transact`] goes through this handle.
+pub struct TxHandle<'v> {
+    view: &'v View,
+    rt: Rt,
+    ctx: TxCtx,
+    read_only: bool,
+    /// Virtual cycles consumed by this attempt (simulator accounting).
+    attempt_work: u64,
+    /// Blocks allocated by this attempt — freed again if it aborts.
+    allocs: Vec<Addr>,
+    /// Frees requested by this attempt — applied only if it commits.
+    frees: Vec<Addr>,
+    backoff: Backoff,
+}
+
+impl<'v> TxHandle<'v> {
+    fn new(view: &'v View, rt: Rt, mode: AdmissionMode, read_only: bool) -> Self {
+        let ctx = match mode {
+            AdmissionMode::Exclusive => view.tm().direct_ctx(),
+            AdmissionMode::Transactional => view.tm().tx_ctx(rt.thread_index()),
+        };
+        Self {
+            view,
+            rt,
+            ctx,
+            read_only,
+            attempt_work: 0,
+            allocs: Vec::new(),
+            frees: Vec::new(),
+            backoff: Backoff::new(),
+        }
+    }
+
+    /// Drains the context's work units, charges them to the runtime and
+    /// books them against this attempt.
+    async fn charge_pending(&mut self) {
+        let w = self.ctx.take_work();
+        self.attempt_work += w;
+        self.rt.charge(w).await;
+    }
+
+    /// Lets a `Busy` operation wait: charges model time; under real threads
+    /// also spins/yields so the lock holder can run.
+    async fn busy_wait(&mut self) {
+        self.view.tm().stats().record_busy();
+        self.attempt_work += cost::BUSY_RETRY;
+        self.rt.charge(cost::BUSY_RETRY).await;
+        if !self.rt.is_virtual() {
+            self.backoff.snooze();
+        }
+    }
+
+    /// Transactional read of one word.
+    pub async fn read(&mut self, addr: Addr) -> Result<u64, TxAbort> {
+        let mut streak = 0u32;
+        loop {
+            match self.ctx.read(self.view.tm(), addr) {
+                Ok(v) => {
+                    self.charge_pending().await;
+                    return Ok(v);
+                }
+                Err(OpError::Busy) => {
+                    self.charge_pending().await;
+                    self.busy_wait().await;
+                    streak += 1;
+                    if streak >= BUSY_ABORT_LIMIT {
+                        // Bounded spin: a wait-for cycle (two writers each
+                        // spin-reading the other's locked orec) must break
+                        // by aborting, like TinySTM's spin timeout.
+                        return Err(TxAbort);
+                    }
+                }
+                Err(OpError::Conflict) => {
+                    self.charge_pending().await;
+                    return Err(TxAbort);
+                }
+            }
+        }
+    }
+
+    /// Transactional write of one word.
+    ///
+    /// # Panics
+    /// In a read-only transaction ([`View::transact_ro`]).
+    pub async fn write(&mut self, addr: Addr, value: u64) -> Result<(), TxAbort> {
+        assert!(
+            !self.read_only,
+            "write inside a read-only view acquisition (acquire_Rview)"
+        );
+        let mut streak = 0u32;
+        loop {
+            match self.ctx.write(self.view.tm(), addr, value) {
+                Ok(()) => {
+                    self.charge_pending().await;
+                    return Ok(());
+                }
+                Err(OpError::Busy) => {
+                    self.charge_pending().await;
+                    self.busy_wait().await;
+                    streak += 1;
+                    if streak >= BUSY_ABORT_LIMIT {
+                        return Err(TxAbort);
+                    }
+                }
+                Err(OpError::Conflict) => {
+                    self.charge_pending().await;
+                    return Err(TxAbort);
+                }
+            }
+        }
+    }
+
+    /// Performs thread-private work inside the transaction: `reads`/`writes`
+    /// accesses to thread-local memory plus `nops` cycles of computation
+    /// (Eigenbench's cold-array accesses and NOPi). Under the simulator this
+    /// advances virtual time; under real threads it actually spins.
+    pub async fn local_work(&mut self, reads: u64, writes: u64, nops: u64) {
+        let cycles = (reads + writes) * cost::LOCAL_ACCESS + nops * cost::NOP;
+        self.attempt_work += cycles;
+        self.rt.work(cycles).await;
+    }
+
+    /// Allocates a block inside the transaction. The allocation is undone if
+    /// this attempt aborts.
+    ///
+    /// # Panics
+    /// If the view's heap is exhausted (size your views for the workload).
+    pub fn alloc(&mut self, size_words: u32) -> Addr {
+        let addr = self
+            .view
+            .tm()
+            .heap()
+            .alloc_block(size_words)
+            .expect("view heap exhausted");
+        self.allocs.push(addr);
+        addr
+    }
+
+    /// Frees a block from inside the transaction. Deferred until commit so
+    /// an abort cannot leak another transaction's data.
+    pub fn free(&mut self, addr: Addr) {
+        self.frees.push(addr);
+    }
+
+    /// The runtime handle (for nested timing/diagnostics in workloads).
+    pub fn rt(&self) -> &Rt {
+        &self.rt
+    }
+
+    /// Rolls back attempt-local state (allocation log).
+    fn rollback_side_effects(&mut self) {
+        for addr in self.allocs.drain(..).rev() {
+            self.view.tm().heap().free_block(addr);
+        }
+        self.frees.clear();
+    }
+
+    /// Applies deferred side effects after a successful commit.
+    fn apply_side_effects(&mut self) {
+        self.allocs.clear();
+        for addr in self.frees.drain(..) {
+            self.view.tm().heap().free_block(addr);
+        }
+    }
+}
+
+/// Runs `body` transactionally against `view` until an attempt commits.
+pub(crate) async fn drive_transaction<'v, T, F>(
+    view: &'v View,
+    rt: &Rt,
+    read_only: bool,
+    mut body: F,
+) -> T
+where
+    F: for<'h> AsyncFnMut(&'h mut TxHandle<'_>) -> Result<T, TxAbort>,
+{
+    let unrestricted = view.is_unrestricted();
+    loop {
+        // acquire_view: RAC admission (skipped for the no-RAC baselines).
+        let mode = if unrestricted {
+            AdmissionMode::Transactional
+        } else {
+            let wait_from = rt.now();
+            let mode = view.gate().acquire(rt).await;
+            let waited = rt.now().saturating_sub(wait_from);
+            if waited > 0 {
+                view.tm().stats().record_gate_wait(waited);
+            }
+            mode
+        };
+
+        let mut handle = TxHandle::new(view, rt.clone(), mode, read_only);
+        let t0 = rt.now();
+
+        // begin (NOrec can be Busy while a committer holds the seqlock).
+        loop {
+            match handle.ctx.begin(view.tm()) {
+                Ok(()) => break,
+                Err(OpError::Busy) => {
+                    handle.charge_pending().await;
+                    handle.busy_wait().await;
+                }
+                Err(OpError::Conflict) => unreachable!("begin never conflicts"),
+            }
+        }
+        handle.charge_pending().await;
+
+        let outcome = body(&mut handle).await;
+
+        let committed = match outcome {
+            Ok(value) => {
+                // release_view step 1: try to commit.
+                let committed = loop {
+                    match handle.ctx.commit_begin(view.tm()) {
+                        Ok(CommitPhase::Done) => break true,
+                        Ok(CommitPhase::NeedsFinish { .. }) => {
+                            // Hold the commit locks across the writeback
+                            // window so concurrent transactions observe it.
+                            handle.charge_pending().await;
+                            handle.ctx.commit_finish(view.tm());
+                            break true;
+                        }
+                        Err(OpError::Busy) => {
+                            handle.charge_pending().await;
+                            handle.busy_wait().await;
+                        }
+                        Err(OpError::Conflict) => break false,
+                    }
+                };
+                if committed {
+                    handle.charge_pending().await;
+                    handle.apply_side_effects();
+                    finish_attempt(view, rt, &mut handle, t0, true);
+                    if !unrestricted {
+                        view.gate().release(mode);
+                    }
+                    return value;
+                }
+                false
+            }
+            Err(TxAbort) => false,
+        };
+        debug_assert!(!committed);
+
+        // Abort: roll back, decrease P, reacquire (paper release step 1).
+        assert!(
+            !handle.ctx.is_direct(),
+            "lock-mode (exclusive) sections cannot abort"
+        );
+        handle.ctx.abort(view.tm());
+        handle.charge_pending().await;
+        handle.rollback_side_effects();
+        finish_attempt(view, rt, &mut handle, t0, false);
+        if !unrestricted {
+            view.gate().release(mode);
+        }
+        // Loop back to reacquire admission and re-run the body.
+    }
+}
+
+/// Books one attempt's cycles into the view statistics and pokes the
+/// adaptive controller.
+fn finish_attempt(view: &View, rt: &Rt, handle: &mut TxHandle<'_>, t0: u64, committed: bool) {
+    // Simulator: the work-unit ledger *is* the cycle count. Real threads:
+    // use the hardware timestamp delta, like the paper's rdtsc().
+    let cycles = if rt.is_virtual() {
+        std::mem::take(&mut handle.attempt_work)
+    } else {
+        handle.attempt_work = 0;
+        rt.now().saturating_sub(t0)
+    };
+    if committed {
+        view.tm().stats().record_commit(cycles);
+    } else {
+        view.tm().stats().record_abort(cycles);
+    }
+    if let Some(ctrl) = view.controller() {
+        ctrl.on_tx_end(view.gate(), view.tm().stats());
+    }
+}

@@ -1,0 +1,74 @@
+//! View-Oriented Transactional Memory (VOTM) — the paper's primary
+//! contribution.
+//!
+//! Shared memory is partitioned by the programmer into non-overlapping
+//! **views**, each of which is an *independent TM system* (its own heap,
+//! its own global clock / orec table, its own statistics) guarded by its own
+//! Restricted Admission Control gate. Objects that are accessed together in
+//! one transaction live in the same view; objects that never are belong in
+//! different views, so that contention in one cannot throttle the other
+//! (paper Observation 2).
+//!
+//! # API mapping (paper Table I → this crate)
+//!
+//! | Paper                      | Here                                          |
+//! |----------------------------|-----------------------------------------------|
+//! | `create_view(vid, sz, q)`  | [`Votm::create_view`] (returns an [`std::sync::Arc`]`<`[`View`]`>`) |
+//! | `malloc_block(vid, sz)`    | [`View::alloc_block`] / [`TxHandle::alloc`]   |
+//! | `free_block(vid, p)`       | [`View::free_block`] / [`TxHandle::free`]     |
+//! | `brk_view(vid, sz)`        | [`View::brk_view`]                            |
+//! | `destroy_view(vid)`        | [`Votm::destroy_view`]                        |
+//! | `acquire_view` … `release_view`  | [`View::transact`] (closure, async)     |
+//! | `acquire_Rview` … `release_view` | [`View::transact_ro`]                   |
+//!
+//! The C API brackets a region with `acquire_view`/`release_view` and, on a
+//! failed commit, rolls back and re-executes the region via `setjmp`/
+//! `longjmp`. Rust's safe equivalent of that control flow is a closure the
+//! runtime can re-invoke: [`View::transact`] acquires admission, runs the
+//! body, commits, and on conflict rolls back, **releases and reacquires
+//! admission** (the paper's release step 1), then re-runs the body.
+//!
+//! Bodies are `async` because every shared access is a potential scheduling
+//! point for the virtual-time simulator (see `votm-sim`); under real threads
+//! those awaits resolve immediately.
+//!
+//! ```
+//! use votm::{Votm, VotmConfig};
+//! use votm_rac::QuotaMode;
+//! use votm_sim::{SimConfig, SimExecutor};
+//! use votm_stm::Addr;
+//!
+//! let sys = Votm::new(VotmConfig::default());
+//! let counter = sys.create_view(16, QuotaMode::Adaptive);
+//! let view = counter.clone();
+//!
+//! let mut ex = SimExecutor::new(SimConfig::default());
+//! for _ in 0..4 {
+//!     let view = view.clone();
+//!     ex.spawn(move |rt| async move {
+//!         for _ in 0..10 {
+//!             view.transact(&rt, async |tx| {
+//!                 let v = tx.read(Addr(0)).await?;
+//!                 tx.write(Addr(0), v + 1).await
+//!             })
+//!             .await;
+//!         }
+//!     });
+//! }
+//! ex.run();
+//! assert_eq!(counter.heap().load(Addr(0)), 40);
+//! ```
+
+#![warn(missing_docs)]
+
+mod handle;
+mod system;
+mod view;
+
+pub use handle::{TxAbort, TxHandle};
+pub use system::{Votm, VotmConfig};
+pub use view::{View, ViewStats};
+
+// Re-export the vocabulary types callers need so `votm` is self-sufficient.
+pub use votm_rac::QuotaMode;
+pub use votm_stm::{Addr, StatsSnapshot, TmAlgorithm};

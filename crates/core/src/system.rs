@@ -1,0 +1,198 @@
+//! The VOTM system object: view registry and global configuration.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use votm_rac::{ControllerConfig, QuotaMode};
+use votm_stm::TmAlgorithm;
+
+use crate::view::{view_arc_id, View};
+
+/// Global configuration for a [`Votm`] system.
+#[derive(Debug, Clone)]
+pub struct VotmConfig {
+    /// TM algorithm every view runs (the paper evaluates one algorithm per
+    /// system build: VOTM-OrecEagerRedo and VOTM-NOrec).
+    pub algorithm: TmAlgorithm,
+    /// The maximum number of threads `N` — adaptive quotas start here and
+    /// never exceed it.
+    pub n_threads: u32,
+    /// Tuning for adaptive RAC controllers.
+    pub controller: ControllerConfig,
+    /// Reserve factor for `brk_view`: each view's heap reserves
+    /// `size × reserve_factor` words so it can grow. 1 disables growth.
+    pub reserve_factor: usize,
+}
+
+impl Default for VotmConfig {
+    fn default() -> Self {
+        Self {
+            algorithm: TmAlgorithm::NOrec,
+            n_threads: 16,
+            controller: ControllerConfig::default(),
+            reserve_factor: 1,
+        }
+    }
+}
+
+/// A VOTM system: a factory and registry of [`View`]s.
+///
+/// The paper's `vid`-based C API maps to the returned `Arc<View>` handles;
+/// [`Votm::view`] recovers a handle from an id for code ported literally.
+pub struct Votm {
+    config: VotmConfig,
+    views: Mutex<Vec<Option<Arc<View>>>>,
+}
+
+impl Votm {
+    /// Creates an empty system.
+    pub fn new(config: VotmConfig) -> Self {
+        Self {
+            config,
+            views: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &VotmConfig {
+        &self.config
+    }
+
+    /// Creates a view of `size_words` words (`create_view`). `quota`
+    /// corresponds to the paper's third argument: `Fixed(q)` pins the
+    /// admission quota, `Adaptive` (the paper's "< 1" convention) lets RAC
+    /// manage it, `Unrestricted` disables admission control for the
+    /// multi-TM / plain-TM baselines.
+    pub fn create_view(&self, size_words: usize, quota: QuotaMode) -> Arc<View> {
+        self.create_view_with_algorithm(size_words, quota, self.config.algorithm)
+    }
+
+    /// Like [`Votm::create_view`] but overrides the TM algorithm for this
+    /// one view. Because every view is an independent TM instance, views
+    /// with different algorithms coexist freely — the per-view adaptive-TM
+    /// direction the paper sketches as future work (§IV-C): a
+    /// memory-intensive view can run OrecEagerRedo while a validation-light
+    /// view runs NOrec.
+    pub fn create_view_with_algorithm(
+        &self,
+        size_words: usize,
+        quota: QuotaMode,
+        algorithm: TmAlgorithm,
+    ) -> Arc<View> {
+        let mut views = self.views.lock();
+        let id = views.len();
+        let view = Arc::new(View::new(
+            id,
+            algorithm,
+            size_words,
+            size_words * self.config.reserve_factor.max(1),
+            quota,
+            self.config.n_threads,
+            &self.config.controller,
+        ));
+        views.push(Some(Arc::clone(&view)));
+        view
+    }
+
+    /// Looks up a live view by id.
+    pub fn view(&self, id: usize) -> Option<Arc<View>> {
+        self.views.lock().get(id).and_then(Clone::clone)
+    }
+
+    /// Destroys a view (`destroy_view`): removes it from the registry. The
+    /// backing memory is reclaimed when the last `Arc<View>` drops, so
+    /// in-flight transactions on other threads stay safe — Rust's answer to
+    /// the C API's use-after-destroy hazard.
+    pub fn destroy_view(&self, view: &Arc<View>) {
+        let mut views = self.views.lock();
+        let id = view_arc_id(view);
+        if let Some(slot) = views.get_mut(id) {
+            *slot = None;
+        }
+    }
+
+    /// Ids of all live views, in creation order.
+    pub fn live_view_ids(&self) -> Vec<usize> {
+        self.views
+            .lock()
+            .iter()
+            .filter_map(|v| v.as_ref().map(|v| v.id()))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Votm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Votm")
+            .field("algorithm", &self.config.algorithm)
+            .field("n_threads", &self.config.n_threads)
+            .field("live_views", &self.live_view_ids().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_lookup_views() {
+        let sys = Votm::new(VotmConfig::default());
+        let a = sys.create_view(64, QuotaMode::Adaptive);
+        let b = sys.create_view(64, QuotaMode::Fixed(4));
+        assert_eq!(a.id(), 0);
+        assert_eq!(b.id(), 1);
+        assert_eq!(sys.view(0).unwrap().id(), 0);
+        assert!(sys.view(7).is_none());
+        assert_eq!(sys.live_view_ids(), vec![0, 1]);
+    }
+
+    #[test]
+    fn destroy_removes_from_registry_but_keeps_arc_alive() {
+        let sys = Votm::new(VotmConfig::default());
+        let a = sys.create_view(64, QuotaMode::Adaptive);
+        sys.destroy_view(&a);
+        assert!(sys.view(0).is_none());
+        assert_eq!(sys.live_view_ids(), Vec::<usize>::new());
+        // The handle still works until dropped.
+        assert!(a.alloc_block(4).is_some());
+    }
+
+    #[test]
+    fn fixed_quota_is_applied() {
+        let sys = Votm::new(VotmConfig {
+            n_threads: 16,
+            ..Default::default()
+        });
+        let v = sys.create_view(16, QuotaMode::Fixed(4));
+        assert_eq!(v.gate().quota(), 4);
+        let w = sys.create_view(16, QuotaMode::Adaptive);
+        assert_eq!(w.gate().quota(), 16, "adaptive starts at N");
+    }
+
+    #[test]
+    fn per_view_algorithm_override() {
+        let sys = Votm::new(VotmConfig {
+            algorithm: TmAlgorithm::NOrec,
+            ..Default::default()
+        });
+        let a = sys.create_view(16, QuotaMode::Adaptive);
+        let b = sys.create_view_with_algorithm(
+            16,
+            QuotaMode::Adaptive,
+            TmAlgorithm::OrecEagerRedo,
+        );
+        assert!(format!("{a:?}").contains("NOrec"));
+        assert!(format!("{b:?}").contains("OrecEagerRedo"));
+    }
+
+    #[test]
+    fn reserve_factor_enables_brk() {
+        let sys = Votm::new(VotmConfig {
+            reserve_factor: 4,
+            ..Default::default()
+        });
+        let v = sys.create_view(16, QuotaMode::Adaptive);
+        assert_eq!(v.brk_view(16), Some(32), "brk within 4x reserve");
+    }
+}

@@ -1,0 +1,177 @@
+//! A view: one partition of shared memory = one TM instance + one RAC gate.
+
+use std::sync::Arc;
+
+use votm_rac::{AdmissionGate, ControllerConfig, QuotaMode, RacController};
+use votm_sim::Rt;
+use votm_stm::{Addr, StatsSnapshot, TmAlgorithm, TmInstance};
+
+use crate::handle::{drive_transaction, TxAbort, TxHandle};
+
+/// One view of shared memory.
+///
+/// Construct through [`crate::Votm::create_view`]; cheaply shared between
+/// logical threads as `Arc<View>`.
+pub struct View {
+    id: usize,
+    tm: TmInstance,
+    gate: AdmissionGate,
+    controller: Option<RacController>,
+    quota_mode: QuotaMode,
+}
+
+impl View {
+    pub(crate) fn new(
+        id: usize,
+        algo: TmAlgorithm,
+        size_words: usize,
+        capacity_words: usize,
+        quota_mode: QuotaMode,
+        n_threads: u32,
+        controller_config: &ControllerConfig,
+    ) -> Self {
+        let (initial_quota, controller) = match quota_mode {
+            QuotaMode::Fixed(q) => (q, None),
+            QuotaMode::Adaptive => (
+                n_threads,
+                Some(RacController::new(controller_config.clone())),
+            ),
+            // Admission control disabled; quota N means the gate never
+            // blocks (there are only N threads), and no controller runs.
+            QuotaMode::Unrestricted => (n_threads, None),
+        };
+        Self {
+            id,
+            tm: TmInstance::with_reserve(algo, size_words, capacity_words.max(size_words)),
+            gate: AdmissionGate::new(initial_quota, n_threads),
+            controller,
+            quota_mode,
+        }
+    }
+
+    /// The id assigned by [`crate::Votm`] (the paper's `vid`).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The view's heap, for allocation-free inspection and test assertions.
+    pub fn heap(&self) -> &votm_stm::WordHeap {
+        self.tm.heap()
+    }
+
+    /// The TM instance backing this view.
+    pub(crate) fn tm(&self) -> &TmInstance {
+        &self.tm
+    }
+
+    /// The admission gate (exposed for harness reporting).
+    pub fn gate(&self) -> &AdmissionGate {
+        &self.gate
+    }
+
+    pub(crate) fn controller(&self) -> Option<&RacController> {
+        self.controller.as_ref()
+    }
+
+    /// True when this view bypasses admission control entirely (the paper's
+    /// "multi-TM"/"TM" baselines).
+    pub fn is_unrestricted(&self) -> bool {
+        matches!(self.quota_mode, QuotaMode::Unrestricted)
+    }
+
+    /// Allocates a block of `size_words` words from the view
+    /// (`malloc_block`). Non-transactional: publish the address inside a
+    /// transaction to make it visible safely.
+    pub fn alloc_block(&self, size_words: u32) -> Option<Addr> {
+        self.tm.heap().alloc_block(size_words)
+    }
+
+    /// Frees a block previously returned by [`View::alloc_block`]
+    /// (`free_block`). Non-transactional; use [`TxHandle::free`] inside
+    /// transactions so the free is rolled back if the transaction aborts.
+    pub fn free_block(&self, addr: Addr) {
+        self.tm.heap().free_block(addr)
+    }
+
+    /// Expands the view's usable memory by `size_words` (`brk_view`).
+    /// Returns the new usable size, or `None` if the reserved capacity is
+    /// exhausted.
+    pub fn brk_view(&self, size_words: usize) -> Option<usize> {
+        self.tm.heap().brk(size_words)
+    }
+
+    /// Runs `body` as one atomic transaction against this view —
+    /// `acquire_view`; *body*; `release_view` with automatic retry.
+    ///
+    /// The body may be re-executed any number of times; it must be free of
+    /// side effects other than through the [`TxHandle`]. Returns the body's
+    /// value from the attempt that committed.
+    pub async fn transact<T, F>(&self, rt: &Rt, body: F) -> T
+    where
+        F: for<'h> AsyncFnMut(&'h mut TxHandle<'_>) -> Result<T, TxAbort>,
+    {
+        drive_transaction(self, rt, false, body).await
+    }
+
+    /// Read-only variant (`acquire_Rview`): writes through the handle panic.
+    /// Read-only transactions commit without touching the global clock in
+    /// both algorithms.
+    pub async fn transact_ro<T, F>(&self, rt: &Rt, body: F) -> T
+    where
+        F: for<'h> AsyncFnMut(&'h mut TxHandle<'_>) -> Result<T, TxAbort>,
+    {
+        drive_transaction(self, rt, true, body).await
+    }
+
+    /// Statistics snapshot in the shape of the paper's table rows.
+    ///
+    /// For adaptive views `quota` is the *settled* quota (the one the
+    /// controller spent most windows at), not the instantaneous value — the
+    /// latter can be a transient upward probe at the moment of sampling.
+    pub fn stats(&self) -> ViewStats {
+        let quota = self
+            .controller
+            .as_ref()
+            .and_then(|c| c.dominant_quota())
+            .unwrap_or_else(|| self.gate.quota());
+        ViewStats {
+            view_id: self.id,
+            quota,
+            tm: self.tm.stats().snapshot(),
+        }
+    }
+}
+
+impl std::fmt::Debug for View {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("View")
+            .field("id", &self.id)
+            .field("algo", &self.tm.algorithm())
+            .field("quota", &self.gate.quota())
+            .field("quota_mode", &self.quota_mode)
+            .finish()
+    }
+}
+
+/// Per-view statistics in the shape the paper's tables report.
+#[derive(Debug, Clone, Copy)]
+pub struct ViewStats {
+    /// Which view.
+    pub view_id: usize,
+    /// The quota at snapshot time (the settled `Q` for adaptive runs).
+    pub quota: u32,
+    /// Commit/abort/cycle counters.
+    pub tm: StatsSnapshot,
+}
+
+impl ViewStats {
+    /// The paper's δ(Q) for this view (Eq. 5); `None` at Q ≤ 1 ("N/A").
+    pub fn delta(&self) -> Option<f64> {
+        self.tm.delta(self.quota)
+    }
+}
+
+/// Helper used by `Votm::destroy_view`.
+pub(crate) fn view_arc_id(v: &Arc<View>) -> usize {
+    v.id
+}

@@ -1,0 +1,207 @@
+//! Flow and packet generation — STAMP Intruder's input stage
+//! (`-a` percent attacks, `-l` max payload length, `-n` flows, `-s` seed).
+//!
+//! Each flow is a random payload split into fixed-size fragments; the
+//! fragments of all flows are shuffled into one global packet stream.
+//! Payloads are immutable after generation, so (exactly as in STAMP) the
+//! *data* needs no synchronisation — only the stream queue and the
+//! reassembly dictionary are shared state.
+
+use votm_utils::XorShift64;
+
+/// Payload words per fragment.
+pub const FRAGMENT_WORDS: u64 = 4;
+
+/// The "attack signature": a payload word the detector scans for. Real
+/// Intruder string-matches against a signature dictionary; one magic
+/// word preserves the behaviour that matters (per-word scan, rare hits).
+pub const ATTACK_SIGNATURE: u64 = 0xbad0_5eed_dead_beef;
+
+/// Generation parameters (STAMP defaults are `-a10 -l128 -n262144 -s1`).
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Percent of flows carrying an attack signature (`-a`).
+    pub attack_percent: u64,
+    /// Maximum payload length in words (`-l`, interpreted as words here).
+    pub max_length: u64,
+    /// Number of flows (`-n`).
+    pub flows: u64,
+    /// RNG seed (`-s`).
+    pub seed: u64,
+}
+
+impl GenConfig {
+    /// The paper's parameters with the flow count scaled by `scale`
+    /// (1.0 = 262144 flows).
+    pub fn paper(scale: f64) -> Self {
+        Self {
+            attack_percent: 10,
+            max_length: 128,
+            flows: ((262_144.0 * scale).round() as u64).max(1),
+            seed: 1,
+        }
+    }
+}
+
+/// One fragment of one flow.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Flow this fragment belongs to.
+    pub flow_id: u64,
+    /// Position within the flow.
+    pub frag_id: u32,
+    /// Total fragments in the flow.
+    pub n_frags: u32,
+    /// This fragment's payload words.
+    pub data: Vec<u64>,
+}
+
+/// The generated input: a shuffled packet stream plus ground truth.
+#[derive(Debug)]
+pub struct Input {
+    /// All packets in stream (arrival) order.
+    pub packets: Vec<Packet>,
+    /// Number of flows that contain the attack signature.
+    pub attacks_injected: u64,
+    /// Total flows.
+    pub flows: u64,
+    /// Expected reassembled payload checksum per flow (validation).
+    pub flow_checksums: Vec<u64>,
+}
+
+/// Generates flows, fragments them, and shuffles the stream.
+pub fn generate(config: &GenConfig) -> Input {
+    let mut rng = XorShift64::new(config.seed);
+    let mut packets = Vec::new();
+    let mut attacks = 0u64;
+    let mut checksums = Vec::with_capacity(config.flows as usize);
+    for flow_id in 0..config.flows {
+        let len = 1 + rng.next_below(config.max_length.max(1));
+        let mut payload: Vec<u64> = (0..len)
+            // Avoid generating the signature by accident: clear the top bit.
+            .map(|_| rng.next_u64() >> 1)
+            .collect();
+        if rng.chance_percent(config.attack_percent) {
+            let pos = rng.next_index(payload.len());
+            payload[pos] = ATTACK_SIGNATURE;
+            attacks += 1;
+        }
+        checksums.push(checksum(&payload));
+        let n_frags = payload.len().div_ceil(FRAGMENT_WORDS as usize) as u32;
+        for (frag_id, chunk) in payload.chunks(FRAGMENT_WORDS as usize).enumerate() {
+            packets.push(Packet {
+                flow_id,
+                frag_id: frag_id as u32,
+                n_frags,
+                data: chunk.to_vec(),
+            });
+        }
+    }
+    // Fisher-Yates shuffle of the stream.
+    for i in (1..packets.len()).rev() {
+        let j = rng.next_index(i + 1);
+        packets.swap(i, j);
+    }
+    Input {
+        packets,
+        attacks_injected: attacks,
+        flows: config.flows,
+        flow_checksums: checksums,
+    }
+}
+
+/// Order-sensitive payload checksum used to validate reassembly.
+pub fn checksum(payload: &[u64]) -> u64 {
+    payload
+        .iter()
+        .fold(0xcbf2_9ce4_8422_2325u64, |acc, &w| {
+            (acc ^ w).wrapping_mul(0x100_0000_01b3)
+        })
+}
+
+/// Scans a payload for the attack signature (the detector's hot loop).
+pub fn contains_attack(payload: &[u64]) -> bool {
+    payload.contains(&ATTACK_SIGNATURE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&GenConfig::paper(0.001));
+        let b = generate(&GenConfig::paper(0.001));
+        assert_eq!(a.packets.len(), b.packets.len());
+        assert_eq!(a.attacks_injected, b.attacks_injected);
+        assert_eq!(a.flow_checksums, b.flow_checksums);
+    }
+
+    #[test]
+    fn every_flow_fully_fragmented() {
+        let input = generate(&GenConfig {
+            attack_percent: 10,
+            max_length: 32,
+            flows: 200,
+            seed: 7,
+        });
+        let mut counts = vec![0u32; 200];
+        let mut totals = vec![0u32; 200];
+        for p in &input.packets {
+            counts[p.flow_id as usize] += 1;
+            totals[p.flow_id as usize] = p.n_frags;
+            assert!(p.data.len() <= FRAGMENT_WORDS as usize);
+            assert!(!p.data.is_empty());
+        }
+        for f in 0..200 {
+            assert_eq!(counts[f], totals[f], "flow {f} missing fragments");
+        }
+    }
+
+    #[test]
+    fn attack_rate_roughly_matches_percent() {
+        let input = generate(&GenConfig {
+            attack_percent: 10,
+            max_length: 64,
+            flows: 5_000,
+            seed: 3,
+        });
+        let rate = input.attacks_injected as f64 / 5_000.0;
+        assert!((0.07..0.13).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn reassembled_payload_matches_checksum_and_detection() {
+        let input = generate(&GenConfig {
+            attack_percent: 50,
+            max_length: 16,
+            flows: 50,
+            seed: 5,
+        });
+        // Reassemble manually from the shuffled stream.
+        let mut flows: Vec<Vec<Option<Vec<u64>>>> = Vec::new();
+        for p in &input.packets {
+            let f = p.flow_id as usize;
+            if flows.len() <= f {
+                flows.resize(f + 1, Vec::new());
+            }
+            if flows[f].is_empty() {
+                flows[f] = vec![None; p.n_frags as usize];
+            }
+            flows[f][p.frag_id as usize] = Some(p.data.clone());
+        }
+        let mut attacks_found = 0;
+        for (f, frags) in flows.iter().enumerate() {
+            let payload: Vec<u64> = frags
+                .iter()
+                .flat_map(|d| d.as_ref().expect("missing fragment"))
+                .copied()
+                .collect();
+            assert_eq!(checksum(&payload), input.flow_checksums[f]);
+            if contains_attack(&payload) {
+                attacks_found += 1;
+            }
+        }
+        assert_eq!(attacks_found, input.attacks_injected);
+    }
+}

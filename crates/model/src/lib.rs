@@ -1,0 +1,297 @@
+//! The RAC theoretical model (paper §II-A), implemented exactly as the
+//! equations are stated, plus a Monte-Carlo validator of the binomial abort
+//! model behind them.
+//!
+//! Notation: a transaction `Tᵢ` has duration `tᵢ` (conflict-free time from
+//! start to commit), expected abort count `cᵢ` under conventional TM with
+//! `N` threads, and mean time per aborted attempt `dᵢ`.
+//!
+//! * Eq. 1 — `makespan_tm`: conventional TM, `(Σ cᵢdᵢ + tᵢ) / N`.
+//! * Eq. 2 — `makespan_rac`: with quota `Q`, expected aborts scale by
+//!   `(Q−1)/(N−1)`, and only `Q` threads run: `(Σ (Q−1)/(N−1)·cᵢdᵢ + tᵢ)/Q`.
+//! * Eq. 3 — `makespan_gap`: the closed form of
+//!   `makespan_rac − makespan_tm`, whose sign is governed by
+//!   `δ = Σcᵢdᵢ / (Σtᵢ·(N−1))` ([`delta_ratio`], Observation 1(a)/(b)).
+//! * Eq. 4/5 — windowed `δ(Q)` from measured cycles ([`delta_measured`]).
+//! * Eq. 6–13 — the multiple-view decomposition ([`makespan_multi_view`],
+//!   [`makespan_single_view_pair`]) behind Observation 2.
+
+#![warn(missing_docs)]
+
+pub mod montecarlo;
+
+/// One transaction's model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TxParams {
+    /// `tᵢ`: conflict-free duration (cycles, or any unit).
+    pub t: f64,
+    /// `cᵢ`: expected number of aborts under conventional TM (N threads).
+    pub c: f64,
+    /// `dᵢ`: mean time wasted per aborted attempt.
+    pub d: f64,
+}
+
+impl TxParams {
+    /// Convenience constructor.
+    pub fn new(t: f64, c: f64, d: f64) -> Self {
+        debug_assert!(t >= 0.0 && c >= 0.0 && d >= 0.0);
+        Self { t, c, d }
+    }
+}
+
+/// Σ cᵢdᵢ over the set.
+pub fn total_abort_work(txs: &[TxParams]) -> f64 {
+    txs.iter().map(|x| x.c * x.d).sum()
+}
+
+/// Σ tᵢ over the set.
+pub fn total_useful_work(txs: &[TxParams]) -> f64 {
+    txs.iter().map(|x| x.t).sum()
+}
+
+/// Eq. 1: best-possible makespan under conventional TM with `n` threads.
+pub fn makespan_tm(txs: &[TxParams], n: u32) -> f64 {
+    assert!(n >= 1);
+    (total_abort_work(txs) + total_useful_work(txs)) / f64::from(n)
+}
+
+/// The expected execution time of one transaction under RAC with quota `q`:
+/// `(q−1)/(n−1) · cᵢdᵢ + tᵢ` (derived in §II-A1 from the binomial abort
+/// distribution).
+pub fn expected_tx_time_rac(tx: TxParams, q: u32, n: u32) -> f64 {
+    assert!(n >= 2 && (1..=n).contains(&q));
+    scale(q, n) * tx.c * tx.d + tx.t
+}
+
+/// The abort-scaling factor `(q−1)/(n−1)`.
+pub fn scale(q: u32, n: u32) -> f64 {
+    f64::from(q - 1) / f64::from(n - 1)
+}
+
+/// Eq. 2: makespan under RAC with quota `q` out of `n` threads.
+pub fn makespan_rac(txs: &[TxParams], q: u32, n: u32) -> f64 {
+    assert!(n >= 2 && (1..=n).contains(&q));
+    let total: f64 = txs
+        .iter()
+        .map(|&tx| expected_tx_time_rac(tx, q, n))
+        .sum();
+    total / f64::from(q)
+}
+
+/// Eq. 3 closed form: `Δ = makespan_rac − makespan_tm =
+/// (1/(N−1)) (1/N − 1/Q) (Σcᵢdᵢ − Σtᵢ(N−1))`.
+pub fn makespan_gap(txs: &[TxParams], q: u32, n: u32) -> f64 {
+    assert!(n >= 2 && (1..=n).contains(&q));
+    let a = total_abort_work(txs);
+    let t = total_useful_work(txs);
+    (1.0 / f64::from(n - 1))
+        * (1.0 / f64::from(n) - 1.0 / f64::from(q))
+        * (a - t * f64::from(n - 1))
+}
+
+/// `δ = Σcᵢdᵢ / (Σtᵢ (N−1))` — Observation 1's decision quantity.
+/// `δ > 1` ⇒ RAC with some `Q < N` beats conventional TM.
+pub fn delta_ratio(txs: &[TxParams], n: u32) -> f64 {
+    assert!(n >= 2);
+    total_abort_work(txs) / (total_useful_work(txs) * f64::from(n - 1))
+}
+
+/// Eq. 5: the runtime estimate of δ(Q) from measured cycle totals.
+/// Returns `None` for `q ≤ 1` (the paper's "N/A") or an idle window.
+pub fn delta_measured(cycles_aborted: u64, cycles_successful: u64, q: u32) -> Option<f64> {
+    if q <= 1 || cycles_successful == 0 {
+        return None;
+    }
+    Some(cycles_aborted as f64 / (cycles_successful as f64 * f64::from(q - 1)))
+}
+
+/// Observation 1 as a decision procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuotaAdvice {
+    /// δ(Q) > 1: decrease Q.
+    Decrease,
+    /// δ(Q) < 1: increase Q.
+    Increase,
+    /// δ(Q) = 1 (or unmeasurable): hold.
+    Hold,
+}
+
+/// Applies Observation 1 to a measured δ(Q).
+pub fn observation1(delta_q: Option<f64>) -> QuotaAdvice {
+    match delta_q {
+        Some(d) if d > 1.0 => QuotaAdvice::Decrease,
+        Some(d) if d < 1.0 => QuotaAdvice::Increase,
+        _ => QuotaAdvice::Hold,
+    }
+}
+
+/// Exhaustive optimal quota under the model: the `q ∈ [1, n]` minimising
+/// Eq. 2 (`q = 1` is evaluated as a pure serial run: no aborts, Σtᵢ).
+pub fn optimal_quota(txs: &[TxParams], n: u32) -> (u32, f64) {
+    assert!(n >= 2);
+    let mut best = (1u32, total_useful_work(txs));
+    for q in 2..=n {
+        let m = makespan_rac(txs, q, n);
+        if m < best.1 {
+            best = (q, m);
+        }
+    }
+    best
+}
+
+/// Eq. 11: makespan of two views under independent RAC quotas — the two
+/// views are accessed by disjoint transaction subsets, so the total is the
+/// sum of the per-view makespans.
+pub fn makespan_multi_view(s1: &[TxParams], q1: u32, s2: &[TxParams], q2: u32, n: u32) -> f64 {
+    makespan_rac(s1, q1, n) + makespan_rac(s2, q2, n)
+}
+
+/// Eq. 12 (via the Eq. 7 decomposition): a single view holding both objects
+/// under one shared quota `q`.
+pub fn makespan_single_view_pair(s1: &[TxParams], s2: &[TxParams], q: u32, n: u32) -> f64 {
+    makespan_rac(s1, q, n) + makespan_rac(s2, q, n)
+}
+
+/// Observation 2, checkable form: given a high-contention subset `s1`
+/// (δ₁ > 1) and a low-contention subset `s2` (δ₂ ≤ 1), and quotas
+/// `q1 ≤ q ≤ q2`, the multi-view makespan is no worse than the single-view
+/// one. Returns `(multi, single)` for inspection.
+pub fn observation2_pair(
+    s1: &[TxParams],
+    q1: u32,
+    s2: &[TxParams],
+    q2: u32,
+    q: u32,
+    n: u32,
+) -> (f64, f64) {
+    (
+        makespan_multi_view(s1, q1, s2, q2, n),
+        makespan_single_view_pair(s1, s2, q, n),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(count: usize, t: f64, c: f64, d: f64) -> Vec<TxParams> {
+        vec![TxParams::new(t, c, d); count]
+    }
+
+    #[test]
+    fn eq1_simple_case() {
+        // 4 transactions, t=10, c=2, d=5 -> total = 4*(10+10) = 80; N=4 -> 20.
+        let txs = uniform(4, 10.0, 2.0, 5.0);
+        assert_eq!(makespan_tm(&txs, 4), 20.0);
+    }
+
+    #[test]
+    fn eq2_reduces_to_eq1_at_q_equals_n() {
+        let txs = uniform(7, 12.0, 3.0, 4.0);
+        let n = 8;
+        assert!((makespan_rac(&txs, n, n) - makespan_tm(&txs, n)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq3_matches_direct_difference() {
+        let txs = vec![
+            TxParams::new(10.0, 4.0, 3.0),
+            TxParams::new(20.0, 1.0, 8.0),
+            TxParams::new(5.0, 0.0, 0.0),
+        ];
+        let n = 16;
+        for q in 2..=n {
+            let direct = makespan_rac(&txs, q, n) - makespan_tm(&txs, n);
+            let closed = makespan_gap(&txs, q, n);
+            assert!(
+                (direct - closed).abs() < 1e-9,
+                "q={q}: direct {direct} vs closed {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn observation1a_high_delta_means_rac_wins() {
+        // delta > 1: huge abort work relative to useful work.
+        let txs = uniform(8, 1.0, 10.0, 100.0);
+        let n = 16;
+        assert!(delta_ratio(&txs, n) > 1.0);
+        for q in 2..n {
+            assert!(
+                makespan_gap(&txs, q, n) < 0.0,
+                "RAC with q={q} should beat TM"
+            );
+        }
+    }
+
+    #[test]
+    fn observation1b_low_delta_means_tm_wins() {
+        let txs = uniform(8, 100.0, 0.5, 2.0);
+        let n = 16;
+        assert!(delta_ratio(&txs, n) <= 1.0);
+        for q in 2..n {
+            assert!(makespan_gap(&txs, q, n) >= 0.0);
+        }
+        // And at q = n the gap closes exactly.
+        assert!(makespan_gap(&txs, n, n).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advice_matches_delta() {
+        assert_eq!(observation1(Some(2.0)), QuotaAdvice::Decrease);
+        assert_eq!(observation1(Some(0.5)), QuotaAdvice::Increase);
+        assert_eq!(observation1(Some(1.0)), QuotaAdvice::Hold);
+        assert_eq!(observation1(None), QuotaAdvice::Hold);
+    }
+
+    #[test]
+    fn eq5_matches_definition() {
+        assert_eq!(delta_measured(300, 100, 4), Some(1.0));
+        assert_eq!(delta_measured(300, 100, 1), None);
+        assert_eq!(delta_measured(300, 0, 4), None);
+    }
+
+    #[test]
+    fn optimal_quota_degenerates_sensibly() {
+        let n = 16;
+        // Contention-free: optimum is N.
+        let free = uniform(16, 10.0, 0.0, 0.0);
+        assert_eq!(optimal_quota(&free, n).0, n);
+        // Pathological contention: optimum is 1.
+        let hot = uniform(16, 1.0, 50.0, 50.0);
+        assert_eq!(optimal_quota(&hot, n).0, 1);
+    }
+
+    #[test]
+    fn eq7_decomposition_is_exact() {
+        // makespan_rac(S1 ∪ S2, q) = makespan_rac(S1, q) + makespan_rac(S2, q)
+        let s1 = uniform(5, 3.0, 6.0, 9.0);
+        let s2 = uniform(9, 17.0, 0.2, 1.0);
+        let mut all = s1.clone();
+        all.extend_from_slice(&s2);
+        let n = 16;
+        for q in 2..=n {
+            let lhs = makespan_rac(&all, q, n);
+            let rhs = makespan_rac(&s1, q, n) + makespan_rac(&s2, q, n);
+            assert!((lhs - rhs).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn observation2_multi_view_never_worse() {
+        let n = 16;
+        // View 1: high contention (delta1 > 1); view 2: low contention.
+        let s1 = uniform(8, 1.0, 20.0, 50.0);
+        let s2 = uniform(8, 50.0, 0.1, 1.0);
+        assert!(delta_ratio(&s1, n) > 1.0);
+        assert!(delta_ratio(&s2, n) <= 1.0);
+        let (q1_opt, _) = optimal_quota(&s1, n);
+        for q in q1_opt.max(2)..=n {
+            let (multi, single) = observation2_pair(&s1, q1_opt, &s2, n, q, n);
+            assert!(
+                multi <= single + 1e-9,
+                "q={q}: multi {multi} > single {single}"
+            );
+        }
+    }
+}

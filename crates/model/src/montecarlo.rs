@@ -1,0 +1,99 @@
+//! Monte-Carlo validation of the binomial abort model.
+//!
+//! The paper derives `E[time(Tᵢ)] = (Q−1)/(N−1)·cᵢdᵢ + tᵢ` by arguing that
+//! each of the `cᵢ` potential conflicts materialises independently with
+//! probability `(Q−1)/(N−1)` (the chance the conflicting transaction is
+//! co-scheduled under quota `Q`). This module samples that process directly
+//! — draw `k ~ Binomial(cᵢ, (Q−1)/(N−1))`, pay `k·dᵢ + tᵢ` — and checks the
+//! closed forms against the empirical mean. It is the model-level mirror of
+//! what the full simulator does at the STM-protocol level.
+
+use votm_utils::XorShift64;
+
+use crate::{makespan_rac, scale, TxParams};
+
+/// One sampled execution of a transaction set under RAC.
+///
+/// `c` is rounded to an integer trial count (the model treats `cᵢ` as an
+/// expected value; we require integral `cᵢ` here so the binomial is exact).
+pub fn sample_makespan(txs: &[TxParams], q: u32, n: u32, rng: &mut XorShift64) -> f64 {
+    assert!(n >= 2 && (1..=n).contains(&q));
+    let p = scale(q, n);
+    let total: f64 = txs
+        .iter()
+        .map(|tx| {
+            let trials = tx.c.round() as u64;
+            let mut k = 0u64;
+            for _ in 0..trials {
+                // Bernoulli(p) via 53-bit uniform.
+                let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                if u < p {
+                    k += 1;
+                }
+            }
+            k as f64 * tx.d + tx.t
+        })
+        .sum();
+    total / f64::from(q)
+}
+
+/// Empirical mean makespan over `runs` samples.
+pub fn mean_makespan(txs: &[TxParams], q: u32, n: u32, runs: u32, seed: u64) -> f64 {
+    let mut rng = XorShift64::new(seed);
+    let mut acc = 0.0;
+    for _ in 0..runs {
+        acc += sample_makespan(txs, q, n, &mut rng);
+    }
+    acc / f64::from(runs)
+}
+
+/// Relative error of the closed-form Eq. 2 against the empirical mean.
+pub fn closed_form_relative_error(txs: &[TxParams], q: u32, n: u32, runs: u32, seed: u64) -> f64 {
+    let analytic = makespan_rac(txs, q, n);
+    let empirical = mean_makespan(txs, q, n, runs, seed);
+    ((analytic - empirical) / analytic.max(f64::MIN_POSITIVE)).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_set() -> Vec<TxParams> {
+        vec![
+            TxParams::new(10.0, 4.0, 3.0),
+            TxParams::new(25.0, 2.0, 10.0),
+            TxParams::new(5.0, 8.0, 2.0),
+            TxParams::new(40.0, 0.0, 0.0),
+        ]
+    }
+
+    #[test]
+    fn closed_form_matches_sampling_within_one_percent() {
+        let txs = mixed_set();
+        for q in [2u32, 4, 8, 16] {
+            let err = closed_form_relative_error(&txs, q, 16, 20_000, 7);
+            assert!(err < 0.01, "q={q}: relative error {err}");
+        }
+    }
+
+    #[test]
+    fn q_equals_one_is_deterministic_serial() {
+        let txs = mixed_set();
+        let mut rng = XorShift64::new(1);
+        let m = sample_makespan(&txs, 1, 16, &mut rng);
+        assert_eq!(m, 80.0, "no aborts, sum of t_i");
+    }
+
+    #[test]
+    fn sampled_aborts_grow_with_quota() {
+        let txs = vec![TxParams::new(1.0, 20.0, 5.0); 8];
+        let low = mean_makespan(&txs, 2, 16, 5_000, 3);
+        let high = mean_makespan(&txs, 16, 16, 5_000, 3);
+        // More admitted threads => more materialised conflicts per tx; with
+        // c·d >> t the per-thread waste dominates the added parallelism.
+        assert!(
+            high > low,
+            "expected contention collapse: Q=16 {high} vs Q=2 {low}"
+        );
+    }
+}

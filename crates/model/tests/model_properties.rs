@@ -1,0 +1,186 @@
+//! Property-based tests of the RAC model: the paper's algebra must hold for
+//! *all* transaction sets, not just the worked examples.
+
+use proptest::prelude::*;
+use votm_model::*;
+
+fn tx_strategy() -> impl Strategy<Value = TxParams> {
+    (0.1f64..1000.0, 0.0f64..50.0, 0.0f64..100.0)
+        .prop_map(|(t, c, d)| TxParams::new(t, c, d))
+}
+
+fn set_strategy() -> impl Strategy<Value = Vec<TxParams>> {
+    proptest::collection::vec(tx_strategy(), 1..40)
+}
+
+/// Rescales abort durations so the set has δ > 1 at `n` threads (random
+/// sets almost never do for large N, so construct rather than filter).
+fn make_hot(mut txs: Vec<TxParams>, n: u32) -> Vec<TxParams> {
+    if total_abort_work(&txs) <= 0.0 {
+        txs.push(TxParams::new(1.0, 5.0, 5.0));
+    }
+    let target = total_useful_work(&txs) * f64::from(n - 1) * 1.5;
+    let factor = target / total_abort_work(&txs);
+    for tx in &mut txs {
+        tx.d *= factor.max(1e-12);
+    }
+    txs
+}
+
+/// Rescales abort durations so the set has δ ≤ 1 at `n` threads.
+fn make_cold(mut txs: Vec<TxParams>, n: u32) -> Vec<TxParams> {
+    let a = total_abort_work(&txs);
+    if a <= 0.0 {
+        return txs;
+    }
+    let target = total_useful_work(&txs) * f64::from(n - 1) * 0.5;
+    let factor = (target / a).min(1.0);
+    for tx in &mut txs {
+        tx.d *= factor;
+    }
+    txs
+}
+
+proptest! {
+    /// Eq. 3's closed form equals the direct difference of Eq. 2 − Eq. 1.
+    #[test]
+    fn eq3_closed_form_is_exact(txs in set_strategy(), n in 2u32..64, qsel in 0u32..64) {
+        let q = 1 + qsel % n;
+        let direct = makespan_rac(&txs, q, n) - makespan_tm(&txs, n);
+        let closed = makespan_gap(&txs, q, n);
+        let tol = 1e-9 * (1.0 + direct.abs().max(closed.abs()));
+        prop_assert!((direct - closed).abs() <= tol);
+    }
+
+    /// Observation 1(a): δ > 1 ⇒ RAC (any Q < N) strictly beats TM.
+    #[test]
+    fn obs1a_sign(txs in set_strategy(), n in 2u32..64, qsel in 0u32..64) {
+        let q = 1 + qsel % (n - 1); // q in [1, n-1]
+        let txs = make_hot(txs, n);
+        prop_assert!(delta_ratio(&txs, n) > 1.0);
+        prop_assert!(makespan_gap(&txs, q, n) < 0.0);
+    }
+
+    /// Observation 1(b): δ ≤ 1 ⇒ restricting admission cannot help.
+    #[test]
+    fn obs1b_sign(txs in set_strategy(), n in 2u32..64, qsel in 0u32..64) {
+        let q = 1 + qsel % n;
+        prop_assume!(delta_ratio(&txs, n) <= 1.0);
+        prop_assert!(makespan_gap(&txs, q, n) >= -1e-9);
+    }
+
+    /// Δ vanishes at Q = N: RAC with full quota *is* conventional TM.
+    #[test]
+    fn gap_zero_at_full_quota(txs in set_strategy(), n in 2u32..64) {
+        let gap = makespan_gap(&txs, n, n);
+        prop_assert!(gap.abs() <= 1e-9 * (1.0 + makespan_tm(&txs, n)));
+    }
+
+    /// Eq. 7: per-view decomposition of the single-view makespan is exact
+    /// for any partition of the transaction set.
+    #[test]
+    fn eq7_partition_decomposition(
+        s1 in set_strategy(),
+        s2 in set_strategy(),
+        n in 2u32..64,
+        qsel in 0u32..64,
+    ) {
+        let q = 1 + qsel % n;
+        let mut all = s1.clone();
+        all.extend_from_slice(&s2);
+        let lhs = makespan_rac(&all, q, n);
+        let rhs = makespan_rac(&s1, q, n) + makespan_rac(&s2, q, n);
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    /// Observation 2 (Eq. 13): with δ₁ > 1, δ₂ ≤ 1 and Q₁ ≤ Q ≤ Q₂,
+    /// independent per-view quotas are never worse than one shared quota.
+    #[test]
+    fn obs2_multi_view_dominates(
+        s1 in set_strategy(),
+        s2 in set_strategy(),
+        n in 2u32..32,
+        a in 0u32..32,
+        b in 0u32..32,
+        c in 0u32..32,
+    ) {
+        let s1 = make_hot(s1, n);
+        let s2 = make_cold(s2, n);
+        prop_assert!(delta_ratio(&s1, n) > 1.0);
+        prop_assert!(delta_ratio(&s2, n) <= 1.0 + 1e-9);
+        // Draw q1 <= q <= q2 from [1, n].
+        let mut qs = [1 + a % n, 1 + b % n, 1 + c % n];
+        qs.sort_unstable();
+        let (q1, q, q2) = (qs[0], qs[1], qs[2]);
+        let (multi, single) = observation2_pair(&s1, q1, &s2, q2, q, n);
+        prop_assert!(
+            multi <= single + 1e-9 * (1.0 + single.abs()),
+            "multi {multi} > single {single} (q1={q1}, q={q}, q2={q2}, n={n})"
+        );
+    }
+
+    /// Monotonicity behind Observation 1: when δ > 1 the makespan is
+    /// increasing in Q (so decreasing Q always helps), and when δ < 1 it is
+    /// decreasing in Q.
+    #[test]
+    fn makespan_monotone_in_quota(txs in set_strategy(), n in 3u32..32) {
+        let d = delta_ratio(&txs, n);
+        prop_assume!((d - 1.0).abs() > 1e-6);
+        for q in 2..n {
+            let m_lo = makespan_rac(&txs, q, n);
+            let m_hi = makespan_rac(&txs, q + 1, n);
+            if d > 1.0 {
+                prop_assert!(m_hi >= m_lo - 1e-9, "δ>1 but makespan fell: Q={q}");
+            } else {
+                prop_assert!(m_hi <= m_lo + 1e-9, "δ<1 but makespan rose: Q={q}");
+            }
+        }
+    }
+
+    /// The Monte-Carlo sampler agrees with Eq. 2 (integral abort counts so
+    /// the binomial is exact; loose 5% tolerance for 4k samples).
+    #[test]
+    fn monte_carlo_agrees_with_closed_form(
+        seed in 1u64..10_000,
+        n in 2u32..17,
+        qsel in 0u32..16,
+        raw in proptest::collection::vec((1.0f64..50.0, 0u32..10, 0.5f64..20.0), 1..8),
+    ) {
+        let q = 1 + qsel % n;
+        let txs: Vec<TxParams> = raw
+            .into_iter()
+            .map(|(t, c, d)| TxParams::new(t, f64::from(c), d))
+            .collect();
+        let analytic = makespan_rac(&txs, q, n);
+        let empirical = votm_model::montecarlo::mean_makespan(&txs, q, n, 4_000, seed);
+        let err = (analytic - empirical).abs() / analytic.max(1e-9);
+        prop_assert!(err < 0.05, "relative error {err} (analytic {analytic}, mc {empirical})");
+    }
+}
+
+#[test]
+fn observation1_monotonicity_implies_convergence_of_halving() {
+    // The paper's halve/double rule terminates: starting from any Q and
+    // repeatedly applying Observation 1 with the model's makespans reaches a
+    // fixed point within log2(N) steps for a set whose delta doesn't
+    // straddle 1.
+    let hot: Vec<TxParams> = vec![TxParams::new(1.0, 30.0, 30.0); 8];
+    let n = 16;
+    let mut q = n;
+    for _ in 0..8 {
+        let d = if q > 1 {
+            // model-level delta(Q): abort work scaled to Q vs useful work.
+            let aborted = total_abort_work(&hot) * scale(q, n);
+            let useful = total_useful_work(&hot);
+            aborted / (useful * f64::from(q - 1))
+        } else {
+            0.0
+        };
+        match observation1(if q > 1 { Some(d) } else { None }) {
+            QuotaAdvice::Decrease => q = (q / 2).max(1),
+            QuotaAdvice::Increase => break,
+            QuotaAdvice::Hold => break,
+        }
+    }
+    assert_eq!(q, 1, "hot set should drive the quota to lock mode");
+}

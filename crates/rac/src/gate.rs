@@ -1,0 +1,283 @@
+//! The admission gate: RAC's quota semaphore.
+//!
+//! Semantics from paper §II:
+//!
+//! 1. `acquire`: if `P < Q`, increment `P` and enter; otherwise block until
+//!    `P < Q`.
+//! 2. `release`: decrement `P`, wake a blocked thread.
+//!
+//! With `Q = 1` the gate degenerates to a lock, and the holder is admitted
+//! in [`AdmissionMode::Exclusive`] so it may bypass transactional
+//! instrumentation. Quota changes take effect for *new* admissions only;
+//! safety across a change follows from two rules:
+//!
+//! * an Exclusive entrant is admitted only when the view is empty
+//!   (`P == 0`), and
+//! * a Transactional entrant is never admitted while an Exclusive holder is
+//!   inside.
+//!
+//! So instrumented and uninstrumented access can never overlap, no matter
+//! when the controller moves `Q`.
+
+use parking_lot::Mutex;
+use votm_sim::{Notify, Rt};
+
+/// How a thread was admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionMode {
+    /// Sole occupant (quota was 1 at admission); may use uninstrumented
+    /// lock-mode access.
+    Exclusive,
+    /// One of up to `Q` occupants; must use transactional access.
+    Transactional,
+}
+
+#[derive(Debug)]
+struct GateState {
+    quota: u32,
+    inside: u32,
+    exclusive_inside: bool,
+}
+
+/// Quota semaphore with exclusive (lock-mode) admission at `Q = 1`.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    state: Mutex<GateState>,
+    notify: Notify,
+    max_threads: u32,
+}
+
+impl AdmissionGate {
+    /// Creates a gate with an initial quota (clamped to `[1, max_threads]`).
+    pub fn new(initial_quota: u32, max_threads: u32) -> Self {
+        assert!(max_threads >= 1);
+        Self {
+            state: Mutex::new(GateState {
+                quota: initial_quota.clamp(1, max_threads),
+                inside: 0,
+                exclusive_inside: false,
+            }),
+            notify: Notify::new(),
+            max_threads,
+        }
+    }
+
+    /// Current quota `Q`.
+    pub fn quota(&self) -> u32 {
+        self.state.lock().quota
+    }
+
+    /// Threads currently inside (`P`).
+    pub fn inside(&self) -> u32 {
+        self.state.lock().inside
+    }
+
+    /// The `N` this gate was configured with.
+    pub fn max_threads(&self) -> u32 {
+        self.max_threads
+    }
+
+    /// Sets the quota (clamped to `[1, max_threads]`) and wakes waiters so
+    /// an increase admits them promptly.
+    pub fn set_quota(&self, quota: u32) {
+        {
+            let mut st = self.state.lock();
+            st.quota = quota.clamp(1, self.max_threads);
+        }
+        self.notify.notify_all();
+    }
+
+    /// One non-blocking admission attempt; `None` means the caller must
+    /// wait.
+    fn try_acquire(&self) -> Option<AdmissionMode> {
+        let mut st = self.state.lock();
+        if st.quota <= 1 {
+            if st.inside == 0 {
+                st.inside = 1;
+                st.exclusive_inside = true;
+                return Some(AdmissionMode::Exclusive);
+            }
+        } else if !st.exclusive_inside && st.inside < st.quota {
+            st.inside += 1;
+            return Some(AdmissionMode::Transactional);
+        }
+        None
+    }
+
+    /// Acquires admission, suspending (simulated or real) while the view is
+    /// full. This is `acquire_view`'s blocking step.
+    pub async fn acquire(&self, rt: &Rt) -> AdmissionMode {
+        loop {
+            let epoch = self.notify.epoch();
+            if let Some(mode) = self.try_acquire() {
+                return mode;
+            }
+            rt.wait(&self.notify, epoch).await;
+        }
+    }
+
+    /// Releases one admission (`release_view`'s final step).
+    pub fn release(&self, mode: AdmissionMode) {
+        {
+            let mut st = self.state.lock();
+            debug_assert!(st.inside > 0, "release without acquire");
+            st.inside -= 1;
+            if mode == AdmissionMode::Exclusive {
+                debug_assert!(st.exclusive_inside);
+                st.exclusive_inside = false;
+            }
+        }
+        self.notify.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    use votm_sim::{RunStatus, SimConfig, SimExecutor};
+
+    #[test]
+    fn try_acquire_respects_quota() {
+        let g = AdmissionGate::new(2, 16);
+        let a = g.try_acquire().unwrap();
+        let b = g.try_acquire().unwrap();
+        assert_eq!(a, AdmissionMode::Transactional);
+        assert_eq!(b, AdmissionMode::Transactional);
+        assert!(g.try_acquire().is_none(), "third entrant must wait");
+        g.release(a);
+        assert!(g.try_acquire().is_some());
+        let _ = b;
+    }
+
+    #[test]
+    fn quota_one_is_exclusive() {
+        let g = AdmissionGate::new(1, 16);
+        let a = g.try_acquire().unwrap();
+        assert_eq!(a, AdmissionMode::Exclusive);
+        assert!(g.try_acquire().is_none());
+        g.release(a);
+        assert_eq!(g.inside(), 0);
+    }
+
+    #[test]
+    fn exclusive_waits_for_view_to_drain_after_quota_drop() {
+        let g = AdmissionGate::new(4, 16);
+        let a = g.try_acquire().unwrap();
+        let b = g.try_acquire().unwrap();
+        g.set_quota(1);
+        assert!(
+            g.try_acquire().is_none(),
+            "exclusive admission requires an empty view"
+        );
+        g.release(a);
+        assert!(g.try_acquire().is_none(), "still one transactional holder");
+        g.release(b);
+        assert_eq!(g.try_acquire().unwrap(), AdmissionMode::Exclusive);
+    }
+
+    #[test]
+    fn transactional_blocked_while_exclusive_inside_after_quota_raise() {
+        let g = AdmissionGate::new(1, 16);
+        let excl = g.try_acquire().unwrap();
+        g.set_quota(8);
+        assert!(
+            g.try_acquire().is_none(),
+            "lock-mode holder must not overlap transactional entrants"
+        );
+        g.release(excl);
+        assert_eq!(g.try_acquire().unwrap(), AdmissionMode::Transactional);
+    }
+
+    #[test]
+    fn quota_clamps_to_bounds() {
+        let g = AdmissionGate::new(99, 16);
+        assert_eq!(g.quota(), 16);
+        g.set_quota(0);
+        assert_eq!(g.quota(), 1);
+        g.set_quota(7);
+        assert_eq!(g.quota(), 7);
+    }
+
+    #[test]
+    fn sim_concurrent_occupancy_never_exceeds_quota() {
+        // 16 simulated threads hammering a Q=4 gate; instantaneous occupancy
+        // is tracked with an atomic high-water mark.
+        let gate = Arc::new(AdmissionGate::new(4, 16));
+        let peak = Arc::new(AtomicU32::new(0));
+        let inside = Arc::new(AtomicU32::new(0));
+        let mut ex = SimExecutor::new(SimConfig::default());
+        for _ in 0..16 {
+            let gate = Arc::clone(&gate);
+            let peak = Arc::clone(&peak);
+            let inside = Arc::clone(&inside);
+            ex.spawn(move |rt| async move {
+                for _ in 0..20 {
+                    let mode = gate.acquire(&rt).await;
+                    let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    rt.charge(50).await; // dwell inside the view
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                    gate.release(mode);
+                    rt.charge(10).await; // outside work
+                }
+            });
+        }
+        let out = ex.run();
+        assert_eq!(out.status, RunStatus::Completed);
+        assert_eq!(inside.load(Ordering::SeqCst), 0);
+        let p = peak.load(Ordering::SeqCst);
+        assert!(p <= 4, "occupancy {p} exceeded quota 4");
+        assert!(p >= 3, "gate should actually admit concurrency (peak {p})");
+    }
+
+    #[test]
+    fn sim_quota_one_serialises_completely() {
+        let gate = Arc::new(AdmissionGate::new(1, 8));
+        let overlap = Arc::new(AtomicU32::new(0));
+        let mut ex = SimExecutor::new(SimConfig::default());
+        for _ in 0..8 {
+            let gate = Arc::clone(&gate);
+            let overlap = Arc::clone(&overlap);
+            ex.spawn(move |rt| async move {
+                for _ in 0..10 {
+                    let mode = gate.acquire(&rt).await;
+                    assert_eq!(mode, AdmissionMode::Exclusive);
+                    assert_eq!(overlap.fetch_add(1, Ordering::SeqCst), 0);
+                    rt.charge(30).await;
+                    overlap.fetch_sub(1, Ordering::SeqCst);
+                    gate.release(mode);
+                }
+            });
+        }
+        assert_eq!(ex.run().status, RunStatus::Completed);
+    }
+
+    #[test]
+    fn real_threads_respect_quota() {
+        let gate = Arc::new(AdmissionGate::new(3, 8));
+        let peak = Arc::new(AtomicU32::new(0));
+        let inside = Arc::new(AtomicU32::new(0));
+        let gate2 = Arc::clone(&gate);
+        let peak2 = Arc::clone(&peak);
+        let inside2 = Arc::clone(&inside);
+        votm_sim::run_parallel(8, move |_, rt| {
+            let gate = Arc::clone(&gate2);
+            let peak = Arc::clone(&peak2);
+            let inside = Arc::clone(&inside2);
+            async move {
+                for _ in 0..50 {
+                    let mode = gate.acquire(&rt).await;
+                    let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    rt.work(200).await;
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                    gate.release(mode);
+                }
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+        assert_eq!(inside.load(Ordering::SeqCst), 0);
+    }
+}

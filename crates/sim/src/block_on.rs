@@ -1,0 +1,83 @@
+//! A minimal park/unpark `block_on` so real-thread mode needs no async
+//! runtime dependency.
+
+use std::future::Future;
+use std::pin::pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+
+struct ThreadWaker {
+    thread: Thread,
+    notified: AtomicBool,
+}
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        // Release pairs with the Acquire swap in the park loop, so everything
+        // the waking thread did happens-before the parked thread resumes.
+        if !self.notified.swap(true, Ordering::Release) {
+            self.thread.unpark();
+        }
+    }
+}
+
+/// Drives `fut` to completion on the current thread, parking between polls.
+///
+/// Futures produced by this workspace only return `Pending` after arranging
+/// a wake (a [`crate::Notify`] registration), so this loop never spins.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let mut fut = pin!(fut);
+    let parker = Arc::new(ThreadWaker {
+        thread: std::thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(Arc::clone(&parker));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => {
+                while !parker.notified.swap(false, Ordering::Acquire) {
+                    std::thread::park();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ready_future_returns_value() {
+        assert_eq!(block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn pending_then_woken_future_completes() {
+        struct YieldOnce(bool);
+        impl Future for YieldOnce {
+            type Output = u32;
+            fn poll(
+                mut self: std::pin::Pin<&mut Self>,
+                cx: &mut Context<'_>,
+            ) -> Poll<u32> {
+                if self.0 {
+                    Poll::Ready(7)
+                } else {
+                    self.0 = true;
+                    cx.waker().wake_by_ref();
+                    Poll::Pending
+                }
+            }
+        }
+        assert_eq!(block_on(YieldOnce(false)), 7);
+    }
+}

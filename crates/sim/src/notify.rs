@@ -1,0 +1,147 @@
+//! Lost-wakeup-free event notification usable under both executors.
+//!
+//! The admission gate (RAC) parks logical threads until another thread
+//! releases a view. The classic lost-wakeup race — check condition, decide
+//! to sleep, wake arrives, *then* sleep — is avoided with an epoch counter:
+//!
+//! ```
+//! # use votm_sim::Notify;
+//! # let notify = Notify::new();
+//! # fn try_acquire() -> bool { true }
+//! # async {
+//! loop {
+//!     let epoch = notify.epoch();       // 1. snapshot
+//!     if try_acquire() { break }        // 2. test condition
+//!     notify.wait_from(epoch).await;    // 3. sleeps only if no notify_all
+//!                                       //    happened since the snapshot
+//! }
+//! # };
+//! ```
+//!
+//! Any `notify_all` between (1) and (3) bumps the epoch, so the wait returns
+//! immediately and the loop re-tests the condition.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll, Waker};
+
+use parking_lot::Mutex;
+
+#[derive(Debug)]
+struct Inner {
+    epoch: u64,
+    waiters: Vec<Waker>,
+}
+
+/// Epoch-counting wait/wake event. See module docs for the usage pattern.
+#[derive(Debug)]
+pub struct Notify {
+    inner: Mutex<Inner>,
+}
+
+impl Notify {
+    /// New event at epoch 0.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                epoch: 0,
+                waiters: Vec::new(),
+            }),
+        }
+    }
+
+    /// Current epoch; snapshot this *before* testing the guarded condition.
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// Bumps the epoch and wakes every waiter.
+    pub fn notify_all(&self) {
+        let waiters = {
+            let mut inner = self.inner.lock();
+            inner.epoch += 1;
+            std::mem::take(&mut inner.waiters)
+        };
+        // Wake outside the lock: a sim waker immediately locks the executor,
+        // and the executor may call back into this Notify.
+        for w in waiters {
+            w.wake();
+        }
+    }
+
+    /// Future resolving once the epoch differs from `from_epoch`.
+    pub fn wait_from(&self, from_epoch: u64) -> WaitFut<'_> {
+        WaitFut {
+            notify: self,
+            from_epoch,
+        }
+    }
+}
+
+impl Default for Notify {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Future returned by [`Notify::wait_from`].
+pub struct WaitFut<'a> {
+    notify: &'a Notify,
+    from_epoch: u64,
+}
+
+impl Future for WaitFut<'_> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut inner = self.notify.inner.lock();
+        if inner.epoch != self.from_epoch {
+            return Poll::Ready(());
+        }
+        // Register (or refresh) our waker. Re-polls can occur with a new
+        // waker; keeping a stale one is harmless but wasteful, so dedup by
+        // will_wake.
+        if !inner.waiters.iter().any(|w| w.will_wake(cx.waker())) {
+            inner.waiters.push(cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_on;
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_returns_immediately_if_epoch_advanced() {
+        let n = Notify::new();
+        let e = n.epoch();
+        n.notify_all();
+        block_on(n.wait_from(e)); // must not hang
+    }
+
+    #[test]
+    fn epoch_increments_per_notify() {
+        let n = Notify::new();
+        assert_eq!(n.epoch(), 0);
+        n.notify_all();
+        n.notify_all();
+        assert_eq!(n.epoch(), 2);
+    }
+
+    #[test]
+    fn real_thread_wait_and_wake() {
+        let n = Arc::new(Notify::new());
+        let n2 = Arc::clone(&n);
+        let waiter = std::thread::spawn(move || {
+            let e = n2.epoch();
+            block_on(n2.wait_from(e));
+            true
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        n.notify_all();
+        assert!(waiter.join().unwrap());
+    }
+}

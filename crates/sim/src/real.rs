@@ -1,0 +1,108 @@
+//! Real-OS-thread execution of the same task futures the simulator runs.
+//!
+//! Used by tests (and available to users on real multicore hosts) to check
+//! that the STM's atomics are correct under genuine preemption. On this
+//! reproduction's single-core host it cannot exhibit the paper's contention
+//! shapes — that is the simulator's job — but it does validate safety.
+
+use std::time::{Duration, Instant};
+
+use votm_utils::rdtsc;
+
+/// Per-task handle embedded in [`crate::Rt::Real`].
+#[derive(Clone)]
+pub struct RealHandle {
+    index: usize,
+}
+
+impl RealHandle {
+    /// Hardware timestamp counter.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        rdtsc()
+    }
+
+    /// Logical thread index (== spawn order).
+    pub fn thread_index(&self) -> usize {
+        self.index
+    }
+}
+
+/// Spawns `n` OS threads, runs `f(i, rt)`'s future on each via
+/// [`crate::block_on`], joins them all, and returns the wall-clock elapsed
+/// time of the slowest.
+///
+/// Panics in a task propagate to the caller.
+pub fn run_parallel<F, Fut>(n: usize, f: F) -> Duration
+where
+    F: Fn(usize, crate::Rt) -> Fut + Send + Sync,
+    Fut: std::future::Future<Output = ()>,
+{
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                // Build the future *on* its worker thread: only `f` crosses
+                // the thread boundary, so task futures need not be `Send` —
+                // matching the simulator and keeping `AsyncFnMut` bodies
+                // free of higher-ranked auto-trait headaches.
+                scope.spawn(move || crate::block_on(f(i, crate::Rt::Real(RealHandle { index: i }))))
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker thread panicked");
+        }
+    });
+    start.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn all_threads_run_with_distinct_indices() {
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        run_parallel(8, move |i, rt| {
+            let seen = Arc::clone(&seen2);
+            async move {
+                assert_eq!(rt.thread_index(), i);
+                assert!(!rt.is_virtual());
+                rt.work(100).await; // real spin
+                seen.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn charge_is_noop_in_real_mode() {
+        run_parallel(1, |_, rt| async move {
+            let t0 = Instant::now();
+            rt.charge(10_000_000).await; // must not actually spin 10M cycles
+            assert!(t0.elapsed() < Duration::from_millis(100));
+        });
+    }
+
+    #[test]
+    fn notify_wakes_parked_real_thread() {
+        let notify = Arc::new(crate::Notify::new());
+        let n2 = Arc::clone(&notify);
+        run_parallel(2, move |i, rt| {
+            let notify = Arc::clone(&n2);
+            async move {
+                if i == 0 {
+                    let e = notify.epoch();
+                    rt.wait(&notify, e).await;
+                } else {
+                    rt.work(10_000).await;
+                    notify.notify_all();
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,535 @@
+//! The deterministic virtual-time executor.
+//!
+//! A binary heap orders pending task activations by `(virtual time,
+//! random tie-break, sequence number)`. Each activation polls one task
+//! future; the future runs synchronously until its next suspension point
+//! (a [`crate::Rt::charge`], [`crate::Rt::work`] or [`crate::Notify`] wait),
+//! so shared-memory operations from different logical threads interleave at
+//! exactly those points, in virtual-time order, with a deterministic but
+//! seeded-random resolution of ties.
+//!
+//! Livelock is a first-class outcome: the paper's OrecEagerRedo experiments
+//! livelock at high quota, so runs carry a virtual-time cap and report
+//! [`RunStatus::Livelock`] when they exceed it.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+use votm_utils::XorShift64;
+
+/// Configuration for one simulator run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed for scheduling tie-breaks (and nothing else — workloads seed
+    /// their own RNGs).
+    pub seed: u64,
+    /// Virtual-cycle cap; exceeding it ends the run with
+    /// [`RunStatus::Livelock`]. `None` disables the watchdog.
+    pub vtime_cap: Option<u64>,
+    /// Hard cap on task activations, a backstop against scheduling bugs.
+    pub max_steps: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            vtime_cap: None,
+            max_steps: u64::MAX,
+        }
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Every task ran to completion.
+    Completed,
+    /// Virtual time exceeded [`SimConfig::vtime_cap`] with tasks still live —
+    /// the simulator's definition of livelock (no forward progress within
+    /// the time budget).
+    Livelock,
+    /// All live tasks are blocked on [`crate::Notify`] events and nothing can
+    /// wake them.
+    Deadlock,
+    /// [`SimConfig::max_steps`] activations were executed.
+    StepBudgetExhausted,
+}
+
+/// Result of [`SimExecutor::run`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunOutcome {
+    /// Why the run ended.
+    pub status: RunStatus,
+    /// Final virtual time — the makespan when `status == Completed`.
+    pub vtime: u64,
+    /// Tasks still live at the end (0 on completion).
+    pub tasks_remaining: usize,
+    /// Task activations executed.
+    pub steps: u64,
+}
+
+/// Task futures need not be `Send`: the simulator is single-threaded, and
+/// keeping the bound off lets workload bodies use `AsyncFnMut` closures
+/// without tripping the compiler's higher-ranked auto-trait limitations.
+type TaskFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    /// Has an entry in the run queue.
+    Scheduled,
+    /// Currently being polled by the executor.
+    Running,
+    /// Parked, waiting for a `Notify` wake.
+    Waiting,
+    /// Finished.
+    Done,
+}
+
+struct TaskSlot {
+    state: TaskState,
+    /// A wake arrived while the task was being polled; reschedule it.
+    wake_pending: bool,
+}
+
+struct Inner {
+    queue: BinaryHeap<Reverse<(u64, u64, u64, usize)>>, // (vtime, tiebreak, seq, task)
+    tasks: Vec<TaskSlot>,
+    now: u64,
+    seq: u64,
+    rng: XorShift64,
+    live: usize,
+}
+
+impl Inner {
+    fn schedule(&mut self, task: usize, at: u64) {
+        let slot = &mut self.tasks[task];
+        match slot.state {
+            TaskState::Scheduled | TaskState::Done => return,
+            TaskState::Running => {
+                // Mid-poll; the executor decides after the poll returns.
+                slot.wake_pending = true;
+                return;
+            }
+            TaskState::Waiting => {}
+        }
+        slot.state = TaskState::Scheduled;
+        let tiebreak = self.rng.next_u64();
+        self.seq += 1;
+        self.queue.push(Reverse((at.max(self.now), tiebreak, self.seq, task)));
+    }
+
+    fn push_entry(&mut self, task: usize, at: u64) {
+        // Used for self-scheduling from `charge`: the task is Running and is
+        // about to return Pending with a queue entry already in place.
+        self.tasks[task].state = TaskState::Scheduled;
+        let tiebreak = self.rng.next_u64();
+        self.seq += 1;
+        self.queue.push(Reverse((at.max(self.now), tiebreak, self.seq, task)));
+    }
+}
+
+pub(crate) struct Shared {
+    inner: Mutex<Inner>,
+}
+
+impl Shared {
+    pub(crate) fn wake_task(&self, task: usize) {
+        let mut inner = self.inner.lock();
+        let at = inner.now;
+        inner.schedule(task, at);
+    }
+}
+
+struct SimWaker {
+    shared: Arc<Shared>,
+    task: usize,
+}
+
+impl Wake for SimWaker {
+    fn wake(self: Arc<Self>) {
+        self.shared.wake_task(self.task);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.shared.wake_task(self.task);
+    }
+}
+
+/// Per-task handle embedded in [`crate::Rt::Sim`].
+#[derive(Clone)]
+pub struct SimHandle {
+    shared: Arc<Shared>,
+    task: usize,
+}
+
+impl SimHandle {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.shared.inner.lock().now
+    }
+
+    /// Logical thread index (== spawn order).
+    pub fn thread_index(&self) -> usize {
+        self.task
+    }
+
+    /// Schedules this task to resume `cost` virtual cycles from now. Called
+    /// by [`crate::Step`]'s first poll; the accompanying `Pending` hands
+    /// control back to the executor.
+    pub(crate) fn schedule_self_after(&self, cost: u64) {
+        let mut inner = self.shared.inner.lock();
+        let at = inner.now.saturating_add(cost);
+        inner.push_entry(self.task, at);
+    }
+}
+
+/// Deterministic single-threaded discrete-event executor.
+///
+/// ```
+/// use votm_sim::{SimExecutor, SimConfig, Rt};
+///
+/// let mut ex = SimExecutor::new(SimConfig::default());
+/// for i in 0..4 {
+///     ex.spawn(move |rt: Rt| async move {
+///         rt.charge(10 * (i as u64 + 1)).await;
+///     });
+/// }
+/// let out = ex.run();
+/// assert_eq!(out.status, votm_sim::RunStatus::Completed);
+/// assert_eq!(out.vtime, 40); // makespan = slowest task
+/// ```
+pub struct SimExecutor {
+    shared: Arc<Shared>,
+    /// Futures live outside `shared` so wakers (which must be `Send+Sync`)
+    /// never touch them.
+    futures: Vec<Option<TaskFuture>>,
+    config: SimConfig,
+    spawned: usize,
+}
+
+impl SimExecutor {
+    /// Creates an executor with no tasks.
+    pub fn new(config: SimConfig) -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                inner: Mutex::new(Inner {
+                    queue: BinaryHeap::new(),
+                    tasks: Vec::new(),
+                    now: 0,
+                    seq: 0,
+                    rng: XorShift64::new(config.seed),
+                    live: 0,
+                }),
+            }),
+            futures: Vec::new(),
+            config,
+            spawned: 0,
+        }
+    }
+
+    /// Spawns a logical thread. `f` receives the task's [`crate::Rt`] handle
+    /// and returns its future. Tasks start at virtual time 0 in spawn order
+    /// (modulo the seeded tie-break).
+    pub fn spawn<F, Fut>(&mut self, f: F)
+    where
+        F: FnOnce(crate::Rt) -> Fut,
+        Fut: Future<Output = ()> + 'static,
+    {
+        let task = self.spawned;
+        self.spawned += 1;
+        let handle = SimHandle {
+            shared: Arc::clone(&self.shared),
+            task,
+        };
+        self.futures.push(Some(Box::pin(f(crate::Rt::Sim(handle)))));
+        let mut inner = self.shared.inner.lock();
+        inner.tasks.push(TaskSlot {
+            state: TaskState::Waiting, // schedule() below flips it
+            wake_pending: false,
+        });
+        inner.live += 1;
+        inner.schedule(task, 0);
+    }
+
+    /// Runs until completion, livelock, deadlock or step exhaustion.
+    pub fn run(&mut self) -> RunOutcome {
+        let mut steps: u64 = 0;
+        loop {
+            if steps >= self.config.max_steps {
+                let inner = self.shared.inner.lock();
+                return RunOutcome {
+                    status: RunStatus::StepBudgetExhausted,
+                    vtime: inner.now,
+                    tasks_remaining: inner.live,
+                    steps,
+                };
+            }
+
+            // Pop the next activation without holding the lock across the poll.
+            let task = {
+                let mut inner = self.shared.inner.lock();
+                let entry = loop {
+                    match inner.queue.pop() {
+                        Some(Reverse(e)) => {
+                            // Entries for finished tasks can linger if a wake
+                            // raced completion; skip them.
+                            if inner.tasks[e.3].state == TaskState::Scheduled {
+                                break Some(e);
+                            }
+                        }
+                        None => break None,
+                    }
+                };
+                let Some((vtime, _tie, _seq, task)) = entry else {
+                    let status = if inner.live == 0 {
+                        RunStatus::Completed
+                    } else {
+                        RunStatus::Deadlock
+                    };
+                    return RunOutcome {
+                        status,
+                        vtime: inner.now,
+                        tasks_remaining: inner.live,
+                        steps,
+                    };
+                };
+                if let Some(cap) = self.config.vtime_cap {
+                    if vtime > cap {
+                        return RunOutcome {
+                            status: RunStatus::Livelock,
+                            vtime: inner.now,
+                            tasks_remaining: inner.live,
+                            steps,
+                        };
+                    }
+                }
+                inner.now = inner.now.max(vtime);
+                let slot = &mut inner.tasks[task];
+                slot.state = TaskState::Running;
+                slot.wake_pending = false;
+                task
+            };
+
+            steps += 1;
+            let waker = Waker::from(Arc::new(SimWaker {
+                shared: Arc::clone(&self.shared),
+                task,
+            }));
+            let mut cx = Context::from_waker(&waker);
+            let mut fut = self.futures[task].take().expect("scheduled task has a future");
+            let poll = fut.as_mut().poll(&mut cx);
+
+            let mut inner = self.shared.inner.lock();
+            let slot = &mut inner.tasks[task];
+            match poll {
+                Poll::Ready(()) => {
+                    slot.state = TaskState::Done;
+                    inner.live -= 1;
+                }
+                Poll::Pending => {
+                    self.futures[task] = Some(fut);
+                    match slot.state {
+                        TaskState::Scheduled => {} // self-scheduled via charge()
+                        TaskState::Running => {
+                            if slot.wake_pending {
+                                slot.state = TaskState::Waiting;
+                                slot.wake_pending = false;
+                                let at = inner.now;
+                                inner.schedule(task, at);
+                            } else {
+                                slot.state = TaskState::Waiting;
+                            }
+                        }
+                        TaskState::Waiting | TaskState::Done => {
+                            unreachable!("invalid post-poll task state")
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Notify, Rt};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn empty_run_completes_at_time_zero() {
+        let mut ex = SimExecutor::new(SimConfig::default());
+        let out = ex.run();
+        assert_eq!(out.status, RunStatus::Completed);
+        assert_eq!(out.vtime, 0);
+        assert_eq!(out.steps, 0);
+    }
+
+    #[test]
+    fn makespan_is_max_of_task_times() {
+        let mut ex = SimExecutor::new(SimConfig::default());
+        for cost in [5u64, 50, 20] {
+            ex.spawn(move |rt: Rt| async move {
+                rt.charge(cost).await;
+            });
+        }
+        let out = ex.run();
+        assert_eq!(out.status, RunStatus::Completed);
+        assert_eq!(out.vtime, 50);
+    }
+
+    #[test]
+    fn charges_accumulate_sequentially() {
+        let total = Arc::new(AtomicU64::new(0));
+        let mut ex = SimExecutor::new(SimConfig::default());
+        let t = Arc::clone(&total);
+        ex.spawn(move |rt: Rt| async move {
+            for _ in 0..10 {
+                rt.charge(7).await;
+            }
+            t.store(rt.now(), Ordering::SeqCst);
+        });
+        let out = ex.run();
+        assert_eq!(out.status, RunStatus::Completed);
+        assert_eq!(total.load(Ordering::SeqCst), 70);
+        assert_eq!(out.vtime, 70);
+    }
+
+    #[test]
+    fn interleaving_is_by_virtual_time() {
+        // Task A steps every 10 cycles, task B every 25; the observed order
+        // of completions must follow virtual time, not spawn order.
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut ex = SimExecutor::new(SimConfig::default());
+        for (id, step) in [(0u32, 10u64), (1, 25)] {
+            let log = Arc::clone(&log);
+            ex.spawn(move |rt: Rt| async move {
+                for _ in 0..4 {
+                    rt.charge(step).await;
+                    log.lock().push((rt.now(), id));
+                }
+            });
+        }
+        ex.run();
+        let log = log.lock();
+        let times: Vec<u64> = log.iter().map(|&(t, _)| t).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "events out of virtual-time order: {log:?}");
+        assert_eq!(log[0], (10, 0));
+        assert_eq!(log[1], (20, 0));
+        assert_eq!(log[2], (25, 1));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        fn trace(seed: u64) -> Vec<(u64, usize)> {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let mut ex = SimExecutor::new(SimConfig {
+                seed,
+                ..Default::default()
+            });
+            for i in 0..4usize {
+                let log = Arc::clone(&log);
+                ex.spawn(move |rt: Rt| async move {
+                    for _ in 0..8 {
+                        rt.charge(10).await; // all ties — order set by seed
+                        log.lock().push((rt.now(), i));
+                    }
+                });
+            }
+            ex.run();
+            let v = log.lock().clone();
+            v
+        }
+        assert_eq!(trace(7), trace(7));
+        assert_ne!(trace(7), trace(8), "different seeds should break ties differently");
+    }
+
+    #[test]
+    fn livelock_watchdog_fires() {
+        let mut ex = SimExecutor::new(SimConfig {
+            vtime_cap: Some(1_000),
+            ..Default::default()
+        });
+        ex.spawn(|rt: Rt| async move {
+            loop {
+                rt.charge(100).await;
+            }
+        });
+        let out = ex.run();
+        assert_eq!(out.status, RunStatus::Livelock);
+        assert_eq!(out.tasks_remaining, 1);
+    }
+
+    #[test]
+    fn step_budget_backstop_fires() {
+        let mut ex = SimExecutor::new(SimConfig {
+            max_steps: 50,
+            ..Default::default()
+        });
+        ex.spawn(|rt: Rt| async move {
+            loop {
+                rt.charge(1).await;
+            }
+        });
+        let out = ex.run();
+        assert_eq!(out.status, RunStatus::StepBudgetExhausted);
+    }
+
+    #[test]
+    fn waiting_on_never_notified_event_is_deadlock() {
+        let notify = Arc::new(Notify::new());
+        let mut ex = SimExecutor::new(SimConfig::default());
+        let n = Arc::clone(&notify);
+        ex.spawn(move |rt: Rt| async move {
+            let epoch = n.epoch();
+            rt.wait(&n, epoch).await;
+        });
+        let out = ex.run();
+        assert_eq!(out.status, RunStatus::Deadlock);
+        assert_eq!(out.tasks_remaining, 1);
+    }
+
+    #[test]
+    fn notify_wakes_waiter_at_notifier_vtime() {
+        let notify = Arc::new(Notify::new());
+        let woke_at = Arc::new(AtomicU64::new(0));
+        let mut ex = SimExecutor::new(SimConfig::default());
+        {
+            let n = Arc::clone(&notify);
+            let woke_at = Arc::clone(&woke_at);
+            ex.spawn(move |rt: Rt| async move {
+                let epoch = n.epoch();
+                rt.wait(&n, epoch).await;
+                woke_at.store(rt.now(), Ordering::SeqCst);
+            });
+        }
+        {
+            let n = Arc::clone(&notify);
+            ex.spawn(move |rt: Rt| async move {
+                rt.charge(500).await;
+                n.notify_all();
+            });
+        }
+        let out = ex.run();
+        assert_eq!(out.status, RunStatus::Completed);
+        assert_eq!(woke_at.load(Ordering::SeqCst), 500);
+    }
+
+    #[test]
+    fn zero_cost_charge_does_not_suspend_forever() {
+        let mut ex = SimExecutor::new(SimConfig::default());
+        ex.spawn(|rt: Rt| async move {
+            rt.charge(0).await;
+        });
+        assert_eq!(ex.run().status, RunStatus::Completed);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the virtual-time executor: the scheduling
+//! algebra the whole benchmark harness rests on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use votm_sim::{Notify, Rt, RunStatus, SimConfig, SimExecutor};
+
+proptest! {
+    /// The makespan of independent tasks is exactly the maximum of their
+    /// per-task charge sums (no spurious serialisation in the executor).
+    #[test]
+    fn makespan_is_max_of_independent_tasks(
+        tasks in proptest::collection::vec(
+            proptest::collection::vec(1u64..500, 1..10),
+            1..12,
+        ),
+    ) {
+        let expected: u64 = tasks
+            .iter()
+            .map(|costs| costs.iter().sum::<u64>())
+            .max()
+            .unwrap();
+        let mut ex = SimExecutor::new(SimConfig::default());
+        for costs in tasks {
+            ex.spawn(move |rt: Rt| async move {
+                for c in costs {
+                    rt.charge(c).await;
+                }
+            });
+        }
+        let out = ex.run();
+        prop_assert_eq!(out.status, RunStatus::Completed);
+        prop_assert_eq!(out.vtime, expected);
+    }
+
+    /// Identical (seed, task set) pairs produce identical schedules even
+    /// when every activation ties on virtual time.
+    #[test]
+    fn tie_breaking_is_deterministic_per_seed(
+        seed in 1u64..10_000,
+        n_tasks in 2usize..10,
+        steps in 1usize..20,
+    ) {
+        let trace = |seed: u64| -> Vec<(u64, usize)> {
+            let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let mut ex = SimExecutor::new(SimConfig { seed, ..Default::default() });
+            for i in 0..n_tasks {
+                let log = Arc::clone(&log);
+                ex.spawn(move |rt: Rt| async move {
+                    for _ in 0..steps {
+                        rt.charge(10).await;
+                        log.lock().push((rt.now(), i));
+                    }
+                });
+            }
+            ex.run();
+            let v = log.lock().clone();
+            v
+        };
+        prop_assert_eq!(trace(seed), trace(seed));
+    }
+
+    /// notify_all wakes every waiter exactly once; none is lost even when
+    /// the notifier races registration (epoch pattern).
+    #[test]
+    fn notify_wakes_all_waiters(n_waiters in 1usize..16, delay in 1u64..1000) {
+        let notify = Arc::new(Notify::new());
+        let woken = Arc::new(AtomicU64::new(0));
+        let mut ex = SimExecutor::new(SimConfig::default());
+        for _ in 0..n_waiters {
+            let notify = Arc::clone(&notify);
+            let woken = Arc::clone(&woken);
+            ex.spawn(move |rt: Rt| async move {
+                let epoch = notify.epoch();
+                rt.wait(&notify, epoch).await;
+                woken.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        {
+            let notify = Arc::clone(&notify);
+            ex.spawn(move |rt: Rt| async move {
+                rt.charge(delay).await;
+                notify.notify_all();
+            });
+        }
+        let out = ex.run();
+        prop_assert_eq!(out.status, RunStatus::Completed);
+        prop_assert_eq!(woken.load(Ordering::SeqCst), n_waiters as u64);
+    }
+
+    /// The watchdog cap is exact: tasks that would finish at `cap` complete;
+    /// tasks needing `cap + 1` report livelock.
+    #[test]
+    fn vtime_cap_is_a_sharp_boundary(total in 10u64..10_000) {
+        for (cap, expect) in [
+            (total, RunStatus::Completed),
+            (total - 1, RunStatus::Livelock),
+        ] {
+            let mut ex = SimExecutor::new(SimConfig {
+                vtime_cap: Some(cap),
+                ..Default::default()
+            });
+            ex.spawn(move |rt: Rt| async move {
+                rt.charge(total - 5).await;
+                rt.charge(5).await;
+            });
+            let out = ex.run();
+            prop_assert_eq!(out.status, expect, "cap={} total={}", cap, total);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! The virtual-cycle cost model.
+//!
+//! These constants translate STM operations into virtual cycles for the
+//! simulator and into δ(Q) work units for the RAC estimator. Absolute values
+//! are a calibration knob (the paper's testbed was a 2.5 GHz Opteron; we are
+//! matching *shape*, not nanoseconds); relative magnitudes follow the usual
+//! costs on cache-coherent hardware: a shared access that misses ≫ an L1 hit
+//! ≫ an ALU op.
+
+/// One transactional shared-memory access, including its inline metadata
+/// check (orec load / seqlock check).
+pub const SHARED_ACCESS: u64 = 20;
+
+/// One operation on TM metadata alone (CAS on the global clock, orec
+/// acquire). Deliberately priced close to a shared access: these are
+/// contended cache lines.
+pub const METADATA_OP: u64 = 20;
+
+/// Re-validating one read-set entry (NOrec value comparison or orec version
+/// recheck) — the values are usually still cached.
+pub const VALIDATE_WORD: u64 = 4;
+
+/// Writing one redo-log / write-buffer word back to the heap at commit.
+pub const WRITEBACK_WORD: u64 = 10;
+
+/// Fixed cost of starting a transaction (checkpoint, log reset).
+pub const BEGIN: u64 = 16;
+
+/// Fixed cost of a commit attempt beyond per-word writeback.
+pub const COMMIT_BASE: u64 = 40;
+
+/// Fixed cost of rolling back (log discard, orec release, restart jump).
+pub const ABORT_PENALTY: u64 = 20;
+
+/// One access to thread-local memory (Eigenbench cold array) — cache hit.
+pub const LOCAL_ACCESS: u64 = 4;
+
+/// One NOP of in-transaction compute.
+pub const NOP: u64 = 1;
+
+/// Cost charged while waiting before retrying a `Busy` operation. Small, so
+/// a blocked reader polls the seqlock at fine granularity like a real
+/// spinner would.
+pub const BUSY_RETRY: u64 = 12;
+
+/// Uninstrumented (lock-mode, Q = 1) shared access: no metadata, and the
+/// view's data is effectively thread-private while the lock is held, so it
+/// stays cache-resident. This is the "TM overhead removed" effect the paper
+/// credits for Q = 1 outperforming Q = 2 even at δ < 1.
+pub const DIRECT_ACCESS: u64 = 10;
+
+/// Virtual cycles per simulated second when formatting results — mirrors the
+/// paper's 2.5 GHz clock so table magnitudes are comparable.
+pub const CYCLES_PER_SECOND: u64 = 2_500_000_000;

@@ -1,0 +1,94 @@
+//! Direct (lock-mode) access: the Q = 1 fallback.
+//!
+//! When RAC drives a view's admission quota to 1, the admission gate admits
+//! exactly one thread at a time, exclusively. That thread accesses the heap
+//! with **no transactional instrumentation at all** — no read set, no write
+//! buffering, no validation — which is the "TM overhead removed" effect the
+//! paper credits for Q = 1 beating Q = 2 even when δ(Q) ≤ 1 (Table III
+//! discussion).
+//!
+//! Safety relies entirely on the gate: `votm-rac`'s `AdmissionGate` admits
+//! lock-mode holders only when the view is empty and blocks all
+//! transactional entrants while one is inside.
+
+use crate::cost;
+use crate::heap::{Addr, WordHeap};
+use crate::{CommitPhase, OpResult};
+
+/// Uninstrumented access context. Writes go straight to the heap, so there
+/// is no rollback: a lock-mode "transaction" cannot abort.
+#[derive(Debug, Default)]
+pub struct DirectCtx {
+    work: u64,
+    writes: u64,
+}
+
+impl DirectCtx {
+    /// Fresh context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begins a lock-mode section (bookkeeping only).
+    pub fn begin(&mut self) -> OpResult<()> {
+        self.work += cost::BEGIN / 2;
+        self.writes = 0;
+        Ok(())
+    }
+
+    /// Uninstrumented read.
+    #[inline]
+    pub fn read(&mut self, heap: &WordHeap, addr: Addr) -> OpResult<u64> {
+        self.work += cost::DIRECT_ACCESS;
+        Ok(heap.load(addr))
+    }
+
+    /// Uninstrumented in-place write.
+    #[inline]
+    pub fn write(&mut self, heap: &WordHeap, addr: Addr, value: u64) -> OpResult<()> {
+        self.work += cost::DIRECT_ACCESS;
+        self.writes += 1;
+        heap.store(addr, value);
+        Ok(())
+    }
+
+    /// Lock-mode sections always "commit" — there is nothing to validate.
+    pub fn commit_begin(&mut self) -> OpResult<CommitPhase> {
+        Ok(CommitPhase::Done)
+    }
+
+    /// Drains accumulated work units.
+    #[inline]
+    pub fn take_work(&mut self) -> u64 {
+        std::mem::take(&mut self.work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_and_writes_hit_heap_immediately() {
+        let heap = WordHeap::new(8);
+        let mut ctx = DirectCtx::new();
+        ctx.begin().unwrap();
+        ctx.write(&heap, Addr(2), 11).unwrap();
+        assert_eq!(heap.load(Addr(2)), 11, "no buffering in lock mode");
+        assert_eq!(ctx.read(&heap, Addr(2)).unwrap(), 11);
+        assert_eq!(ctx.commit_begin().unwrap(), CommitPhase::Done);
+    }
+
+    #[test]
+    fn direct_access_is_cheaper_than_transactional() {
+        const { assert!(cost::DIRECT_ACCESS < cost::SHARED_ACCESS) };
+        let heap = WordHeap::new(8);
+        let mut ctx = DirectCtx::new();
+        ctx.begin().unwrap();
+        for i in 0..4 {
+            ctx.write(&heap, Addr(i), 1).unwrap();
+        }
+        let w = ctx.take_work();
+        assert_eq!(w, cost::BEGIN / 2 + 4 * cost::DIRECT_ACCESS);
+    }
+}

@@ -1,0 +1,289 @@
+//! The transactional word heap and its block allocator.
+//!
+//! A view's memory is a flat array of `AtomicU64` words. [`Addr`] — a word
+//! index — plays the role of a pointer; `Addr::NULL` is the null pointer.
+//! Data structures (lists, queues, hash tables) are built from words exactly
+//! as C code builds them from machine words, which keeps the STM word-based
+//! like RSTM.
+//!
+//! The allocator (`malloc_block` / `free_block` in the paper's API) is a
+//! bump allocator with per-size free lists. Allocator *metadata* lives
+//! outside the word array and is protected by a plain mutex: allocation is
+//! not a transactional operation in VOTM (the paper allocates blocks from a
+//! view and then publishes them inside transactions), but the core crate
+//! layers abort-safe alloc/free logging on top of these primitives.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use votm_utils::FxHashMap;
+
+/// A word address within one view's heap — the TM-world pointer type.
+///
+/// `u32` keeps read/write sets small; a view can hold 2^32 − 1 words
+/// (32 GiB), far beyond any workload here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr(pub u32);
+
+impl Addr {
+    /// The null pointer.
+    pub const NULL: Addr = Addr(u32::MAX);
+
+    /// True unless this is [`Addr::NULL`].
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == Addr::NULL
+    }
+
+    /// Address `offset` words past this one.
+    #[inline]
+    pub fn offset(self, offset: u32) -> Addr {
+        debug_assert!(!self.is_null());
+        Addr(self.0 + offset)
+    }
+
+    /// Index form for slice access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Allocation bookkeeping, kept off the word array.
+struct AllocState {
+    /// Free lists keyed by block size in words.
+    free: FxHashMap<u32, Vec<Addr>>,
+    /// Size of every live block, for `free_block` and leak accounting.
+    live: FxHashMap<Addr, u32>,
+}
+
+/// A view's memory: words plus allocator.
+pub struct WordHeap {
+    words: Box<[AtomicU64]>,
+    /// Bump watermark (word index of the next never-allocated word).
+    brk: AtomicUsize,
+    /// Usable size; grows via [`WordHeap::brk`] up to `words.len()`
+    /// (`brk_view` in the paper's API).
+    limit: AtomicUsize,
+    alloc: Mutex<AllocState>,
+}
+
+impl WordHeap {
+    /// Creates a heap of `size_words` zeroed words, all immediately usable.
+    pub fn new(size_words: usize) -> Self {
+        Self::with_reserve(size_words, size_words)
+    }
+
+    /// Creates a heap with `initial_words` usable out of `capacity_words`
+    /// reserved; [`WordHeap::brk`] can grow the usable region later.
+    pub fn with_reserve(initial_words: usize, capacity_words: usize) -> Self {
+        assert!(initial_words <= capacity_words);
+        assert!(
+            capacity_words < Addr::NULL.0 as usize,
+            "heap too large for 32-bit addressing"
+        );
+        let mut v = Vec::with_capacity(capacity_words);
+        v.resize_with(capacity_words, || AtomicU64::new(0));
+        Self {
+            words: v.into_boxed_slice(),
+            brk: AtomicUsize::new(0),
+            limit: AtomicUsize::new(initial_words),
+            alloc: Mutex::new(AllocState {
+                free: FxHashMap::default(),
+                live: FxHashMap::default(),
+            }),
+        }
+    }
+
+    /// Expands the usable region by `extra_words` (the paper's `brk_view`).
+    /// Returns the new usable size, or `None` if reserved capacity is
+    /// exhausted.
+    pub fn brk(&self, extra_words: usize) -> Option<usize> {
+        let mut cur = self.limit.load(Ordering::Relaxed);
+        loop {
+            let new = cur.checked_add(extra_words)?;
+            if new > self.words.len() {
+                return None;
+            }
+            match self
+                .limit
+                .compare_exchange(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return Some(new),
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    /// Heap capacity in words.
+    pub fn size_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Raw word load. `Acquire` so that, in real-thread mode, a reader that
+    /// has already validated the seqlock observes fully-written data.
+    #[inline]
+    pub fn load(&self, addr: Addr) -> u64 {
+        self.words[addr.index()].load(Ordering::Acquire)
+    }
+
+    /// Raw word store (commit writeback or direct mode).
+    #[inline]
+    pub fn store(&self, addr: Addr, value: u64) {
+        self.words[addr.index()].store(value, Ordering::Release);
+    }
+
+    /// Allocates a block of `size_words` (≥ 1) words; returns its base
+    /// address or `None` if the heap is exhausted.
+    ///
+    /// Freed blocks of the same size are reused first (their contents are
+    /// *not* rezeroed — same as `malloc`).
+    pub fn alloc_block(&self, size_words: u32) -> Option<Addr> {
+        assert!(size_words >= 1, "zero-sized block");
+        let mut st = self.alloc.lock();
+        if let Some(list) = st.free.get_mut(&size_words) {
+            if let Some(addr) = list.pop() {
+                st.live.insert(addr, size_words);
+                return Some(addr);
+            }
+        }
+        let base = self.brk.fetch_add(size_words as usize, Ordering::Relaxed);
+        if base + size_words as usize > self.limit.load(Ordering::Relaxed) {
+            // Roll the watermark back so repeated failures don't overflow.
+            self.brk.fetch_sub(size_words as usize, Ordering::Relaxed);
+            return None;
+        }
+        let addr = Addr(base as u32);
+        st.live.insert(addr, size_words);
+        Some(addr)
+    }
+
+    /// Returns `addr`'s block to its size-class free list.
+    ///
+    /// # Panics
+    /// If `addr` is not the base of a live block (double free / wild free).
+    pub fn free_block(&self, addr: Addr) {
+        let mut st = self.alloc.lock();
+        let size = st
+            .live
+            .remove(&addr)
+            .expect("free_block: not a live block base");
+        st.free.entry(size).or_default().push(addr);
+    }
+
+    /// Number of live allocated blocks (leak checking in tests).
+    pub fn live_blocks(&self) -> usize {
+        self.alloc.lock().live.len()
+    }
+
+    /// Words handed out so far (high-water mark).
+    pub fn used_words(&self) -> usize {
+        self.brk.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for WordHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WordHeap")
+            .field("size_words", &self.words.len())
+            .field("used_words", &self.used_words())
+            .field("live_blocks", &self.live_blocks())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_roundtrip() {
+        let h = WordHeap::new(16);
+        h.store(Addr(3), 0xdead_beef);
+        assert_eq!(h.load(Addr(3)), 0xdead_beef);
+        assert_eq!(h.load(Addr(4)), 0, "fresh words are zero");
+    }
+
+    #[test]
+    fn alloc_bumps_and_reuses() {
+        let h = WordHeap::new(64);
+        let a = h.alloc_block(8).unwrap();
+        let b = h.alloc_block(8).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(h.used_words(), 16);
+        h.free_block(a);
+        let c = h.alloc_block(8).unwrap();
+        assert_eq!(c, a, "freed block should be reused");
+        assert_eq!(h.used_words(), 16, "reuse must not bump the watermark");
+    }
+
+    #[test]
+    fn alloc_exhaustion_returns_none_and_recovers() {
+        let h = WordHeap::new(10);
+        let a = h.alloc_block(8).unwrap();
+        assert!(h.alloc_block(8).is_none());
+        assert!(h.alloc_block(2).is_some(), "smaller block still fits");
+        h.free_block(a);
+        assert!(h.alloc_block(8).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a live block base")]
+    fn double_free_panics() {
+        let h = WordHeap::new(16);
+        let a = h.alloc_block(2).unwrap();
+        h.free_block(a);
+        h.free_block(a);
+    }
+
+    #[test]
+    fn live_block_accounting() {
+        let h = WordHeap::new(64);
+        let a = h.alloc_block(4).unwrap();
+        let b = h.alloc_block(4).unwrap();
+        assert_eq!(h.live_blocks(), 2);
+        h.free_block(a);
+        h.free_block(b);
+        assert_eq!(h.live_blocks(), 0);
+    }
+
+    #[test]
+    fn addr_offset_and_null() {
+        assert!(Addr::NULL.is_null());
+        assert!(!Addr(0).is_null());
+        assert_eq!(Addr(10).offset(5), Addr(15));
+    }
+
+    #[test]
+    fn brk_grows_usable_region_within_reserve() {
+        let h = WordHeap::with_reserve(4, 16);
+        let a = h.alloc_block(4).unwrap();
+        assert!(h.alloc_block(4).is_none(), "limit is 4 words");
+        assert_eq!(h.brk(8), Some(12));
+        assert!(h.alloc_block(4).is_some());
+        assert_eq!(h.brk(100), None, "beyond reserved capacity");
+        assert_eq!(h.brk(4), Some(16), "up to capacity is fine");
+        let _ = a;
+    }
+
+    #[test]
+    fn concurrent_allocation_yields_disjoint_blocks() {
+        use std::collections::HashSet;
+        use std::sync::Arc;
+        let h = Arc::new(WordHeap::new(100_000));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                (0..500).map(|_| h.alloc_block(3).unwrap()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all = HashSet::new();
+        for hd in handles {
+            for a in hd.join().unwrap() {
+                assert!(all.insert(a), "block {a:?} handed out twice");
+            }
+        }
+        assert_eq!(all.len(), 4000);
+    }
+}

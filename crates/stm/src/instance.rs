@@ -1,0 +1,430 @@
+//! A TM *instance*: one heap + one algorithm's global metadata + stats.
+//!
+//! In VOTM every view is exactly one `TmInstance` — "each view is
+//! essentially an independent TM system" (paper §II-B) with its own global
+//! clock, which is what reduces NOrec metadata contention when data is
+//! partitioned.
+//!
+//! [`TxCtx`] is the per-thread execution context: an enum over the three
+//! access modes (NOrec / OrecEagerRedo transactions, or the Q = 1 direct
+//! mode) presenting one polled read/write/commit interface to the layers
+//! above.
+
+use crate::direct::DirectCtx;
+use crate::heap::{Addr, WordHeap};
+use crate::norec::{NOrecGlobal, NOrecTx};
+use crate::orec::{OrecGlobal, OrecTx};
+use crate::orec_lazy::OrecLazyTx;
+use crate::stats::TmStats;
+use crate::{CommitPhase, OpError, OpResult};
+
+/// Which STM algorithm a TM instance runs (the paper's two RSTM plug-ins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TmAlgorithm {
+    /// Commit-time locking, global sequence lock, value-based validation.
+    NOrec,
+    /// Encounter-time locking, ownership records, redo log.
+    OrecEagerRedo,
+    /// Commit-time locking over ownership records (TL2-style) — an
+    /// implemented extension beyond the paper's two evaluated plug-ins,
+    /// giving the per-view adaptive-TM direction (§IV-C) a third choice.
+    OrecLazy,
+}
+
+impl TmAlgorithm {
+    /// All algorithms, for parameterised tests and benches.
+    pub const ALL: [TmAlgorithm; 3] = [
+        TmAlgorithm::NOrec,
+        TmAlgorithm::OrecEagerRedo,
+        TmAlgorithm::OrecLazy,
+    ];
+
+    /// The two algorithms the paper evaluates (Tables III-X).
+    pub const PAPER: [TmAlgorithm; 2] = [TmAlgorithm::NOrec, TmAlgorithm::OrecEagerRedo];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            TmAlgorithm::NOrec => "NOrec",
+            TmAlgorithm::OrecEagerRedo => "OrecEagerRedo",
+            TmAlgorithm::OrecLazy => "OrecLazy",
+        }
+    }
+}
+
+enum Globals {
+    NOrec(NOrecGlobal),
+    Orec(OrecGlobal),
+}
+
+/// One independent TM system (heap + metadata + statistics).
+pub struct TmInstance {
+    heap: WordHeap,
+    globals: Globals,
+    stats: TmStats,
+    algo: TmAlgorithm,
+}
+
+impl TmInstance {
+    /// Creates an instance with `size_words` of heap running `algo`.
+    pub fn new(algo: TmAlgorithm, size_words: usize) -> Self {
+        Self::with_reserve(algo, size_words, size_words)
+    }
+
+    /// Creates an instance whose heap starts at `size_words` usable words
+    /// out of `capacity_words` reserved (growable via the heap's `brk`).
+    pub fn with_reserve(algo: TmAlgorithm, size_words: usize, capacity_words: usize) -> Self {
+        let globals = match algo {
+            TmAlgorithm::NOrec => Globals::NOrec(NOrecGlobal::new()),
+            TmAlgorithm::OrecEagerRedo | TmAlgorithm::OrecLazy => {
+                Globals::Orec(OrecGlobal::new())
+            }
+        };
+        Self {
+            heap: WordHeap::with_reserve(size_words, capacity_words),
+            globals,
+            stats: TmStats::new(),
+            algo,
+        }
+    }
+
+    /// The instance's heap (allocation, direct inspection in tests).
+    pub fn heap(&self) -> &WordHeap {
+        &self.heap
+    }
+
+    /// The algorithm this instance runs.
+    pub fn algorithm(&self) -> TmAlgorithm {
+        self.algo
+    }
+
+    /// Commit/abort/cycle counters.
+    pub fn stats(&self) -> &TmStats {
+        &self.stats
+    }
+
+    /// Creates a per-thread transactional context for this instance.
+    pub fn tx_ctx(&self, thread_index: usize) -> TxCtx {
+        match self.algo {
+            TmAlgorithm::NOrec => TxCtx {
+                mode: Mode::NOrec(NOrecTx::new()),
+            },
+            TmAlgorithm::OrecEagerRedo => TxCtx {
+                mode: Mode::Orec(OrecTx::new(thread_index)),
+            },
+            TmAlgorithm::OrecLazy => TxCtx {
+                mode: Mode::Lazy(OrecLazyTx::new(thread_index)),
+            },
+        }
+    }
+
+    /// Creates a per-thread *direct* (lock-mode) context; only safe to run
+    /// under an exclusive admission.
+    pub fn direct_ctx(&self) -> TxCtx {
+        TxCtx {
+            mode: Mode::Direct(DirectCtx::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for TmInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TmInstance")
+            .field("algo", &self.algo)
+            .field("heap", &self.heap)
+            .finish()
+    }
+}
+
+#[derive(Debug)]
+enum Mode {
+    NOrec(NOrecTx),
+    Orec(OrecTx),
+    Lazy(OrecLazyTx),
+    Direct(DirectCtx),
+}
+
+/// Per-thread transaction context over a [`TmInstance`].
+///
+/// All operations are polled: `Err(Busy)` means "retry the same call after
+/// letting time pass", `Err(Conflict)` means "call [`TxCtx::abort`] and
+/// restart the attempt".
+#[derive(Debug)]
+pub struct TxCtx {
+    mode: Mode,
+}
+
+impl TxCtx {
+    /// Starts an attempt.
+    pub fn begin(&mut self, inst: &TmInstance) -> OpResult<()> {
+        match (&mut self.mode, &inst.globals) {
+            (Mode::NOrec(tx), Globals::NOrec(g)) => tx.begin(g),
+            (Mode::Orec(tx), Globals::Orec(g)) => tx.begin(g),
+            (Mode::Lazy(tx), Globals::Orec(g)) => tx.begin(g),
+            (Mode::Direct(tx), _) => tx.begin(),
+            _ => panic!("TxCtx used with a different TmInstance's algorithm"),
+        }
+    }
+
+    /// Transactional read.
+    #[inline]
+    pub fn read(&mut self, inst: &TmInstance, addr: Addr) -> OpResult<u64> {
+        match (&mut self.mode, &inst.globals) {
+            (Mode::NOrec(tx), Globals::NOrec(g)) => tx.read(g, &inst.heap, addr),
+            (Mode::Orec(tx), Globals::Orec(g)) => tx.read(g, &inst.heap, addr),
+            (Mode::Lazy(tx), Globals::Orec(g)) => tx.read(g, &inst.heap, addr),
+            (Mode::Direct(tx), _) => tx.read(&inst.heap, addr),
+            _ => panic!("TxCtx used with a different TmInstance's algorithm"),
+        }
+    }
+
+    /// Transactional write.
+    #[inline]
+    pub fn write(&mut self, inst: &TmInstance, addr: Addr, value: u64) -> OpResult<()> {
+        match (&mut self.mode, &inst.globals) {
+            (Mode::NOrec(tx), Globals::NOrec(_)) => tx.write(addr, value),
+            (Mode::Orec(tx), Globals::Orec(g)) => tx.write(g, addr, value),
+            (Mode::Lazy(tx), Globals::Orec(_)) => tx.write(addr, value),
+            (Mode::Direct(tx), _) => tx.write(&inst.heap, addr, value),
+            _ => panic!("TxCtx used with a different TmInstance's algorithm"),
+        }
+    }
+
+    /// First commit phase (see [`CommitPhase`]).
+    pub fn commit_begin(&mut self, inst: &TmInstance) -> OpResult<CommitPhase> {
+        match (&mut self.mode, &inst.globals) {
+            (Mode::NOrec(tx), Globals::NOrec(g)) => tx.commit_begin(g, &inst.heap),
+            (Mode::Orec(tx), Globals::Orec(g)) => tx.commit_begin(g, &inst.heap),
+            (Mode::Lazy(tx), Globals::Orec(g)) => tx.commit_begin(g, &inst.heap),
+            (Mode::Direct(tx), _) => tx.commit_begin(),
+            _ => panic!("TxCtx used with a different TmInstance's algorithm"),
+        }
+    }
+
+    /// Second commit phase after `NeedsFinish`.
+    pub fn commit_finish(&mut self, inst: &TmInstance) {
+        match (&mut self.mode, &inst.globals) {
+            (Mode::NOrec(tx), Globals::NOrec(g)) => tx.commit_finish(g),
+            (Mode::Orec(tx), Globals::Orec(g)) => tx.commit_finish(g),
+            (Mode::Lazy(tx), Globals::Orec(g)) => tx.commit_finish(g),
+            (Mode::Direct(_), _) => unreachable!("direct mode never NeedsFinish"),
+            _ => panic!("TxCtx used with a different TmInstance's algorithm"),
+        }
+    }
+
+    /// Rolls back the attempt after a `Conflict`.
+    pub fn abort(&mut self, inst: &TmInstance) {
+        match (&mut self.mode, &inst.globals) {
+            (Mode::NOrec(tx), Globals::NOrec(_)) => tx.abort(),
+            (Mode::Orec(tx), Globals::Orec(g)) => tx.abort(g),
+            (Mode::Lazy(tx), Globals::Orec(g)) => tx.abort(g),
+            (Mode::Direct(_), _) => panic!("direct mode cannot abort"),
+            _ => panic!("TxCtx used with a different TmInstance's algorithm"),
+        }
+    }
+
+    /// Drains accumulated work units (virtual cycles).
+    #[inline]
+    pub fn take_work(&mut self) -> u64 {
+        match &mut self.mode {
+            Mode::NOrec(tx) => tx.take_work(),
+            Mode::Orec(tx) => tx.take_work(),
+            Mode::Lazy(tx) => tx.take_work(),
+            Mode::Direct(tx) => tx.take_work(),
+        }
+    }
+
+    /// True for the uninstrumented Q = 1 mode.
+    pub fn is_direct(&self) -> bool {
+        matches!(self.mode, Mode::Direct(_))
+    }
+}
+
+/// Convenience for tests and tools: runs `body` as one transaction against
+/// `inst` on the current thread, spin-retrying Busy and restarting on
+/// Conflict, and records stats. Not for simulator use (it spins in real
+/// time); the `votm` crate provides the simulator-aware equivalent.
+pub fn run_sync<T>(
+    inst: &TmInstance,
+    thread_index: usize,
+    mut body: impl FnMut(&mut TxCtx, &TmInstance) -> OpResult<T>,
+) -> T {
+    let mut ctx = inst.tx_ctx(thread_index);
+    let mut backoff = votm_utils::Backoff::new();
+    'attempt: loop {
+        loop {
+            match ctx.begin(inst) {
+                Ok(()) => break,
+                Err(OpError::Busy) => backoff.snooze(),
+                Err(OpError::Conflict) => unreachable!("begin never conflicts"),
+            }
+        }
+        let value = match body(&mut ctx, inst) {
+            Ok(v) => v,
+            // Busy: the body must re-run from its start anyway (it may have
+            // made decisions from reads a retry would redo), so both cases
+            // are a restart.
+            Err(OpError::Busy) | Err(OpError::Conflict) => {
+                ctx.abort(inst);
+                inst.stats.record_abort(ctx.take_work());
+                backoff.snooze();
+                continue 'attempt;
+            }
+        };
+        loop {
+            match ctx.commit_begin(inst) {
+                Ok(CommitPhase::Done) => {
+                    inst.stats.record_commit(ctx.take_work());
+                    return value;
+                }
+                Ok(CommitPhase::NeedsFinish { .. }) => {
+                    ctx.commit_finish(inst);
+                    inst.stats.record_commit(ctx.take_work());
+                    return value;
+                }
+                Err(OpError::Busy) => {
+                    inst.stats.record_busy();
+                    backoff.snooze();
+                }
+                Err(OpError::Conflict) => {
+                    ctx.abort(inst);
+                    inst.stats.record_abort(ctx.take_work());
+                    backoff.snooze();
+                    continue 'attempt;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn run_sync_counter_increments_both_algorithms() {
+        for algo in TmAlgorithm::ALL {
+            let inst = TmInstance::new(algo, 16);
+            for _ in 0..100 {
+                run_sync(&inst, 0, |tx, inst| {
+                    let v = tx.read(inst, Addr(0))?;
+                    tx.write(inst, Addr(0), v + 1)
+                });
+            }
+            assert_eq!(inst.heap().load(Addr(0)), 100, "{algo:?}");
+            let s = inst.stats().snapshot();
+            assert_eq!(s.commits, 100);
+        }
+    }
+
+    #[test]
+    fn concurrent_counter_is_exact_under_real_threads() {
+        // The canonical STM atomicity test: lost updates would show up as a
+        // final count below threads*iters. Runs on both algorithms.
+        for algo in TmAlgorithm::ALL {
+            let inst = Arc::new(TmInstance::new(algo, 16));
+            let threads = 8;
+            let iters = 500;
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let inst = Arc::clone(&inst);
+                    s.spawn(move || {
+                        for _ in 0..iters {
+                            run_sync(&inst, t, |tx, inst| {
+                                let v = tx.read(inst, Addr(0))?;
+                                std::hint::black_box(v);
+                                tx.write(inst, Addr(0), v + 1)
+                            });
+                        }
+                    });
+                }
+            });
+            assert_eq!(
+                inst.heap().load(Addr(0)),
+                (threads * iters) as u64,
+                "lost updates under {algo:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_updates_all_land() {
+        for algo in TmAlgorithm::ALL {
+            let inst = Arc::new(TmInstance::new(algo, 64));
+            std::thread::scope(|s| {
+                for t in 0..8usize {
+                    let inst = Arc::clone(&inst);
+                    s.spawn(move || {
+                        for i in 0..200u64 {
+                            run_sync(&inst, t, |tx, inst| {
+                                tx.write(inst, Addr(t as u32), i + 1)
+                            });
+                        }
+                    });
+                }
+            });
+            for t in 0..8u32 {
+                assert_eq!(inst.heap().load(Addr(t)), 200, "{algo:?} slot {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn invariant_preserving_transfers_never_observe_torn_state() {
+        // Two accounts, constant sum; concurrent transfers + auditors.
+        for algo in TmAlgorithm::ALL {
+            let inst = Arc::new(TmInstance::new(algo, 16));
+            run_sync(&inst, 0, |tx, inst| {
+                tx.write(inst, Addr(0), 500)?;
+                tx.write(inst, Addr(1), 500)
+            });
+            std::thread::scope(|s| {
+                for t in 0..4usize {
+                    let inst = Arc::clone(&inst);
+                    s.spawn(move || {
+                        let mut rng = votm_utils::XorShift64::new(t as u64 + 1);
+                        for _ in 0..300 {
+                            let amt = rng.next_below(10);
+                            run_sync(&inst, t, |tx, inst| {
+                                let a = tx.read(inst, Addr(0))?;
+                                let b = tx.read(inst, Addr(1))?;
+                                tx.write(inst, Addr(0), a.wrapping_sub(amt))?;
+                                tx.write(inst, Addr(1), b.wrapping_add(amt))
+                            });
+                        }
+                    });
+                }
+                for t in 4..6usize {
+                    let inst = Arc::clone(&inst);
+                    s.spawn(move || {
+                        for _ in 0..300 {
+                            let sum = run_sync(&inst, t, |tx, inst| {
+                                let a = tx.read(inst, Addr(0))?;
+                                let b = tx.read(inst, Addr(1))?;
+                                Ok(a.wrapping_add(b))
+                            });
+                            assert_eq!(sum, 1000, "torn read under {algo:?}");
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn direct_ctx_reports_direct() {
+        let inst = TmInstance::new(TmAlgorithm::NOrec, 8);
+        assert!(inst.direct_ctx().is_direct());
+        assert!(!inst.tx_ctx(0).is_direct());
+    }
+
+    #[test]
+    #[should_panic(expected = "different TmInstance")]
+    fn mismatched_ctx_panics() {
+        let a = TmInstance::new(TmAlgorithm::NOrec, 8);
+        let b = TmInstance::new(TmAlgorithm::OrecEagerRedo, 8);
+        let mut ctx = a.tx_ctx(0);
+        let _ = ctx.begin(&b);
+    }
+}

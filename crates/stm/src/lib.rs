@@ -1,0 +1,79 @@
+//! Word-based software transactional memory, rebuilt from scratch.
+//!
+//! This crate reproduces the two RSTM-7.0 algorithms the paper evaluates:
+//!
+//! * [`norec`] — **NOrec** (Dalessandro, Spear, Scott, PPoPP 2010):
+//!   commit-time locking with a single global sequence lock and value-based
+//!   validation. Livelock-free; its global clock becomes the bottleneck for
+//!   memory-intensive workloads.
+//! * [`orec`] — **OrecEagerRedo**: encounter-time locking over a striped
+//!   ownership-record table with a redo log (TinySTM-like). Fast at low
+//!   contention; livelocks under high contention with an abort-and-retry
+//!   conflict policy.
+//! * [`orec_lazy`] — **OrecLazy** (TL2-style commit-time orec locking), an
+//!   implemented extension beyond the paper's two plug-ins.
+//!
+//! Plus [`direct`] — the uninstrumented access mode RAC falls back to when a
+//! view's admission quota reaches 1 (the gate guarantees exclusivity).
+//!
+//! # Execution model
+//!
+//! Transactions operate on a [`heap::WordHeap`] of `AtomicU64` words
+//! addressed by [`Addr`] (a word index — the TM-world analogue of a
+//! pointer). Every operation is a *non-blocking polled step* returning
+//! [`OpError::Busy`] instead of spinning, so the virtual-time simulator can
+//! advance the clock between retries and real threads can spin with backoff;
+//! the same STM code drives both. Commits are split into `commit_begin`
+//! (acquire + validate + apply, returns a cost) and `commit_finish`
+//! (release), so the window during which commit locks are held occupies
+//! virtual time and other transactions observe it — this is what makes
+//! NOrec's global-clock serialisation measurable in simulation.
+//!
+//! Work accounting: each transaction context accumulates *work units*
+//! (virtual cycles) for every shared access, validation step and writeback.
+//! The layer above drains them via `take_work()` both to charge simulated
+//! time and to feed the paper's δ(Q) estimator (cycles spent in aborted vs
+//! successful transactions, Eq. 5).
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod direct;
+pub mod heap;
+pub mod instance;
+pub mod norec;
+pub mod orec;
+pub mod orec_lazy;
+pub mod stats;
+pub mod writeset;
+
+pub use heap::{Addr, WordHeap};
+pub use instance::{TmAlgorithm, TmInstance, TxCtx};
+pub use stats::{StatsSnapshot, TmStats};
+
+/// Why a transactional operation could not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpError {
+    /// Transient: metadata is held by a concurrent committer; retry the same
+    /// operation after letting time pass. Never requires rollback.
+    Busy,
+    /// A conflict was detected; the transaction must abort and restart.
+    Conflict,
+}
+
+/// Result of a polled transactional operation.
+pub type OpResult<T> = Result<T, OpError>;
+
+/// Outcome of `commit_begin`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitPhase {
+    /// Commit completed entirely (read-only fast path); no `commit_finish`
+    /// call is needed.
+    Done,
+    /// Write locks are applied and held; the caller must let `cost` cycles
+    /// pass (simulated or real) and then call `commit_finish`.
+    NeedsFinish {
+        /// Cycles the writeback/lock-hold window occupies.
+        cost: u64,
+    },
+}

@@ -1,0 +1,433 @@
+//! NOrec: no ownership records (Dalessandro, Spear & Scott, PPoPP 2010).
+//!
+//! The entire TM instance is protected by one global *sequence lock*
+//! (even = unlocked, odd = a writer is committing) and transactions validate
+//! **by value**: the read set stores `(addr, value)` pairs and is re-checked
+//! whenever the global clock moves. Commit acquires the sequence lock with a
+//! CAS from the transaction's snapshot, writes the buffered write set back,
+//! and bumps the clock to the next even value.
+//!
+//! Properties the paper leans on:
+//!
+//! * **Livelock-free** — a transaction only aborts because some other
+//!   transaction committed, so system-wide progress is guaranteed.
+//! * Conflicts are detected at the *next read* after a concurrent commit
+//!   (every read revalidates if the clock moved), so little time is wasted
+//!   in doomed transactions — which is why RAC's admission restriction buys
+//!   little for NOrec (paper §III-D).
+//! * The single clock is a serialisation point: every commit invalidates
+//!   every concurrent reader's snapshot and forces whole-read-set
+//!   revalidation. Splitting data into views (one NOrec instance each)
+//!   relieves precisely this — the paper's Intruder result.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use votm_utils::CachePadded;
+
+use crate::cost;
+use crate::heap::{Addr, WordHeap};
+use crate::writeset::WriteSet;
+use crate::{CommitPhase, OpError, OpResult};
+
+/// Global state of one NOrec instance: just the sequence lock.
+#[derive(Debug, Default)]
+pub struct NOrecGlobal {
+    /// Even = unlocked (value is the commit timestamp); odd = locked by a
+    /// committer doing writeback.
+    seq: CachePadded<AtomicU64>,
+}
+
+impl NOrecGlobal {
+    /// New instance at timestamp 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn load_seq(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// Current commit timestamp (diagnostics; odd while a commit is in
+    /// flight).
+    pub fn timestamp(&self) -> u64 {
+        self.load_seq()
+    }
+}
+
+/// One thread's NOrec transaction context, reused across attempts.
+#[derive(Debug)]
+pub struct NOrecTx {
+    snapshot: u64,
+    reads: Vec<(Addr, u64)>,
+    writes: WriteSet,
+    /// Work units accrued since `take_work`.
+    work: u64,
+    active: bool,
+    /// Set between a successful `commit_begin` and `commit_finish`.
+    commit_seq: Option<u64>,
+}
+
+impl Default for NOrecTx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NOrecTx {
+    /// Fresh context (no active transaction).
+    pub fn new() -> Self {
+        Self {
+            snapshot: 0,
+            reads: Vec::new(),
+            writes: WriteSet::new(),
+            work: 0,
+            active: false,
+            commit_seq: None,
+        }
+    }
+
+    /// Starts an attempt. `Busy` while a committer holds the sequence lock.
+    pub fn begin(&mut self, global: &NOrecGlobal) -> OpResult<()> {
+        debug_assert!(!self.active, "begin called with a transaction active");
+        let s = global.load_seq();
+        self.work += cost::BEGIN;
+        if s & 1 == 1 {
+            return Err(OpError::Busy);
+        }
+        self.snapshot = s;
+        self.reads.clear();
+        self.writes.clear();
+        self.active = true;
+        self.commit_seq = None;
+        Ok(())
+    }
+
+    /// Value-based validation: re-reads every read-set entry and, if all
+    /// still match, advances the snapshot to `target` (an even clock value
+    /// newer than the snapshot, observed by the caller).
+    fn validate(&mut self, global: &NOrecGlobal, heap: &WordHeap, target: u64) -> OpResult<()> {
+        debug_assert_eq!(target & 1, 0);
+        self.work += cost::VALIDATE_WORD * self.reads.len() as u64 + cost::METADATA_OP;
+        for &(addr, seen) in &self.reads {
+            if heap.load(addr) != seen {
+                return Err(OpError::Conflict);
+            }
+        }
+        // The clock must not have moved during our re-reads, otherwise this
+        // validation pass is not atomic — back off and retry.
+        if global.load_seq() != target {
+            return Err(OpError::Busy);
+        }
+        self.snapshot = target;
+        Ok(())
+    }
+
+    /// Transactional read of `addr`.
+    pub fn read(&mut self, global: &NOrecGlobal, heap: &WordHeap, addr: Addr) -> OpResult<u64> {
+        debug_assert!(self.active);
+        if let Some(v) = self.writes.get(addr) {
+            self.work += cost::LOCAL_ACCESS; // write-buffer hit, thread-local
+            return Ok(v);
+        }
+        self.work += cost::SHARED_ACCESS;
+        let v = heap.load(addr);
+        let s = global.load_seq();
+        if s == self.snapshot {
+            self.reads.push((addr, v));
+            return Ok(v);
+        }
+        if s & 1 == 1 {
+            // Committer mid-writeback: the loaded value may be inconsistent.
+            return Err(OpError::Busy);
+        }
+        // Clock moved since our snapshot: revalidate, then re-read once.
+        self.validate(global, heap, s)?;
+        self.work += cost::SHARED_ACCESS;
+        let v = heap.load(addr);
+        if global.load_seq() != self.snapshot {
+            return Err(OpError::Busy); // moved again; retry the whole read
+        }
+        self.reads.push((addr, v));
+        Ok(v)
+    }
+
+    /// Transactional write: buffered until commit.
+    pub fn write(&mut self, addr: Addr, value: u64) -> OpResult<()> {
+        debug_assert!(self.active);
+        self.work += cost::LOCAL_ACCESS;
+        self.writes.insert(addr, value);
+        Ok(())
+    }
+
+    /// First commit phase: acquire the sequence lock, validate, write back.
+    ///
+    /// * `Ok(Done)` — read-only fast path, committed with no global write.
+    /// * `Ok(NeedsFinish)` — writeback done, sequence lock **held**; call
+    ///   [`NOrecTx::commit_finish`] after `cost` cycles.
+    /// * `Err(Busy)` — lock held or lost the CAS race; snapshot has been
+    ///   revalidated, retry.
+    /// * `Err(Conflict)` — validation failed; abort.
+    pub fn commit_begin(&mut self, global: &NOrecGlobal, heap: &WordHeap) -> OpResult<CommitPhase> {
+        debug_assert!(self.active);
+        if self.writes.is_empty() {
+            // Read-only: every read was consistent as of `snapshot`; NOrec
+            // read-only transactions commit without touching the clock.
+            self.active = false;
+            self.work += cost::COMMIT_BASE / 2;
+            return Ok(CommitPhase::Done);
+        }
+        self.work += cost::METADATA_OP;
+        match global.seq.compare_exchange(
+            self.snapshot,
+            self.snapshot + 1,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {}
+            Err(observed) => {
+                if observed & 1 == 1 {
+                    return Err(OpError::Busy);
+                }
+                // Someone committed since our snapshot; revalidate so the
+                // retried CAS starts from a fresh snapshot.
+                self.validate(global, heap, observed)?;
+                return Err(OpError::Busy);
+            }
+        }
+        // Sequence lock held (odd): write back.
+        let n = self.writes.len() as u64;
+        for (addr, value) in self.writes.iter() {
+            heap.store(addr, value);
+        }
+        let write_cost = cost::COMMIT_BASE + n * cost::WRITEBACK_WORD;
+        self.work += write_cost;
+        self.commit_seq = Some(self.snapshot + 2);
+        Ok(CommitPhase::NeedsFinish { cost: write_cost })
+    }
+
+    /// Second commit phase: release the sequence lock at the next even
+    /// timestamp. Only call after `commit_begin` returned `NeedsFinish`.
+    pub fn commit_finish(&mut self, global: &NOrecGlobal) {
+        let next = self
+            .commit_seq
+            .take()
+            .expect("commit_finish without commit_begin");
+        global.seq.store(next, Ordering::Release);
+        self.active = false;
+    }
+
+    /// Rolls back the attempt (buffered writes are simply discarded).
+    pub fn abort(&mut self) {
+        debug_assert!(self.commit_seq.is_none(), "abort while holding the seqlock");
+        self.work += cost::ABORT_PENALTY;
+        self.reads.clear();
+        self.writes.clear();
+        self.active = false;
+    }
+
+    /// True while an attempt is active (begun, not yet committed/aborted).
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Drains accumulated work units (virtual cycles) since the last call.
+    #[inline]
+    pub fn take_work(&mut self) -> u64 {
+        std::mem::take(&mut self.work)
+    }
+
+    /// Read-set size of the current attempt.
+    pub fn read_set_len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Write-set size of the current attempt.
+    pub fn write_set_len(&self) -> usize {
+        self.writes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (NOrecGlobal, WordHeap) {
+        (NOrecGlobal::new(), WordHeap::new(64))
+    }
+
+    /// Runs one transaction to completion with spin-retry on Busy.
+    fn run_tx(
+        g: &NOrecGlobal,
+        h: &WordHeap,
+        tx: &mut NOrecTx,
+        body: impl Fn(&mut NOrecTx) -> OpResult<()>,
+    ) {
+        'attempt: loop {
+            while tx.begin(g).is_err() {}
+            match body(tx) {
+                Ok(()) => {}
+                Err(OpError::Conflict) => {
+                    tx.abort();
+                    continue 'attempt;
+                }
+                Err(OpError::Busy) => unreachable!("test bodies retry Busy internally"),
+            }
+            loop {
+                match tx.commit_begin(g, h) {
+                    Ok(CommitPhase::Done) => break 'attempt,
+                    Ok(CommitPhase::NeedsFinish { .. }) => {
+                        tx.commit_finish(g);
+                        break 'attempt;
+                    }
+                    Err(OpError::Busy) => continue,
+                    Err(OpError::Conflict) => {
+                        tx.abort();
+                        continue 'attempt;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn read_your_own_write() {
+        let (g, h) = setup();
+        let mut tx = NOrecTx::new();
+        tx.begin(&g).unwrap();
+        tx.write(Addr(1), 42).unwrap();
+        assert_eq!(tx.read(&g, &h, Addr(1)).unwrap(), 42);
+        assert_eq!(h.load(Addr(1)), 0, "write must be buffered, not in-place");
+        match tx.commit_begin(&g, &h).unwrap() {
+            CommitPhase::NeedsFinish { .. } => tx.commit_finish(&g),
+            CommitPhase::Done => panic!("writer tx must need finish"),
+        }
+        assert_eq!(h.load(Addr(1)), 42);
+    }
+
+    #[test]
+    fn read_only_commit_does_not_bump_clock() {
+        let (g, h) = setup();
+        let mut tx = NOrecTx::new();
+        tx.begin(&g).unwrap();
+        tx.read(&g, &h, Addr(0)).unwrap();
+        assert_eq!(tx.commit_begin(&g, &h).unwrap(), CommitPhase::Done);
+        assert_eq!(g.timestamp(), 0);
+    }
+
+    #[test]
+    fn writer_commit_bumps_clock_by_two() {
+        let (g, h) = setup();
+        let mut tx = NOrecTx::new();
+        run_tx(&g, &h, &mut tx, |tx| tx.write(Addr(0), 1));
+        assert_eq!(g.timestamp(), 2);
+        run_tx(&g, &h, &mut tx, |tx| tx.write(Addr(0), 2));
+        assert_eq!(g.timestamp(), 4);
+    }
+
+    #[test]
+    fn conflicting_read_is_detected() {
+        let (g, h) = setup();
+        let mut t1 = NOrecTx::new();
+        let mut t2 = NOrecTx::new();
+        t1.begin(&g).unwrap();
+        assert_eq!(t1.read(&g, &h, Addr(5)).unwrap(), 0);
+        // t2 commits a write to the same address.
+        run_tx(&g, &h, &mut t2, |tx| tx.write(Addr(5), 99));
+        // t1's next read triggers revalidation, which sees Addr(5) changed.
+        assert_eq!(t1.read(&g, &h, Addr(6)), Err(OpError::Conflict));
+        t1.abort();
+    }
+
+    #[test]
+    fn disjoint_writer_does_not_kill_reader() {
+        let (g, h) = setup();
+        let mut t1 = NOrecTx::new();
+        let mut t2 = NOrecTx::new();
+        t1.begin(&g).unwrap();
+        assert_eq!(t1.read(&g, &h, Addr(5)).unwrap(), 0);
+        run_tx(&g, &h, &mut t2, |tx| tx.write(Addr(9), 1));
+        // Value-based validation: Addr(5) is unchanged, so t1 survives
+        // (this is NOrec's advantage over timestamp-based validation).
+        assert_eq!(t1.read(&g, &h, Addr(6)).unwrap(), 0);
+        assert_eq!(t1.commit_begin(&g, &h).unwrap(), CommitPhase::Done);
+    }
+
+    #[test]
+    fn write_skew_of_doomed_writer_is_caught_at_commit() {
+        let (g, h) = setup();
+        let mut t1 = NOrecTx::new();
+        let mut t2 = NOrecTx::new();
+        t1.begin(&g).unwrap();
+        let v = t1.read(&g, &h, Addr(0)).unwrap();
+        t1.write(Addr(1), v + 1).unwrap();
+        // t2 commits a change to Addr(0) first.
+        run_tx(&g, &h, &mut t2, |tx| tx.write(Addr(0), 7));
+        // t1's commit CAS fails (clock moved), revalidation sees Addr(0)
+        // changed -> Conflict.
+        assert_eq!(t1.commit_begin(&g, &h), Err(OpError::Conflict));
+        t1.abort();
+        assert_eq!(h.load(Addr(1)), 0, "aborted writes must not leak");
+    }
+
+    #[test]
+    fn begin_is_busy_while_commit_lock_held() {
+        let (g, h) = setup();
+        let mut t1 = NOrecTx::new();
+        t1.begin(&g).unwrap();
+        t1.write(Addr(0), 5).unwrap();
+        let CommitPhase::NeedsFinish { cost } = t1.commit_begin(&g, &h).unwrap() else {
+            panic!("writer needs finish");
+        };
+        assert!(cost > 0);
+        let mut t2 = NOrecTx::new();
+        assert_eq!(t2.begin(&g), Err(OpError::Busy));
+        t1.commit_finish(&g);
+        assert!(t2.begin(&g).is_ok());
+        // And t2 observes t1's committed value.
+        assert_eq!(t2.read(&g, &h, Addr(0)).unwrap(), 5);
+    }
+
+    #[test]
+    fn reads_are_busy_while_commit_lock_held() {
+        let (g, h) = setup();
+        let mut t1 = NOrecTx::new();
+        let mut t2 = NOrecTx::new();
+        t2.begin(&g).unwrap();
+        t1.begin(&g).unwrap();
+        t1.write(Addr(0), 5).unwrap();
+        let _ = t1.commit_begin(&g, &h).unwrap();
+        assert_eq!(t2.read(&g, &h, Addr(3)), Err(OpError::Busy));
+        t1.commit_finish(&g);
+        // After release: t2 revalidates (empty read set) and proceeds.
+        assert_eq!(t2.read(&g, &h, Addr(3)).unwrap(), 0);
+    }
+
+    #[test]
+    fn work_units_accumulate_and_drain() {
+        let (g, h) = setup();
+        let mut tx = NOrecTx::new();
+        tx.begin(&g).unwrap();
+        tx.read(&g, &h, Addr(0)).unwrap();
+        tx.write(Addr(1), 1).unwrap();
+        let w = tx.take_work();
+        assert!(w > 0);
+        assert_eq!(tx.take_work(), 0, "drained");
+        tx.abort();
+        assert!(tx.take_work() >= cost::ABORT_PENALTY);
+    }
+
+    #[test]
+    fn snapshot_extension_lets_old_reader_keep_running() {
+        let (g, h) = setup();
+        let mut t1 = NOrecTx::new();
+        let mut t2 = NOrecTx::new();
+        t1.begin(&g).unwrap();
+        // Ten disjoint commits by t2; t1 revalidates through all of them.
+        for i in 0..10 {
+            run_tx(&g, &h, &mut t2, |tx| tx.write(Addr(20 + i), 1));
+            assert_eq!(t1.read(&g, &h, Addr(10)).unwrap(), 0);
+        }
+        assert_eq!(t1.commit_begin(&g, &h).unwrap(), CommitPhase::Done);
+    }
+}

@@ -1,0 +1,564 @@
+//! OrecEagerRedo: encounter-time locking with ownership records and a redo
+//! log (the RSTM algorithm the paper describes as "similar to TinySTM").
+//!
+//! A striped table of *ownership records* (orecs) guards the heap: each word
+//! hashes to one orec holding either a version timestamp (unlocked) or the
+//! locking transaction's identity (locked). Writers acquire the orec at
+//! **encounter time** (first write) and buffer the new value in a redo log;
+//! commit bumps the global version clock, validates the read set, writes the
+//! redo log back and releases the orecs at the new version.
+//!
+//! Conflict policy is *abort-self and restart immediately* on encountering a
+//! foreign lock — the aggressive policy under which the paper observes
+//! livelock at high thread counts: restarting transactions re-acquire locks
+//! and keep killing each other's progress (paper §III-D). RAC exists to
+//! break exactly this cycle by restricting admission.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use votm_utils::{hash_u64, CachePadded};
+
+use crate::cost;
+use crate::heap::{Addr, WordHeap};
+use crate::writeset::WriteSet;
+use crate::{CommitPhase, OpError, OpResult};
+
+/// Orec encoding: LSB = lock bit. Unlocked: `version << 1`. Locked:
+/// `(owner << 1) | 1` where `owner` is a non-zero transaction identity.
+/// Shared with the lazy variant (`orec_lazy`), which uses the same table.
+#[inline]
+pub(crate) fn pack_version(version: u64) -> u64 {
+    version << 1
+}
+
+#[inline]
+pub(crate) fn pack_owner(owner: u64) -> u64 {
+    (owner << 1) | 1
+}
+
+#[inline]
+pub(crate) fn is_locked(orec: u64) -> bool {
+    orec & 1 == 1
+}
+
+#[inline]
+pub(crate) fn version_of(orec: u64) -> u64 {
+    orec >> 1
+}
+
+#[inline]
+pub(crate) fn owner_of(orec: u64) -> u64 {
+    orec >> 1
+}
+
+/// Global state of one OrecEagerRedo instance.
+pub struct OrecGlobal {
+    clock: CachePadded<AtomicU64>,
+    orecs: Box<[CachePadded<AtomicU64>]>,
+    mask: usize,
+}
+
+impl OrecGlobal {
+    /// Default orec table size — RSTM uses 2^20 for a whole process; 2^12
+    /// per view keeps false conflicts below 1% for the workloads here while
+    /// staying cache-friendly.
+    pub const DEFAULT_ORECS: usize = 1 << 12;
+
+    /// New instance with the default orec table.
+    pub fn new() -> Self {
+        Self::with_orecs(Self::DEFAULT_ORECS)
+    }
+
+    /// New instance with `n` orecs (`n` must be a power of two).
+    pub fn with_orecs(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "orec count must be a power of two");
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || CachePadded::new(AtomicU64::new(0)));
+        Self {
+            clock: CachePadded::new(AtomicU64::new(0)),
+            orecs: v.into_boxed_slice(),
+            mask: n - 1,
+        }
+    }
+
+    /// The orec index guarding `addr`.
+    #[inline]
+    pub fn orec_index(&self, addr: Addr) -> usize {
+        (hash_u64(u64::from(addr.0)) as usize) & self.mask
+    }
+
+    #[inline]
+    fn orec(&self, idx: usize) -> &AtomicU64 {
+        &self.orecs[idx]
+    }
+
+    /// The orec word at `idx` (shared with the lazy variant).
+    #[inline]
+    pub(crate) fn orec_at(&self, idx: usize) -> &AtomicU64 {
+        &self.orecs[idx]
+    }
+
+    /// Current clock value.
+    #[inline]
+    pub(crate) fn clock_now(&self) -> u64 {
+        self.clock.load(Ordering::Acquire)
+    }
+
+    /// Atomically advances the clock, returning the new value.
+    #[inline]
+    pub(crate) fn clock_tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Current version clock (diagnostics).
+    pub fn timestamp(&self) -> u64 {
+        self.clock.load(Ordering::Acquire)
+    }
+}
+
+impl Default for OrecGlobal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for OrecGlobal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrecGlobal")
+            .field("clock", &self.timestamp())
+            .field("orecs", &self.orecs.len())
+            .finish()
+    }
+}
+
+/// One thread's OrecEagerRedo transaction context, reused across attempts.
+#[derive(Debug)]
+pub struct OrecTx {
+    /// Non-zero identity for lock ownership (thread index + 1).
+    owner: u64,
+    /// Snapshot of the version clock; all reads are consistent as of it.
+    start: u64,
+    /// Orec indices read (duplicates possible; validation tolerates them).
+    reads: Vec<u32>,
+    redo: WriteSet,
+    /// Orecs we hold, with the pre-lock value to restore on abort.
+    locked: Vec<(u32, u64)>,
+    work: u64,
+    active: bool,
+    /// Commit timestamp between `commit_begin` and `commit_finish`.
+    commit_version: Option<u64>,
+}
+
+impl OrecTx {
+    /// Context for the thread with 0-based index `thread_index`.
+    pub fn new(thread_index: usize) -> Self {
+        Self {
+            owner: thread_index as u64 + 1,
+            start: 0,
+            reads: Vec::new(),
+            redo: WriteSet::new(),
+            locked: Vec::new(),
+            work: 0,
+            active: false,
+            commit_version: None,
+        }
+    }
+
+    /// Starts an attempt (never Busy: there is no global lock to wait on).
+    pub fn begin(&mut self, global: &OrecGlobal) -> OpResult<()> {
+        debug_assert!(!self.active, "begin called with a transaction active");
+        debug_assert!(self.locked.is_empty());
+        self.start = global.clock.load(Ordering::Acquire);
+        self.reads.clear();
+        self.redo.clear();
+        self.work += cost::BEGIN;
+        self.active = true;
+        self.commit_version = None;
+        Ok(())
+    }
+
+    /// Timestamp extension: re-checks every read orec at a newer clock value
+    /// and, if all are still unlocked-or-mine at versions ≤ the snapshot,
+    /// advances the snapshot (the TinySTM "lazy snapshot extension").
+    fn extend(&mut self, global: &OrecGlobal) -> OpResult<()> {
+        let now = global.clock.load(Ordering::Acquire);
+        self.work += cost::VALIDATE_WORD * self.reads.len() as u64 + cost::METADATA_OP;
+        for &idx in &self.reads {
+            let ov = global.orec(idx as usize).load(Ordering::Acquire);
+            if is_locked(ov) {
+                if owner_of(ov) != self.owner {
+                    return Err(OpError::Conflict);
+                }
+            } else if version_of(ov) > self.start {
+                // Re-written since we read it: the value we hold is stale.
+                return Err(OpError::Conflict);
+            }
+        }
+        self.start = now;
+        Ok(())
+    }
+
+    /// Transactional read of `addr`.
+    pub fn read(&mut self, global: &OrecGlobal, heap: &WordHeap, addr: Addr) -> OpResult<u64> {
+        debug_assert!(self.active);
+        if let Some(v) = self.redo.get(addr) {
+            self.work += cost::LOCAL_ACCESS;
+            return Ok(v);
+        }
+        self.work += cost::SHARED_ACCESS;
+        let idx = global.orec_index(addr);
+        let pre = global.orec(idx).load(Ordering::Acquire);
+        if is_locked(pre) {
+            if owner_of(pre) == self.owner {
+                // We hold the orec (for some address striped onto it); the
+                // heap still has pre-commit values, which is what we want.
+                let v = heap.load(addr);
+                self.reads.push(idx as u32);
+                return Ok(v);
+            }
+            // Foreign writer holds the orec. RSTM/TinySTM readers *spin*
+            // until the lock is released rather than aborting — only
+            // write-write conflicts abort at encounter time. `Busy` is the
+            // polled equivalent of that spin.
+            return Err(OpError::Busy);
+        }
+        if version_of(pre) > self.start {
+            // Location written after our snapshot; try to extend it.
+            self.extend(global)?;
+        }
+        let v = heap.load(addr);
+        let post = global.orec(idx).load(Ordering::Acquire);
+        if post != pre {
+            // Changed under us (locked or re-versioned): transient — the
+            // caller may retry this read, which will re-examine the orec.
+            return Err(OpError::Busy);
+        }
+        self.reads.push(idx as u32);
+        Ok(v)
+    }
+
+    /// Transactional write: acquires the orec at encounter time, buffers the
+    /// value in the redo log.
+    pub fn write(&mut self, global: &OrecGlobal, addr: Addr, value: u64) -> OpResult<()> {
+        debug_assert!(self.active);
+        self.work += cost::SHARED_ACCESS;
+        let idx = global.orec_index(addr);
+        let ov = global.orec(idx).load(Ordering::Acquire);
+        if is_locked(ov) {
+            if owner_of(ov) == self.owner {
+                self.redo.insert(addr, value);
+                return Ok(());
+            }
+            // Write-write conflict detected at encounter time.
+            return Err(OpError::Conflict);
+        }
+        if version_of(ov) > self.start {
+            self.extend(global)?;
+        }
+        self.work += cost::METADATA_OP;
+        match global.orec(idx).compare_exchange(
+            ov,
+            pack_owner(self.owner),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                self.locked.push((idx as u32, ov));
+                self.redo.insert(addr, value);
+                Ok(())
+            }
+            // Lost the race for the orec; transient, re-examine on retry.
+            Err(_) => Err(OpError::Busy),
+        }
+    }
+
+    /// First commit phase.
+    ///
+    /// Read-only transactions complete immediately (`Done`): their reads
+    /// were consistent as of `start` and no global state changes. Writers
+    /// bump the clock, validate reads, write the redo log back and return
+    /// `NeedsFinish` with the orecs still held.
+    pub fn commit_begin(&mut self, global: &OrecGlobal, heap: &WordHeap) -> OpResult<CommitPhase> {
+        debug_assert!(self.active);
+        if self.locked.is_empty() {
+            self.active = false;
+            self.work += cost::COMMIT_BASE / 2;
+            return Ok(CommitPhase::Done);
+        }
+        self.work += cost::METADATA_OP;
+        let end = global.clock.fetch_add(1, Ordering::AcqRel) + 1;
+        if end != self.start + 1 {
+            // Someone committed since our snapshot: validate the read set.
+            self.work += cost::VALIDATE_WORD * self.reads.len() as u64;
+            for &idx in &self.reads {
+                let ov = global.orec(idx as usize).load(Ordering::Acquire);
+                if is_locked(ov) {
+                    if owner_of(ov) != self.owner {
+                        return Err(OpError::Conflict);
+                    }
+                } else if version_of(ov) > self.start {
+                    return Err(OpError::Conflict);
+                }
+            }
+        }
+        let n = self.redo.len() as u64;
+        for (addr, value) in self.redo.iter() {
+            heap.store(addr, value);
+        }
+        let write_cost = cost::COMMIT_BASE + n * cost::WRITEBACK_WORD;
+        self.work += write_cost;
+        self.commit_version = Some(end);
+        Ok(CommitPhase::NeedsFinish { cost: write_cost })
+    }
+
+    /// Second commit phase: releases every held orec at the commit version.
+    pub fn commit_finish(&mut self, global: &OrecGlobal) {
+        let end = self
+            .commit_version
+            .take()
+            .expect("commit_finish without commit_begin");
+        for &(idx, _) in &self.locked {
+            global.orec(idx as usize).store(pack_version(end), Ordering::Release);
+        }
+        self.work += cost::METADATA_OP * self.locked.len() as u64;
+        self.locked.clear();
+        self.active = false;
+    }
+
+    /// Rolls back: restores every held orec to its pre-lock value and
+    /// discards the redo log (the heap was never touched).
+    pub fn abort(&mut self, global: &OrecGlobal) {
+        debug_assert!(
+            self.commit_version.is_none(),
+            "abort after successful commit_begin"
+        );
+        for &(idx, prev) in &self.locked {
+            global.orec(idx as usize).store(prev, Ordering::Release);
+        }
+        self.work += cost::ABORT_PENALTY + cost::METADATA_OP * self.locked.len() as u64;
+        self.locked.clear();
+        self.reads.clear();
+        self.redo.clear();
+        self.active = false;
+    }
+
+    /// True while an attempt is active.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Drains accumulated work units since the last call.
+    #[inline]
+    pub fn take_work(&mut self) -> u64 {
+        std::mem::take(&mut self.work)
+    }
+
+    /// Read-set size (orec granularity) of the current attempt.
+    pub fn read_set_len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Write-set size of the current attempt.
+    pub fn write_set_len(&self) -> usize {
+        self.redo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (OrecGlobal, WordHeap) {
+        (OrecGlobal::with_orecs(1 << 10), WordHeap::new(256))
+    }
+
+    fn run_tx(
+        g: &OrecGlobal,
+        h: &WordHeap,
+        tx: &mut OrecTx,
+        body: impl Fn(&mut OrecTx) -> OpResult<()>,
+    ) {
+        'attempt: loop {
+            tx.begin(g).unwrap();
+            match body(tx) {
+                Ok(()) => {}
+                Err(_) => {
+                    tx.abort(g);
+                    continue 'attempt;
+                }
+            }
+            match tx.commit_begin(g, h) {
+                Ok(CommitPhase::Done) => break,
+                Ok(CommitPhase::NeedsFinish { .. }) => {
+                    tx.commit_finish(g);
+                    break;
+                }
+                Err(_) => {
+                    tx.abort(g);
+                    continue 'attempt;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn redo_log_defers_heap_writes() {
+        let (g, h) = setup();
+        let mut tx = OrecTx::new(0);
+        tx.begin(&g).unwrap();
+        tx.write(&g, Addr(1), 7).unwrap();
+        assert_eq!(h.load(Addr(1)), 0, "eager lock, lazy (redo) data");
+        assert_eq!(tx.read(&g, &h, Addr(1)).unwrap(), 7, "read-own-write");
+        match tx.commit_begin(&g, &h).unwrap() {
+            CommitPhase::NeedsFinish { .. } => tx.commit_finish(&g),
+            CommitPhase::Done => panic!(),
+        }
+        assert_eq!(h.load(Addr(1)), 7);
+    }
+
+    #[test]
+    fn encounter_time_write_write_conflict() {
+        let (g, h) = setup();
+        let mut t1 = OrecTx::new(0);
+        let mut t2 = OrecTx::new(1);
+        t1.begin(&g).unwrap();
+        t2.begin(&g).unwrap();
+        t1.write(&g, Addr(3), 1).unwrap();
+        // t2 hits t1's lock immediately — *before* either commits. This is
+        // the defining ETL behaviour.
+        assert_eq!(t2.write(&g, Addr(3), 2), Err(OpError::Conflict));
+        t2.abort(&g);
+        let _ = h;
+        t1.abort(&g);
+    }
+
+    #[test]
+    fn read_of_locked_location_waits_then_succeeds() {
+        let (g, h) = setup();
+        let mut t1 = OrecTx::new(0);
+        let mut t2 = OrecTx::new(1);
+        t1.begin(&g).unwrap();
+        t1.write(&g, Addr(3), 1).unwrap();
+        t2.begin(&g).unwrap();
+        // RSTM-style readers spin on a foreign lock (polled as Busy)...
+        assert_eq!(t2.read(&g, &h, Addr(3)), Err(OpError::Busy));
+        // ...and proceed once the writer releases.
+        t1.abort(&g);
+        assert_eq!(t2.read(&g, &h, Addr(3)), Ok(0));
+        t2.abort(&g);
+    }
+
+    #[test]
+    fn abort_restores_orec_versions() {
+        let (g, h) = setup();
+        let mut t1 = OrecTx::new(0);
+        // Commit once so the orec has a non-zero version.
+        run_tx(&g, &h, &mut t1, |tx| tx.write(&g, Addr(3), 5));
+        let idx = g.orec_index(Addr(3));
+        let before = g.orec(idx).load(Ordering::Relaxed);
+        assert!(!is_locked(before));
+        t1.begin(&g).unwrap();
+        t1.write(&g, Addr(3), 9).unwrap();
+        assert!(is_locked(g.orec(idx).load(Ordering::Relaxed)));
+        t1.abort(&g);
+        assert_eq!(g.orec(idx).load(Ordering::Relaxed), before);
+        assert_eq!(h.load(Addr(3)), 5, "heap untouched by aborted writer");
+    }
+
+    #[test]
+    fn validation_kills_stale_reader_at_commit() {
+        let (g, h) = setup();
+        let mut t1 = OrecTx::new(0);
+        let mut t2 = OrecTx::new(1);
+        t1.begin(&g).unwrap();
+        assert_eq!(t1.read(&g, &h, Addr(0)).unwrap(), 0);
+        t1.write(&g, Addr(50), 1).unwrap(); // make t1 a writer
+        // t2 commits a write to Addr(0) after t1 read it.
+        run_tx(&g, &h, &mut t2, |tx| tx.write(&g, Addr(0), 9));
+        assert_eq!(t1.commit_begin(&g, &h), Err(OpError::Conflict));
+        t1.abort(&g);
+        assert_eq!(h.load(Addr(50)), 0);
+    }
+
+    #[test]
+    fn timestamp_extension_saves_disjoint_reader() {
+        let (g, h) = setup();
+        let mut t1 = OrecTx::new(0);
+        let mut t2 = OrecTx::new(1);
+        t1.begin(&g).unwrap();
+        assert_eq!(t1.read(&g, &h, Addr(0)).unwrap(), 0);
+        // Ten disjoint commits move the clock well past t1's snapshot.
+        for i in 0..10 {
+            run_tx(&g, &h, &mut t2, |tx| tx.write(&g, Addr(100 + i), 1));
+        }
+        // Reading a freshly-versioned location triggers extension, which
+        // succeeds because Addr(0)'s orec is still at an old version.
+        run_tx(&g, &h, &mut t2, |tx| tx.write(&g, Addr(60), 1));
+        assert_eq!(t1.read(&g, &h, Addr(60)).unwrap(), 1);
+        assert_eq!(t1.commit_begin(&g, &h).unwrap(), CommitPhase::Done);
+    }
+
+    #[test]
+    fn committed_values_visible_to_later_tx() {
+        let (g, h) = setup();
+        let mut t1 = OrecTx::new(0);
+        run_tx(&g, &h, &mut t1, |tx| {
+            tx.write(&g, Addr(10), 123)?;
+            tx.write(&g, Addr(11), 456)
+        });
+        let mut t2 = OrecTx::new(1);
+        t2.begin(&g).unwrap();
+        assert_eq!(t2.read(&g, &h, Addr(10)).unwrap(), 123);
+        assert_eq!(t2.read(&g, &h, Addr(11)).unwrap(), 456);
+        assert_eq!(t2.commit_begin(&g, &h).unwrap(), CommitPhase::Done);
+    }
+
+    #[test]
+    fn clock_advances_once_per_writer_commit() {
+        let (g, h) = setup();
+        let mut t1 = OrecTx::new(0);
+        assert_eq!(g.timestamp(), 0);
+        run_tx(&g, &h, &mut t1, |tx| tx.write(&g, Addr(0), 1));
+        assert_eq!(g.timestamp(), 1);
+        run_tx(&g, &h, &mut t1, |tx| tx.write(&g, Addr(1), 1));
+        assert_eq!(g.timestamp(), 2);
+    }
+
+    #[test]
+    fn same_orec_double_write_locks_once() {
+        let (g, h) = setup();
+        let mut t1 = OrecTx::new(0);
+        t1.begin(&g).unwrap();
+        t1.write(&g, Addr(4), 1).unwrap();
+        t1.write(&g, Addr(4), 2).unwrap();
+        assert_eq!(t1.locked.len(), 1);
+        match t1.commit_begin(&g, &h).unwrap() {
+            CommitPhase::NeedsFinish { .. } => t1.commit_finish(&g),
+            CommitPhase::Done => panic!(),
+        }
+        assert_eq!(h.load(Addr(4)), 2);
+    }
+
+    #[test]
+    fn mutual_abort_cycle_is_possible() {
+        // The livelock seed: two transactions repeatedly killing each other.
+        // One round of it, deterministically.
+        let (g, h) = setup();
+        let mut t1 = OrecTx::new(0);
+        let mut t2 = OrecTx::new(1);
+        t1.begin(&g).unwrap();
+        t2.begin(&g).unwrap();
+        t1.write(&g, Addr(0), 1).unwrap();
+        t2.write(&g, Addr(1), 2).unwrap();
+        // Each now needs the other's location.
+        assert_eq!(t2.write(&g, Addr(0), 2), Err(OpError::Conflict));
+        t2.abort(&g);
+        t2.begin(&g).unwrap();
+        t2.write(&g, Addr(1), 2).unwrap(); // re-acquires its lock
+        assert_eq!(t1.write(&g, Addr(1), 1), Err(OpError::Conflict));
+        t1.abort(&g);
+        // ... and so on forever without admission control.
+        t2.abort(&g);
+        let _ = h;
+    }
+}

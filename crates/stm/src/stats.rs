@@ -1,0 +1,165 @@
+//! Per-TM-instance statistics — exactly the quantities in the paper's
+//! tables: #tx, #abort, CPU cycles in aborted and successful transactions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use votm_utils::CachePadded;
+
+/// Shared counters for one TM instance (one view).
+///
+/// Updated with relaxed atomics on commit/abort boundaries; the counts feed
+/// both the reported tables and the RAC δ(Q) estimator (Eq. 5):
+///
+/// ```text
+/// δ(Q) = cycles_aborted_tx / (cycles_successful_tx · (Q − 1))
+/// ```
+#[derive(Debug, Default)]
+pub struct TmStats {
+    commits: CachePadded<AtomicU64>,
+    aborts: CachePadded<AtomicU64>,
+    cycles_aborted: CachePadded<AtomicU64>,
+    cycles_successful: CachePadded<AtomicU64>,
+    busy_retries: CachePadded<AtomicU64>,
+    gate_wait_cycles: CachePadded<AtomicU64>,
+}
+
+impl TmStats {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one committed transaction that consumed `cycles`.
+    #[inline]
+    pub fn record_commit(&self, cycles: u64) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.cycles_successful.fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    /// Records one aborted attempt that wasted `cycles`.
+    #[inline]
+    pub fn record_abort(&self, cycles: u64) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+        self.cycles_aborted.fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    /// Records a `Busy` retry (seqlock held, lost CAS race).
+    #[inline]
+    pub fn record_busy(&self) {
+        self.busy_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records cycles a thread spent blocked at the admission gate — the
+    /// direct cost RAC pays to buy fewer aborts.
+    #[inline]
+    pub fn record_gate_wait(&self, cycles: u64) {
+        self.gate_wait_cycles.fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough snapshot for reporting (individual counters are
+    /// exact; cross-counter skew is bounded by one in-flight transaction).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            cycles_aborted: self.cycles_aborted.load(Ordering::Relaxed),
+            cycles_successful: self.cycles_successful.load(Ordering::Relaxed),
+            busy_retries: self.busy_retries.load(Ordering::Relaxed),
+            gate_wait_cycles: self.gate_wait_cycles.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`TmStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Committed transactions ("#tx" in the paper's tables).
+    pub commits: u64,
+    /// Aborted attempts ("#abort").
+    pub aborts: u64,
+    /// Cycles spent in ultimately-aborted attempts.
+    pub cycles_aborted: u64,
+    /// Cycles spent in committed attempts.
+    pub cycles_successful: u64,
+    /// Busy-wait retries (not an abort; diagnostic only).
+    pub busy_retries: u64,
+    /// Cycles threads spent blocked at the admission gate.
+    pub gate_wait_cycles: u64,
+}
+
+impl StatsSnapshot {
+    /// The paper's δ(Q) estimate (Eq. 5). `None` when Q ≤ 1 (the paper
+    /// reports "N/A": with one thread admitted there is no concurrency to
+    /// restrict) or when no successful cycles have accrued yet.
+    pub fn delta(&self, quota: u32) -> Option<f64> {
+        if quota <= 1 || self.cycles_successful == 0 {
+            return None;
+        }
+        Some(
+            self.cycles_aborted as f64
+                / (self.cycles_successful as f64 * f64::from(quota - 1)),
+        )
+    }
+
+    /// Difference `self − earlier`, for windowed estimation.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            commits: self.commits - earlier.commits,
+            aborts: self.aborts - earlier.aborts,
+            cycles_aborted: self.cycles_aborted - earlier.cycles_aborted,
+            cycles_successful: self.cycles_successful - earlier.cycles_successful,
+            busy_retries: self.busy_retries - earlier.busy_retries,
+            gate_wait_cycles: self.gate_wait_cycles - earlier.gate_wait_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_abort_accounting() {
+        let s = TmStats::new();
+        s.record_commit(100);
+        s.record_commit(50);
+        s.record_abort(30);
+        let snap = s.snapshot();
+        assert_eq!(snap.commits, 2);
+        assert_eq!(snap.aborts, 1);
+        assert_eq!(snap.cycles_successful, 150);
+        assert_eq!(snap.cycles_aborted, 30);
+    }
+
+    #[test]
+    fn delta_matches_equation_five() {
+        let snap = StatsSnapshot {
+            commits: 10,
+            aborts: 5,
+            cycles_aborted: 300,
+            cycles_successful: 100,
+            busy_retries: 0,
+            gate_wait_cycles: 0,
+        };
+        // delta(Q=4) = 300 / (100 * 3) = 1.0
+        assert!((snap.delta(4).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(snap.delta(1), None, "Q=1 has no delta (paper: N/A)");
+        let empty = StatsSnapshot::default();
+        assert_eq!(empty.delta(4), None);
+    }
+
+    #[test]
+    fn windowed_difference() {
+        let s = TmStats::new();
+        s.record_commit(10);
+        let w0 = s.snapshot();
+        s.record_commit(20);
+        s.record_abort(5);
+        let w1 = s.snapshot();
+        let d = w1.since(&w0);
+        assert_eq!(d.commits, 1);
+        assert_eq!(d.aborts, 1);
+        assert_eq!(d.cycles_successful, 20);
+        assert_eq!(d.cycles_aborted, 5);
+    }
+}

@@ -1,0 +1,103 @@
+//! Transaction write set: address → pending value, iterable in insertion
+//! order for deterministic writeback.
+
+use crate::heap::Addr;
+use votm_utils::FxHashMap;
+
+/// Buffered writes of one transaction attempt.
+///
+/// Reused across attempts (`clear` keeps capacity) because the paper's
+/// workloads retry millions of times and per-attempt allocation would swamp
+/// every measurement.
+#[derive(Debug, Default)]
+pub struct WriteSet {
+    index: FxHashMap<u32, usize>,
+    entries: Vec<(Addr, u64)>,
+}
+
+impl WriteSet {
+    /// Empty write set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers `value` for `addr`, replacing any earlier write to it.
+    #[inline]
+    pub fn insert(&mut self, addr: Addr, value: u64) {
+        match self.index.get(&addr.0) {
+            Some(&i) => self.entries[i].1 = value,
+            None => {
+                self.index.insert(addr.0, self.entries.len());
+                self.entries.push((addr, value));
+            }
+        }
+    }
+
+    /// The pending value for `addr`, if written this attempt.
+    #[inline]
+    pub fn get(&self, addr: Addr) -> Option<u64> {
+        self.index.get(&addr.0).map(|&i| self.entries[i].1)
+    }
+
+    /// Number of distinct addresses written.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no writes are buffered (read-only transaction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(addr, value)` in first-write order.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Discards all writes, keeping capacity.
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut ws = WriteSet::new();
+        assert!(ws.is_empty());
+        ws.insert(Addr(5), 10);
+        ws.insert(Addr(6), 20);
+        ws.insert(Addr(5), 11);
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws.get(Addr(5)), Some(11));
+        assert_eq!(ws.get(Addr(6)), Some(20));
+        assert_eq!(ws.get(Addr(7)), None);
+    }
+
+    #[test]
+    fn iteration_preserves_first_write_order() {
+        let mut ws = WriteSet::new();
+        ws.insert(Addr(9), 1);
+        ws.insert(Addr(2), 2);
+        ws.insert(Addr(9), 3);
+        let order: Vec<_> = ws.iter().collect();
+        assert_eq!(order, vec![(Addr(9), 3), (Addr(2), 2)]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut ws = WriteSet::new();
+        ws.insert(Addr(1), 1);
+        ws.clear();
+        assert!(ws.is_empty());
+        assert_eq!(ws.get(Addr(1)), None);
+        ws.insert(Addr(1), 9);
+        assert_eq!(ws.get(Addr(1)), Some(9));
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the STM building blocks.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use votm_stm::instance::run_sync;
+use votm_stm::writeset::WriteSet;
+use votm_stm::{Addr, TmAlgorithm, TmInstance, WordHeap};
+
+const HEAP_WORDS: u64 = 64;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read(u32),
+    Write(u32, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..HEAP_WORDS as u32).prop_map(Op::Read),
+        (0..HEAP_WORDS as u32, any::<u64>()).prop_map(|(a, v)| Op::Write(a, v)),
+    ]
+}
+
+proptest! {
+    /// A single-threaded sequence of transactions, each a random op list,
+    /// behaves exactly like a flat HashMap: every read sees the latest
+    /// committed (or own buffered) write. Checked for both algorithms.
+    #[test]
+    fn sequential_transactions_match_reference_model(
+        txs in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(), 1..12),
+            1..12,
+        ),
+    ) {
+        for algo in TmAlgorithm::ALL {
+            let inst = TmInstance::new(algo, HEAP_WORDS as usize);
+            let mut model: HashMap<u32, u64> = HashMap::new();
+            for ops in &txs {
+                let mut tx_model = model.clone();
+                run_sync(&inst, 0, |tx, inst| {
+                    // NB: the closure can re-run; rebuild tx-local model.
+                    tx_model = model.clone();
+                    for op in ops {
+                        match *op {
+                            Op::Read(a) => {
+                                let got = tx.read(inst, Addr(a))?;
+                                let want = tx_model.get(&a).copied().unwrap_or(0);
+                                assert_eq!(got, want, "{algo:?} read {a}");
+                            }
+                            Op::Write(a, v) => {
+                                tx.write(inst, Addr(a), v)?;
+                                tx_model.insert(a, v);
+                            }
+                        }
+                    }
+                    Ok(())
+                });
+                model = tx_model.clone();
+            }
+            for (a, v) in &model {
+                prop_assert_eq!(inst.heap().load(Addr(*a)), *v, "{:?} final", algo);
+            }
+        }
+    }
+
+    /// The allocator never hands out overlapping live blocks, regardless of
+    /// the alloc/free interleaving.
+    #[test]
+    fn allocator_blocks_never_overlap(
+        script in proptest::collection::vec((any::<bool>(), 1u32..16), 1..200),
+    ) {
+        let heap = WordHeap::new(16_384);
+        let mut live: Vec<(Addr, u32)> = Vec::new();
+        for (is_alloc, size) in script {
+            if is_alloc || live.is_empty() {
+                if let Some(addr) = heap.alloc_block(size) {
+                    // Overlap check against every live block.
+                    for &(base, len) in &live {
+                        let disjoint = addr.0 + size <= base.0 || base.0 + len <= addr.0;
+                        prop_assert!(
+                            disjoint,
+                            "block {addr:?}+{size} overlaps {base:?}+{len}"
+                        );
+                    }
+                    live.push((addr, size));
+                }
+            } else {
+                let idx = (size as usize) % live.len();
+                let (addr, _) = live.swap_remove(idx);
+                heap.free_block(addr);
+            }
+        }
+        prop_assert_eq!(heap.live_blocks(), live.len());
+    }
+
+    /// WriteSet behaves as an insertion-ordered map.
+    #[test]
+    fn writeset_matches_reference(
+        ops in proptest::collection::vec((0u32..32, any::<u64>()), 0..64),
+    ) {
+        let mut ws = WriteSet::new();
+        let mut model: HashMap<u32, u64> = HashMap::new();
+        let mut order: Vec<u32> = Vec::new();
+        for (a, v) in &ops {
+            if !model.contains_key(a) {
+                order.push(*a);
+            }
+            ws.insert(Addr(*a), *v);
+            model.insert(*a, *v);
+        }
+        prop_assert_eq!(ws.len(), model.len());
+        for (a, v) in &model {
+            prop_assert_eq!(ws.get(Addr(*a)), Some(*v));
+        }
+        let got_order: Vec<u32> = ws.iter().map(|(a, _)| a.0).collect();
+        prop_assert_eq!(got_order, order, "first-write order must be stable");
+    }
+
+    /// Aborted transactions leave no trace on the heap (both algorithms).
+    #[test]
+    fn aborted_attempts_are_invisible(
+        writes in proptest::collection::vec((0u32..32, any::<u64>()), 1..16),
+    ) {
+        for algo in TmAlgorithm::ALL {
+            let inst = TmInstance::new(algo, 64);
+            // Seed known values.
+            run_sync(&inst, 0, |tx, inst| {
+                for a in 0..32u32 {
+                    tx.write(inst, Addr(a), u64::from(a) + 1000)?;
+                }
+                Ok(())
+            });
+            // Start, write, abort by hand.
+            let mut ctx = inst.tx_ctx(1);
+            ctx.begin(&inst).unwrap();
+            for (a, v) in &writes {
+                ctx.write(&inst, Addr(*a), *v).unwrap();
+            }
+            ctx.abort(&inst);
+            for a in 0..32u32 {
+                prop_assert_eq!(
+                    inst.heap().load(Addr(a)),
+                    u64::from(a) + 1000,
+                    "{:?}: abort leaked a write to {}", algo, a
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Bounded exponential spin backoff for real-thread retry loops.
+//!
+//! Simulator-mode retries never spin (the executor advances virtual time
+//! instead); this type is only exercised by the real-thread runtime and by
+//! the STM's own concurrency tests.
+
+use core::hint::spin_loop;
+
+/// Exponential backoff: spin a growing number of `pause` instructions, then
+/// start yielding the OS thread once the limit is reached.
+///
+/// Yielding matters on this reproduction's 1-core host: pure spinning would
+/// burn a whole timeslice before the lock holder ever runs again.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    step: u32,
+}
+
+/// 2^SPIN_LIMIT pauses is the largest busy-wait before we start yielding.
+const SPIN_LIMIT: u32 = 6;
+
+impl Backoff {
+    /// Fresh backoff state (shortest wait first).
+    pub const fn new() -> Self {
+        Self { step: 0 }
+    }
+
+    /// Resets to the shortest wait.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Waits once, escalating the wait for next time.
+    #[inline]
+    pub fn snooze(&mut self) {
+        if self.step <= SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        self.step = (self.step + 1).min(SPIN_LIMIT + 1);
+    }
+
+    /// True once the backoff has escalated past busy-waiting — callers that
+    /// can block (park, condvar) should do so at this point.
+    pub fn is_completed(&self) -> bool {
+        self.step > SPIN_LIMIT
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_to_completed() {
+        let mut b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..=SPIN_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+}

@@ -1,0 +1,72 @@
+//! CPU cycle measurement.
+//!
+//! The paper estimates δ(Q) (Eq. 5) from `rdtsc()` deltas around transaction
+//! attempts. In real-thread mode we do the same; in simulator mode virtual
+//! cycles are accounted by the transaction context itself and this module is
+//! unused. `CycleSource` abstracts over the two so the RAC controller is
+//! agnostic.
+
+/// Reads the timestamp counter on x86-64; falls back to a monotonic
+/// nanosecond clock elsewhere (nanoseconds are a fine stand-in because δ(Q)
+/// is a unit-free ratio).
+#[inline]
+pub fn rdtsc() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_rdtsc` has no preconditions; it is always available on
+    // x86-64 (RDTSC has been unprivileged since the Pentium).
+    unsafe {
+        core::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        use std::time::Instant;
+        static START: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+        let start = *START.get_or_init(Instant::now);
+        Instant::now().duration_since(start).as_nanos() as u64
+    }
+}
+
+/// Where a cycle measurement comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleSource {
+    /// Hardware timestamp counter (real-thread executions).
+    Hardware,
+    /// Virtual cycles accounted by the simulator's cost model.
+    Virtual,
+}
+
+impl CycleSource {
+    /// Current cycle count for [`CycleSource::Hardware`]. Virtual-cycle users
+    /// never call this; they report work units directly.
+    #[inline]
+    pub fn now(self) -> u64 {
+        match self {
+            CycleSource::Hardware => rdtsc(),
+            CycleSource::Virtual => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdtsc_is_monotonic_enough() {
+        let a = rdtsc();
+        // Do a little work so the counter moves even at coarse granularity.
+        let mut x = 0u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_add(i).rotate_left(7);
+        }
+        std::hint::black_box(x);
+        let b = rdtsc();
+        assert!(b > a, "rdtsc did not advance: {a} -> {b}");
+    }
+
+    #[test]
+    fn hardware_source_reads_counter() {
+        assert!(CycleSource::Hardware.now() > 0);
+        assert_eq!(CycleSource::Virtual.now(), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Small deterministic PRNGs for workload generation and scheduler jitter.
+//!
+//! The benchmark harness must be bit-for-bit reproducible across runs given
+//! the same seed (the paper's experiments fix `-s1`), so we use tiny
+//! explicit-state generators rather than thread-local entropy.
+
+/// `xorshift64*` — one multiply and three shifts per word; the inner-loop
+/// generator for Eigenbench's random access streams.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator. A zero seed is remapped (xorshift's one fixed
+    /// point) so every seed is usable.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+        }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift range reduction (Lemire); bias is < 2^-32 for the
+        // array sizes used here, far below measurement noise.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `usize` index in `[0, bound)`.
+    #[inline]
+    pub fn next_index(&mut self, bound: usize) -> usize {
+        self.next_below(bound as u64) as usize
+    }
+
+    /// `true` with probability `percent / 100`.
+    #[inline]
+    pub fn chance_percent(&mut self, percent: u64) -> bool {
+        self.next_below(100) < percent
+    }
+}
+
+/// SplitMix64 — used to derive independent per-thread seeds from one run
+/// seed, so adding a thread never perturbs the streams of the others.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a seed sequence starting at `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next derived seed.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Derives a ready-to-use [`XorShift64`].
+    pub fn derive(&mut self) -> XorShift64 {
+        XorShift64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = XorShift64::new(1);
+        let mut b = XorShift64::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn bounded_values_in_range() {
+        let mut r = XorShift64::new(42);
+        for _ in 0..10_000 {
+            assert!(r.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn bounded_values_roughly_uniform() {
+        let mut r = XorShift64::new(7);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.next_index(8)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn chance_percent_extremes() {
+        let mut r = XorShift64::new(3);
+        for _ in 0..100 {
+            assert!(!r.chance_percent(0));
+            assert!(r.chance_percent(100));
+        }
+    }
+
+    #[test]
+    fn splitmix_derives_distinct_streams() {
+        let mut sm = SplitMix64::new(1);
+        let mut a = sm.derive();
+        let mut b = sm.derive();
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+}

@@ -1,0 +1,66 @@
+//! Runs a scaled-down version of the paper's modified two-view Eigenbench
+//! across the four program versions (single-view / multi-view / multi-TM /
+//! TM) and both STM algorithms, printing a comparison like Tables VI and X.
+//!
+//! ```text
+//! cargo run --release --example eigenbench_demo [scale]
+//! ```
+//!
+//! `scale` defaults to 0.0005 (50 loops per thread per view); 1.0 is the
+//! paper's full size.
+
+use votm_repro::eigenbench::{run_sim, EigenConfig, Version};
+use votm_repro::sim::{RunStatus, SimConfig};
+use votm_repro::votm::{QuotaMode, TmAlgorithm};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.0005);
+    let config = EigenConfig::paper_table2(scale);
+    println!(
+        "Eigenbench (Table II params, {} loops/thread/view, N={})\n",
+        config.view1.loops, config.n_threads
+    );
+
+    for algo in TmAlgorithm::ALL {
+        println!("--- VOTM-{} ---", algo.name());
+        // Anchor the livelock watchdog at the lock-mode makespan.
+        let baseline = run_sim(
+            &config,
+            algo,
+            Version::SingleView,
+            [QuotaMode::Fixed(1), QuotaMode::Fixed(1)],
+            SimConfig::default(),
+        )
+        .outcome
+        .vtime;
+        for version in Version::ALL {
+            let res = run_sim(
+                &config,
+                algo,
+                version,
+                [QuotaMode::Adaptive, QuotaMode::Adaptive],
+                SimConfig {
+                    vtime_cap: Some(baseline * 16),
+                    ..Default::default()
+                },
+            );
+            let quotas: Vec<u32> = res.views.iter().map(|v| v.quota).collect();
+            let aborts: u64 = res.views.iter().map(|v| v.tm.aborts).sum();
+            match res.outcome.status {
+                RunStatus::Completed => println!(
+                    "{:12} makespan {:>10} cycles, Q={:?}, aborts {}",
+                    version.name(),
+                    res.outcome.vtime,
+                    quotas,
+                    aborts
+                ),
+                other => println!("{:12} {:?}", version.name(), other),
+            }
+        }
+        println!();
+    }
+    println!("eigenbench_demo OK");
+}

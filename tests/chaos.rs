@@ -1,0 +1,172 @@
+//! Chaos testing: randomized multi-structure workloads across two views
+//! with strict conservation invariants, swept over seeds, algorithms and
+//! quota modes. Every token that enters the system must come out exactly
+//! once — lost updates, duplicated pops, phantom map entries or leaked
+//! nodes all fail the final audit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use votm_repro::ds::{TxHashMap, TxQueue, TxTreap};
+use votm_repro::sim::{RunStatus, SimConfig, SimExecutor};
+use votm_repro::utils::{SplitMix64, XorShift64};
+use votm_repro::votm::{QuotaMode, TmAlgorithm, Votm, VotmConfig};
+
+const THREADS: u64 = 8;
+const TOKENS_PER_THREAD: u64 = 40;
+
+/// Each token is pushed into the queue (view A), then migrated by a random
+/// consumer into either the hash map or the treap (view B), then counted.
+fn chaos_round(algo: TmAlgorithm, quota: QuotaMode, seed: u64) {
+    let sys = Votm::new(VotmConfig {
+        algorithm: algo,
+        n_threads: THREADS as u32,
+        ..Default::default()
+    });
+    let qview = sys.create_view(65_536, quota);
+    let mview = sys.create_view(262_144, quota);
+    let queue = TxQueue::create(&qview);
+    let map = TxHashMap::create(&mview, 64);
+    let treap = TxTreap::create(&mview);
+    let consumed = Arc::new(AtomicU64::new(0));
+    let total = THREADS * TOKENS_PER_THREAD;
+
+    let mut seeds = SplitMix64::new(seed);
+    let mut ex = SimExecutor::new(SimConfig {
+        seed,
+        ..Default::default()
+    });
+    for t in 0..THREADS {
+        let qview = Arc::clone(&qview);
+        let mview = Arc::clone(&mview);
+        let consumed = Arc::clone(&consumed);
+        let mut rng = XorShift64::new(seeds.next_u64());
+        ex.spawn(move |rt| async move {
+            // Producer phase: interleave pushes with consumption attempts.
+            for i in 0..TOKENS_PER_THREAD {
+                let token = t * 10_000 + i;
+                qview
+                    .transact(&rt, async |tx| queue.push_back(tx, token).await)
+                    .await;
+                if rng.chance_percent(50) {
+                    drain_one(&rt, &qview, &mview, &queue, &map, &treap, &consumed, &mut rng)
+                        .await;
+                }
+            }
+            // Drain phase.
+            while consumed.load(Ordering::Relaxed) < total {
+                let made_progress =
+                    drain_one(&rt, &qview, &mview, &queue, &map, &treap, &consumed, &mut rng)
+                        .await;
+                if !made_progress {
+                    rt.charge(500).await; // queue empty but others still pushing
+                }
+            }
+        });
+    }
+    let out = ex.run();
+    assert_eq!(out.status, RunStatus::Completed, "{algo:?} {quota:?} seed {seed}");
+    assert_eq!(consumed.load(Ordering::Relaxed), total);
+
+    // Final audit: every token present exactly once, in exactly one place.
+    let mut ex2 = SimExecutor::new(SimConfig::default());
+    let mview2 = Arc::clone(&mview);
+    let qview2 = Arc::clone(&qview);
+    ex2.spawn(move |rt| async move {
+        let qlen = qview2
+            .transact_ro(&rt, async |tx| queue.len(tx).await)
+            .await;
+        assert_eq!(qlen, 0, "queue must be drained");
+        let (in_map, in_treap, sum) = mview2
+            .transact_ro(&rt, async |tx| {
+                let m = map.len(tx).await?;
+                let t = treap.len(tx).await?;
+                let mut sum = 0u64;
+                for th in 0..THREADS {
+                    for i in 0..TOKENS_PER_THREAD {
+                        let token = th * 10_000 + i;
+                        let a = map.get(tx, token).await?;
+                        let b = treap.get(tx, token).await?;
+                        match (a, b) {
+                            (Some(v), None) | (None, Some(v)) => {
+                                assert_eq!(v, token + 1, "wrong payload for {token}");
+                                sum += 1;
+                            }
+                            (Some(_), Some(_)) => panic!("token {token} duplicated"),
+                            (None, None) => panic!("token {token} lost"),
+                        }
+                    }
+                }
+                Ok((m, t, sum))
+            })
+            .await;
+        assert_eq!(in_map + in_treap, THREADS * TOKENS_PER_THREAD);
+        assert_eq!(sum, THREADS * TOKENS_PER_THREAD);
+    });
+    assert_eq!(ex2.run().status, RunStatus::Completed);
+}
+
+/// Pops one token and files it into a random structure; returns false if
+/// the queue was empty.
+#[allow(clippy::too_many_arguments)]
+async fn drain_one(
+    rt: &votm_repro::sim::Rt,
+    qview: &votm_repro::votm::View,
+    mview: &votm_repro::votm::View,
+    queue: &TxQueue,
+    map: &TxHashMap,
+    treap: &TxTreap,
+    consumed: &AtomicU64,
+    rng: &mut XorShift64,
+) -> bool {
+    let popped = qview
+        .transact(rt, async |tx| queue.pop_front(tx).await)
+        .await;
+    let Some(token) = popped else { return false };
+    if rng.chance_percent(50) {
+        mview
+            .transact(rt, async |tx| {
+                map.insert(tx, token, token + 1).await?;
+                Ok(())
+            })
+            .await;
+    } else {
+        mview
+            .transact(rt, async |tx| {
+                treap.insert(tx, token, token + 1).await?;
+                Ok(())
+            })
+            .await;
+    }
+    consumed.fetch_add(1, Ordering::Relaxed);
+    true
+}
+
+#[test]
+fn chaos_norec_across_seeds() {
+    for seed in [1u64, 17, 333] {
+        chaos_round(TmAlgorithm::NOrec, QuotaMode::Fixed(8), seed);
+    }
+}
+
+#[test]
+fn chaos_orec_eager_across_seeds() {
+    for seed in [2u64, 18, 334] {
+        chaos_round(TmAlgorithm::OrecEagerRedo, QuotaMode::Fixed(8), seed);
+    }
+}
+
+#[test]
+fn chaos_orec_lazy_across_seeds() {
+    for seed in [3u64, 19, 335] {
+        chaos_round(TmAlgorithm::OrecLazy, QuotaMode::Fixed(8), seed);
+    }
+}
+
+#[test]
+fn chaos_under_adaptive_rac_and_lock_mode() {
+    for algo in TmAlgorithm::ALL {
+        chaos_round(algo, QuotaMode::Adaptive, 7);
+        chaos_round(algo, QuotaMode::Fixed(1), 8); // pure lock mode
+    }
+}
