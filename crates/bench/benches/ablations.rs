@@ -7,10 +7,10 @@
 //! * orec-table size — false-conflict rate of the striped ownership table;
 //! * NOrec vs OrecEagerRedo raw transaction throughput at Q = N.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 use votm::{Addr, QuotaMode, TmAlgorithm, Votm, VotmConfig};
+use votm_bench::harness::bench;
 use votm_rac::ControllerConfig;
 use votm_sim::{SimConfig, SimExecutor};
 
@@ -47,19 +47,17 @@ fn adaptive_makespan(window: u64) -> u64 {
     ex.run().vtime
 }
 
-fn controller_window(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_controller_window");
+fn controller_window() {
     for window in [32u64, 128, 512] {
-        g.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
-            b.iter(|| black_box(adaptive_makespan(w)))
+        bench(&format!("ablation_controller_window/{window}"), || {
+            black_box(adaptive_makespan(window))
         });
     }
-    g.finish();
 }
 
 /// Gate overhead: disjoint-access workload with RAC (Fixed N) vs without
 /// (Unrestricted). The virtual-time difference is the RAC admission cost.
-fn gate_overhead(c: &mut Criterion) {
+fn gate_overhead() {
     fn run(quota: QuotaMode) -> u64 {
         let sys = Votm::new(VotmConfig {
             algorithm: TmAlgorithm::NOrec,
@@ -79,18 +77,18 @@ fn gate_overhead(c: &mut Criterion) {
         }
         ex.run().vtime
     }
-    let mut g = c.benchmark_group("ablation_gate_overhead");
-    g.bench_function("rac_fixed_n", |b| b.iter(|| black_box(run(QuotaMode::Fixed(8)))));
-    g.bench_function("unrestricted", |b| {
-        b.iter(|| black_box(run(QuotaMode::Unrestricted)))
+    bench("ablation_gate_overhead/rac_fixed_n", || {
+        black_box(run(QuotaMode::Fixed(8)))
     });
-    g.finish();
+    bench("ablation_gate_overhead/unrestricted", || {
+        black_box(run(QuotaMode::Unrestricted))
+    });
 }
 
 /// Raw commit throughput of the two algorithms on disjoint data at Q = N
 /// (how much cheaper OrecEagerRedo's per-access path is than NOrec's
 /// revalidation — the paper's §III-D discussion).
-fn algorithm_throughput(c: &mut Criterion) {
+fn algorithm_throughput() {
     fn run(algo: TmAlgorithm) -> u64 {
         let sys = Votm::new(VotmConfig {
             algorithm: algo,
@@ -118,18 +116,17 @@ fn algorithm_throughput(c: &mut Criterion) {
         }
         ex.run().vtime
     }
-    let mut g = c.benchmark_group("ablation_algorithm_throughput");
     for algo in TmAlgorithm::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &a| {
-            b.iter(|| black_box(run(a)))
-        });
+        bench(
+            &format!("ablation_algorithm_throughput/{}", algo.name()),
+            || black_box(run(algo)),
+        );
     }
-    g.finish();
 }
 
 /// Dictionary-structure ablation: STAMP's ordered (tree) dictionary vs our
 /// hash dictionary in the Intruder decode path.
-fn dictionary_structure(c: &mut Criterion) {
+fn dictionary_structure() {
     use votm_intruder::{generate, run_sim_with_dict, DictKind, GenConfig, Version};
     let input = Arc::new(generate(&GenConfig {
         attack_percent: 10,
@@ -137,36 +134,25 @@ fn dictionary_structure(c: &mut Criterion) {
         flows: 256,
         seed: 1,
     }));
-    let mut g = c.benchmark_group("ablation_dictionary_structure");
     for (label, kind) in [("hash", DictKind::Hash), ("ordered", DictKind::Ordered)] {
         let input = Arc::clone(&input);
-        g.bench_function(label, move |b| {
-            b.iter(|| {
-                black_box(run_sim_with_dict(
-                    &input,
-                    16,
-                    TmAlgorithm::NOrec,
-                    Version::MultiView,
-                    [QuotaMode::Fixed(16), QuotaMode::Fixed(16)],
-                    SimConfig::default(),
-                    kind,
-                ))
-            })
+        bench(&format!("ablation_dictionary_structure/{label}"), || {
+            black_box(run_sim_with_dict(
+                &input,
+                16,
+                TmAlgorithm::NOrec,
+                Version::MultiView,
+                [QuotaMode::Fixed(16), QuotaMode::Fixed(16)],
+                SimConfig::default(),
+                kind,
+            ))
         });
     }
-    g.finish();
 }
 
-fn configure() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(4))
-        .warm_up_time(std::time::Duration::from_secs(1))
+fn main() {
+    controller_window();
+    gate_overhead();
+    algorithm_throughput();
+    dictionary_structure();
 }
-
-criterion_group! {
-    name = ablations;
-    config = configure();
-    targets = controller_window, gate_overhead, algorithm_throughput, dictionary_structure
-}
-criterion_main!(ablations);

@@ -1,13 +1,13 @@
-//! Criterion benches: one group per paper table, at reduced workload scale
-//! so `cargo bench` completes in minutes. Each bench measures the *wall
+//! Wall-time benches: one entry per paper table, at reduced workload scale
+//! so the full sweep completes in minutes. Each bench measures the *wall
 //! time of the deterministic simulation*; the scientific quantity (the
 //! virtual-time makespan) comes from the `tables` binary — these benches
 //! exist to track harness performance regressions and to exercise every
-//! experiment path under `cargo bench`.
+//! experiment path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use votm::TmAlgorithm;
+use votm_bench::harness::bench;
 use votm_bench::Settings;
 
 fn bench_settings() -> Settings {
@@ -19,107 +19,51 @@ fn bench_settings() -> Settings {
     }
 }
 
-fn table3(c: &mut Criterion) {
+fn main() {
     let s = bench_settings();
-    c.bench_function("table03_eigen_single_orec", |b| {
-        b.iter(|| {
-            black_box(votm_bench::eigen_single_view_sweep(
-                &s,
-                TmAlgorithm::OrecEagerRedo,
-            ))
-        })
+    bench("table03_eigen_single_orec", || {
+        black_box(votm_bench::eigen_single_view_sweep(
+            &s,
+            TmAlgorithm::OrecEagerRedo,
+        ))
+    });
+    bench("table04_intruder_single_orec", || {
+        black_box(votm_bench::intruder_single_view_sweep(
+            &s,
+            TmAlgorithm::OrecEagerRedo,
+        ))
+    });
+    bench("table05_eigen_multi_orec", || {
+        black_box(votm_bench::eigen_multi_view_sweep(
+            &s,
+            TmAlgorithm::OrecEagerRedo,
+        ))
+    });
+    bench("table06_adaptive_orec/eigen", || {
+        black_box(votm_bench::adaptive_eigen(&s, TmAlgorithm::OrecEagerRedo))
+    });
+    bench("table06_adaptive_orec/intruder", || {
+        black_box(votm_bench::adaptive_intruder(
+            &s,
+            TmAlgorithm::OrecEagerRedo,
+        ))
+    });
+    bench("table07_eigen_single_norec", || {
+        black_box(votm_bench::eigen_single_view_sweep(&s, TmAlgorithm::NOrec))
+    });
+    bench("table08_intruder_single_norec", || {
+        black_box(votm_bench::intruder_single_view_sweep(
+            &s,
+            TmAlgorithm::NOrec,
+        ))
+    });
+    bench("table09_eigen_multi_norec", || {
+        black_box(votm_bench::eigen_multi_view_sweep(&s, TmAlgorithm::NOrec))
+    });
+    bench("table10_adaptive_norec/eigen", || {
+        black_box(votm_bench::adaptive_eigen(&s, TmAlgorithm::NOrec))
+    });
+    bench("table10_adaptive_norec/intruder", || {
+        black_box(votm_bench::adaptive_intruder(&s, TmAlgorithm::NOrec))
     });
 }
-
-fn table4(c: &mut Criterion) {
-    let s = bench_settings();
-    c.bench_function("table04_intruder_single_orec", |b| {
-        b.iter(|| {
-            black_box(votm_bench::intruder_single_view_sweep(
-                &s,
-                TmAlgorithm::OrecEagerRedo,
-            ))
-        })
-    });
-}
-
-fn table5(c: &mut Criterion) {
-    let s = bench_settings();
-    c.bench_function("table05_eigen_multi_orec", |b| {
-        b.iter(|| {
-            black_box(votm_bench::eigen_multi_view_sweep(
-                &s,
-                TmAlgorithm::OrecEagerRedo,
-            ))
-        })
-    });
-}
-
-fn table6(c: &mut Criterion) {
-    let s = bench_settings();
-    let mut g = c.benchmark_group("table06_adaptive_orec");
-    g.bench_function(BenchmarkId::new("eigen", "adaptive"), |b| {
-        b.iter(|| black_box(votm_bench::adaptive_eigen(&s, TmAlgorithm::OrecEagerRedo)))
-    });
-    g.bench_function(BenchmarkId::new("intruder", "adaptive"), |b| {
-        b.iter(|| {
-            black_box(votm_bench::adaptive_intruder(
-                &s,
-                TmAlgorithm::OrecEagerRedo,
-            ))
-        })
-    });
-    g.finish();
-}
-
-fn table7(c: &mut Criterion) {
-    let s = bench_settings();
-    c.bench_function("table07_eigen_single_norec", |b| {
-        b.iter(|| black_box(votm_bench::eigen_single_view_sweep(&s, TmAlgorithm::NOrec)))
-    });
-}
-
-fn table8(c: &mut Criterion) {
-    let s = bench_settings();
-    c.bench_function("table08_intruder_single_norec", |b| {
-        b.iter(|| {
-            black_box(votm_bench::intruder_single_view_sweep(
-                &s,
-                TmAlgorithm::NOrec,
-            ))
-        })
-    });
-}
-
-fn table9(c: &mut Criterion) {
-    let s = bench_settings();
-    c.bench_function("table09_eigen_multi_norec", |b| {
-        b.iter(|| black_box(votm_bench::eigen_multi_view_sweep(&s, TmAlgorithm::NOrec)))
-    });
-}
-
-fn table10(c: &mut Criterion) {
-    let s = bench_settings();
-    let mut g = c.benchmark_group("table10_adaptive_norec");
-    g.bench_function(BenchmarkId::new("eigen", "adaptive"), |b| {
-        b.iter(|| black_box(votm_bench::adaptive_eigen(&s, TmAlgorithm::NOrec)))
-    });
-    g.bench_function(BenchmarkId::new("intruder", "adaptive"), |b| {
-        b.iter(|| black_box(votm_bench::adaptive_intruder(&s, TmAlgorithm::NOrec)))
-    });
-    g.finish();
-}
-
-fn configure() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(4))
-        .warm_up_time(std::time::Duration::from_secs(1))
-}
-
-criterion_group! {
-    name = tables;
-    config = configure();
-    targets = table3, table4, table5, table6, table7, table8, table9, table10
-}
-criterion_main!(tables);

@@ -3,85 +3,64 @@
 //! the admission gate. These guard the harness against accidental
 //! slowdowns — a 2× regression here doubles every table's wall time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use votm_bench::harness::bench;
 use votm_stm::{instance::run_sync, Addr, TmAlgorithm, TmInstance};
 
-fn read_heavy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("stm_read_heavy_tx");
+fn read_heavy() {
     for algo in TmAlgorithm::ALL {
         let inst = TmInstance::new(algo, 4096);
-        g.bench_function(algo.name(), |b| {
-            b.iter(|| {
-                run_sync(&inst, 0, |tx, inst| {
-                    let mut acc = 0u64;
-                    for i in 0..64u32 {
-                        acc = acc.wrapping_add(tx.read(inst, Addr(i * 7 % 4096))?);
-                    }
-                    Ok(black_box(acc))
-                })
+        bench(&format!("stm_read_heavy_tx/{}", algo.name()), || {
+            run_sync(&inst, 0, |tx, inst| {
+                let mut acc = 0u64;
+                for i in 0..64u32 {
+                    acc = acc.wrapping_add(tx.read(inst, Addr(i * 7 % 4096))?);
+                }
+                Ok(black_box(acc))
             })
         });
     }
-    g.finish();
 }
 
-fn write_heavy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("stm_write_heavy_tx");
+fn write_heavy() {
     for algo in TmAlgorithm::ALL {
         let inst = TmInstance::new(algo, 4096);
-        g.bench_function(algo.name(), |b| {
-            let mut i = 0u64;
-            b.iter(|| {
-                i += 1;
-                run_sync(&inst, 0, |tx, inst| {
-                    for k in 0..32u32 {
-                        tx.write(inst, Addr(k * 11 % 4096), i)?;
-                    }
-                    Ok(())
-                })
+        let mut i = 0u64;
+        bench(&format!("stm_write_heavy_tx/{}", algo.name()), || {
+            i += 1;
+            run_sync(&inst, 0, |tx, inst| {
+                for k in 0..32u32 {
+                    tx.write(inst, Addr(k * 11 % 4096), i)?;
+                }
+                Ok(())
             })
         });
     }
-    g.finish();
 }
 
-fn counter_increment(c: &mut Criterion) {
-    let mut g = c.benchmark_group("stm_counter_increment");
+fn counter_increment() {
     for algo in TmAlgorithm::ALL {
         let inst = TmInstance::new(algo, 16);
-        g.bench_function(algo.name(), |b| {
-            b.iter(|| {
-                run_sync(&inst, 0, |tx, inst| {
-                    let v = tx.read(inst, Addr(0))?;
-                    tx.write(inst, Addr(0), v + 1)
-                })
+        bench(&format!("stm_counter_increment/{}", algo.name()), || {
+            run_sync(&inst, 0, |tx, inst| {
+                let v = tx.read(inst, Addr(0))?;
+                tx.write(inst, Addr(0), v + 1)
             })
         });
     }
-    g.finish();
 }
 
-fn heap_alloc_free(c: &mut Criterion) {
+fn heap_alloc_free() {
     let inst = TmInstance::new(TmAlgorithm::NOrec, 1 << 20);
-    c.bench_function("heap_alloc_free_8w", |b| {
-        b.iter(|| {
-            let a = inst.heap().alloc_block(8).unwrap();
-            inst.heap().free_block(black_box(a));
-        })
+    bench("heap_alloc_free_8w", || {
+        let a = inst.heap().alloc_block(8).unwrap();
+        inst.heap().free_block(black_box(a));
     });
 }
 
-fn configure() -> Criterion {
-    Criterion::default()
-        .sample_size(30)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_secs(1))
+fn main() {
+    read_heavy();
+    write_heavy();
+    counter_increment();
+    heap_alloc_free();
 }
-
-criterion_group! {
-    name = micro;
-    config = configure();
-    targets = read_heavy, write_heavy, counter_increment, heap_alloc_free
-}
-criterion_main!(micro);

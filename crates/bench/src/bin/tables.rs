@@ -159,6 +159,9 @@ fn main() {
             other => panic!("no such table: {other} (expected 3..=12)"),
         };
         println!("{output}");
-        println!("_(generated in {:.1}s wall time)_\n", t0.elapsed().as_secs_f64());
+        println!(
+            "_(generated in {:.1}s wall time)_\n",
+            t0.elapsed().as_secs_f64()
+        );
     }
 }

@@ -8,12 +8,7 @@ use crate::{AdaptiveRow, SweepRow};
 /// Formats a count the way the paper does: `3.2m`, `5.26G`, `49.8T`.
 pub fn count(x: u64) -> String {
     let x = x as f64;
-    const UNITS: [(f64, &str); 4] = [
-        (1e12, "T"),
-        (1e9, "G"),
-        (1e6, "m"),
-        (1e3, "k"),
-    ];
+    const UNITS: [(f64, &str); 4] = [(1e12, "T"), (1e9, "G"), (1e6, "m"), (1e3, "k")];
     for (scale, suffix) in UNITS {
         if x >= scale {
             let mut s = format!("{:.3}", x / scale);

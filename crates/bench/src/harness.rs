@@ -1,0 +1,42 @@
+//! Minimal wall-clock timing harness for the `[[bench]]` targets.
+//!
+//! The container builds fully offline, so the benches use this tiny
+//! self-calibrating loop instead of an external harness crate. Each call
+//! warms up, picks an inner iteration count targeting ~2 ms per sample,
+//! takes `VOTM_BENCH_SAMPLES` samples (default 10) and prints the
+//! per-iteration median/min/max on one line.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Times `f` and prints a one-line summary keyed by `name`.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Warm-up, then calibrate the inner loop to ~2 ms per sample so
+    // nanosecond-scale bodies are still measurable.
+    black_box(f());
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+    let iters = (2_000_000u128 / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let samples: usize = std::env::var("VOTM_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        per_iter.push(t0.elapsed() / iters as u32);
+    }
+    per_iter.sort_unstable();
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    println!(
+        "{name:<48} median {median:>12.3?}  min {min:>12.3?}  max {max:>12.3?}  \
+         ({samples} samples x {iters} iters)"
+    );
+}

@@ -1,5 +1,5 @@
 //! Benchmark harness regenerating the paper's evaluation (Tables III–X)
-//! plus extension experiments (tables 11–12) and criterion ablations.
+//! plus extension experiments (tables 11–12) and ablation benches.
 //!
 //! Each `table*` function runs the corresponding experiment under the
 //! virtual-time simulator and returns structured rows; the `tables` binary
@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod fmt;
+pub mod harness;
 
 use std::sync::Arc;
 
@@ -71,6 +72,7 @@ impl Settings {
             seed: self.seed,
             vtime_cap: cap,
             max_steps: u64::MAX,
+            ..Default::default()
         }
     }
 }

@@ -13,9 +13,38 @@
 //! each shared access is an interleaving point and under real threads the
 //! charge is free. Per-attempt work is recorded into the view's statistics
 //! as aborted or successful cycles — the inputs to δ(Q).
+//!
+//! # Crash safety
+//!
+//! The pipeline is panic-safe by construction, with two RAII layers:
+//!
+//! * admission is held as a [`votm_rac::GateGuard`], so `P` is decremented
+//!   on every exit path including unwinds;
+//! * the [`TxHandle`] itself is a drop guard: if the body or the commit
+//!   path unwinds with a live transaction, its `Drop` aborts the attempt
+//!   (releasing orec locks / never stranding the NOrec seqlock), rolls
+//!   back attempt-local allocations, and books the cycles as aborted. In
+//!   the one window where abort is impossible — after a `NeedsFinish`
+//!   commit has published its writeback but before `commit_finish` — the
+//!   drop guard *finishes* the commit instead, which is the only exit that
+//!   leaves the view consistent.
+//!
+//! Because the handle is declared after the gate guard, Rust's reverse
+//! drop order runs transaction recovery first and releases admission
+//! second, exactly like the happy path.
+//!
+//! # Starvation watchdog
+//!
+//! The driver tracks each transaction's consecutive-abort streak. When a
+//! view is configured with [`crate::VotmConfig::escalate_after`]` = Some(K)`
+//! and a transaction loses `K` attempts in a row, the next re-admission
+//! goes through [`votm_rac::AdmissionGate::acquire_exclusive`]: the gate
+//! drains, the starving transaction runs alone in the irrevocable Q = 1
+//! lock mode (which cannot abort), and ordinary admissions resume when it
+//! leaves.
 
 use votm_rac::AdmissionMode;
-use votm_sim::Rt;
+use votm_sim::{FaultEvent, Rt};
 use votm_stm::{cost, Addr, CommitPhase, OpError, TxCtx};
 use votm_utils::Backoff;
 
@@ -28,12 +57,45 @@ use crate::view::View;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TxAbort;
 
+/// A [`TxHandle::alloc`] failed: the view's heap could not satisfy the
+/// request even after one `brk_view` growth attempt.
+///
+/// Convertible into [`TxAbort`] (so `tx.alloc(n)?` retries the transaction,
+/// which is useful when other transactions' deferred frees may release
+/// space), or inspectable for a graceful out-of-memory path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapExhausted {
+    /// The allocation size that could not be satisfied.
+    pub requested_words: u32,
+}
+
+impl From<HeapExhausted> for TxAbort {
+    fn from(_: HeapExhausted) -> Self {
+        TxAbort
+    }
+}
+
+impl std::fmt::Display for HeapExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "view heap exhausted allocating {} words (after brk_view growth attempt)",
+            self.requested_words
+        )
+    }
+}
+
+impl std::error::Error for HeapExhausted {}
+
 /// Consecutive `Busy` retries of one read/write before the attempt aborts
 /// (bounded spinning, TinySTM-style; breaks reader/writer wait-for cycles).
 const BUSY_ABORT_LIMIT: u32 = 64;
 
 /// In-transaction capability: all shared-memory access inside
 /// [`View::transact`] goes through this handle.
+///
+/// The handle doubles as the pipeline's unwind guard — see the module docs'
+/// *Crash safety* section for what its `Drop` restores.
 pub struct TxHandle<'v> {
     view: &'v View,
     rt: Rt,
@@ -46,6 +108,10 @@ pub struct TxHandle<'v> {
     /// Frees requested by this attempt — applied only if it commits.
     frees: Vec<Addr>,
     backoff: Backoff,
+    /// Cycle timestamp at attempt start (real-thread accounting).
+    start: u64,
+    /// Set by [`Self::finish`]; a drop with this still false is an unwind.
+    finished: bool,
 }
 
 impl<'v> TxHandle<'v> {
@@ -54,6 +120,7 @@ impl<'v> TxHandle<'v> {
             AdmissionMode::Exclusive => view.tm().direct_ctx(),
             AdmissionMode::Transactional => view.tm().tx_ctx(rt.thread_index()),
         };
+        let start = rt.now();
         Self {
             view,
             rt,
@@ -63,6 +130,8 @@ impl<'v> TxHandle<'v> {
             allocs: Vec::new(),
             frees: Vec::new(),
             backoff: Backoff::new(),
+            start,
+            finished: false,
         }
     }
 
@@ -85,6 +154,46 @@ impl<'v> TxHandle<'v> {
         }
     }
 
+    /// Consults the runtime's fault plan at an interleaving point. Direct
+    /// (exclusive lock-mode) sections never take faults: they cannot abort,
+    /// and injecting panics there would tear uninstrumented state the
+    /// recovery machinery cannot see.
+    async fn fault_point(&mut self) -> Result<(), TxAbort> {
+        if self.ctx.is_direct() {
+            return Ok(());
+        }
+        match self.rt.take_fault() {
+            None => Ok(()),
+            Some(FaultEvent::Delay(d)) => {
+                self.attempt_work += d;
+                self.rt.charge(d).await;
+                Ok(())
+            }
+            Some(FaultEvent::Abort) => Err(TxAbort),
+            Some(FaultEvent::Panic) => {
+                panic!("injected fault: panic at vtime {}", self.rt.now())
+            }
+        }
+    }
+
+    /// Fault point for contexts that cannot abort (mid-commit, local work):
+    /// delivers panics and delays, downgrades `Abort` draws to no-ops.
+    async fn fault_point_no_abort(&mut self) {
+        if self.ctx.is_direct() {
+            return;
+        }
+        match self.rt.take_fault() {
+            None | Some(FaultEvent::Abort) => {}
+            Some(FaultEvent::Delay(d)) => {
+                self.attempt_work += d;
+                self.rt.charge(d).await;
+            }
+            Some(FaultEvent::Panic) => {
+                panic!("injected fault: panic at vtime {}", self.rt.now())
+            }
+        }
+    }
+
     /// Transactional read of one word.
     pub async fn read(&mut self, addr: Addr) -> Result<u64, TxAbort> {
         let mut streak = 0u32;
@@ -92,6 +201,7 @@ impl<'v> TxHandle<'v> {
             match self.ctx.read(self.view.tm(), addr) {
                 Ok(v) => {
                     self.charge_pending().await;
+                    self.fault_point().await?;
                     return Ok(v);
                 }
                 Err(OpError::Busy) => {
@@ -127,6 +237,7 @@ impl<'v> TxHandle<'v> {
             match self.ctx.write(self.view.tm(), addr, value) {
                 Ok(()) => {
                     self.charge_pending().await;
+                    self.fault_point().await?;
                     return Ok(());
                 }
                 Err(OpError::Busy) => {
@@ -153,22 +264,33 @@ impl<'v> TxHandle<'v> {
         let cycles = (reads + writes) * cost::LOCAL_ACCESS + nops * cost::NOP;
         self.attempt_work += cycles;
         self.rt.work(cycles).await;
+        self.fault_point_no_abort().await;
     }
 
-    /// Allocates a block inside the transaction. The allocation is undone if
-    /// this attempt aborts.
+    /// Allocates a block inside the transaction. The allocation is undone
+    /// if this attempt aborts.
     ///
-    /// # Panics
-    /// If the view's heap is exhausted (size your views for the workload).
-    pub fn alloc(&mut self, size_words: u32) -> Addr {
-        let addr = self
-            .view
-            .tm()
-            .heap()
-            .alloc_block(size_words)
-            .expect("view heap exhausted");
-        self.allocs.push(addr);
-        addr
+    /// On a full heap the view grows once via `brk_view` before giving up
+    /// with [`HeapExhausted`] — which converts to [`TxAbort`] via `?`, so
+    /// callers that can make progress from other transactions' frees simply
+    /// retry.
+    pub fn alloc(&mut self, size_words: u32) -> Result<Addr, HeapExhausted> {
+        let heap = self.view.tm().heap();
+        let addr = heap.alloc_block(size_words).or_else(|| {
+            // One growth attempt: extend the usable region by at least the
+            // request (brk_view), then retry the carve.
+            self.view.brk_view(size_words as usize)?;
+            heap.alloc_block(size_words)
+        });
+        match addr {
+            Some(addr) => {
+                self.allocs.push(addr);
+                Ok(addr)
+            }
+            None => Err(HeapExhausted {
+                requested_words: size_words,
+            }),
+        }
     }
 
     /// Frees a block from inside the transaction. Deferred until commit so
@@ -197,6 +319,76 @@ impl<'v> TxHandle<'v> {
             self.view.tm().heap().free_block(addr);
         }
     }
+
+    /// Closes out the attempt on the normal (non-unwind) path: applies or
+    /// rolls back side effects, books the attempt's cycles, and pokes the
+    /// adaptive controller. Disarms the drop guard.
+    fn finish(&mut self, committed: bool) {
+        self.finished = true;
+        // Simulator: the work-unit ledger *is* the cycle count. Real
+        // threads: the hardware timestamp delta, like the paper's rdtsc().
+        let cycles = if self.rt.is_virtual() {
+            std::mem::take(&mut self.attempt_work)
+        } else {
+            self.attempt_work = 0;
+            self.rt.now().saturating_sub(self.start)
+        };
+        if committed {
+            self.apply_side_effects();
+            self.view.tm().stats().record_commit(cycles);
+        } else {
+            self.rollback_side_effects();
+            self.view.tm().stats().record_abort(cycles);
+        }
+        if let Some(ctrl) = self.view.controller() {
+            ctrl.on_tx_end(self.view.gate(), self.view.tm().stats());
+        }
+    }
+}
+
+impl Drop for TxHandle<'_> {
+    /// Unwind recovery. On the normal path [`Self::finish`] has already
+    /// run and this is a no-op; otherwise the attempt is being abandoned by
+    /// a panic and must be unwound to a consistent view state:
+    ///
+    /// * **mid-commit** (writeback published, commit metadata held): finish
+    ///   the commit. The data is already in the heap; releasing the NOrec
+    ///   seqlock / orec locks at the commit timestamp is the only exit that
+    ///   doesn't strand them or tear the writeback.
+    /// * **live transaction**: abort it (restores orec ownership, discards
+    ///   buffered writes), roll back attempt-local allocations, book the
+    ///   cycles as aborted.
+    /// * **direct (lock-mode)**: nothing can be rolled back — the paper's
+    ///   irrevocable mode writes straight to the heap. Allocation logs are
+    ///   dropped without freeing (a block may already be reachable from
+    ///   published state; leaking is safe, freeing could corrupt).
+    fn drop(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.attempt_work += self.ctx.take_work();
+        if self.ctx.mid_commit() {
+            self.ctx.commit_finish(self.view.tm());
+            self.attempt_work += self.ctx.take_work();
+            self.apply_side_effects();
+            self.view.tm().stats().record_commit(self.attempt_work);
+        } else if self.ctx.is_direct() {
+            self.allocs.clear();
+            self.frees.clear();
+            self.view.tm().stats().record_abort(self.attempt_work);
+        } else {
+            if self.ctx.is_active() {
+                self.ctx.abort(self.view.tm());
+                self.attempt_work += self.ctx.take_work();
+            }
+            self.rollback_side_effects();
+            self.view.tm().stats().record_abort(self.attempt_work);
+        }
+        self.attempt_work = 0;
+        if let Some(ctrl) = self.view.controller() {
+            ctrl.on_tx_end(self.view.gate(), self.view.tm().stats());
+        }
+    }
 }
 
 /// Runs `body` transactionally against `view` until an attempt commits.
@@ -210,22 +402,40 @@ where
     F: for<'h> AsyncFnMut(&'h mut TxHandle<'_>) -> Result<T, TxAbort>,
 {
     let unrestricted = view.is_unrestricted();
+    // Consecutive aborts of *this* transaction — the starvation signal.
+    let mut streak: u64 = 0;
     loop {
         // acquire_view: RAC admission (skipped for the no-RAC baselines).
-        let mode = if unrestricted {
-            AdmissionMode::Transactional
+        // Admission is held as an RAII guard; dropping it (normally or
+        // during an unwind) is what releases the gate.
+        let gate_guard = if unrestricted {
+            None
         } else {
+            let escalate = view
+                .escalate_after()
+                .is_some_and(|k| streak >= u64::from(k));
             let wait_from = rt.now();
-            let mode = view.gate().acquire(rt).await;
+            let guard = if escalate {
+                // Max-retry escalation: drain the view and run alone in
+                // the irrevocable lock mode, which cannot abort.
+                view.tm().stats().record_escalation();
+                view.gate().acquire_exclusive(rt).await
+            } else {
+                view.gate().admit(rt).await
+            };
             let waited = rt.now().saturating_sub(wait_from);
             if waited > 0 {
                 view.tm().stats().record_gate_wait(waited);
             }
-            mode
+            Some(guard)
         };
+        let mode = gate_guard
+            .as_ref()
+            .map_or(AdmissionMode::Transactional, |g| g.mode());
 
+        // Declared after the guard: unwinds run transaction recovery
+        // (TxHandle::drop) before admission release (GateGuard::drop).
         let mut handle = TxHandle::new(view, rt.clone(), mode, read_only);
-        let t0 = rt.now();
 
         // begin (NOrec can be Busy while a committer holds the seqlock).
         loop {
@@ -251,7 +461,12 @@ where
                         Ok(CommitPhase::NeedsFinish { .. }) => {
                             // Hold the commit locks across the writeback
                             // window so concurrent transactions observe it.
+                            // This is also the pipeline's mid-commit
+                            // interleaving (and injected-panic) point: an
+                            // unwind here is recovered by finishing the
+                            // commit in the drop guard.
                             handle.charge_pending().await;
+                            handle.fault_point_no_abort().await;
                             handle.ctx.commit_finish(view.tm());
                             break true;
                         }
@@ -264,11 +479,9 @@ where
                 };
                 if committed {
                     handle.charge_pending().await;
-                    handle.apply_side_effects();
-                    finish_attempt(view, rt, &mut handle, t0, true);
-                    if !unrestricted {
-                        view.gate().release(mode);
-                    }
+                    handle.finish(true);
+                    drop(handle);
+                    drop(gate_guard);
                     return value;
                 }
                 false
@@ -284,32 +497,12 @@ where
         );
         handle.ctx.abort(view.tm());
         handle.charge_pending().await;
-        handle.rollback_side_effects();
-        finish_attempt(view, rt, &mut handle, t0, false);
-        if !unrestricted {
-            view.gate().release(mode);
-        }
-        // Loop back to reacquire admission and re-run the body.
-    }
-}
+        handle.finish(false);
+        drop(handle);
+        drop(gate_guard);
 
-/// Books one attempt's cycles into the view statistics and pokes the
-/// adaptive controller.
-fn finish_attempt(view: &View, rt: &Rt, handle: &mut TxHandle<'_>, t0: u64, committed: bool) {
-    // Simulator: the work-unit ledger *is* the cycle count. Real threads:
-    // use the hardware timestamp delta, like the paper's rdtsc().
-    let cycles = if rt.is_virtual() {
-        std::mem::take(&mut handle.attempt_work)
-    } else {
-        handle.attempt_work = 0;
-        rt.now().saturating_sub(t0)
-    };
-    if committed {
-        view.tm().stats().record_commit(cycles);
-    } else {
-        view.tm().stats().record_abort(cycles);
-    }
-    if let Some(ctrl) = view.controller() {
-        ctrl.on_tx_end(view.gate(), view.tm().stats());
+        streak += 1;
+        view.tm().stats().record_abort_streak(streak);
+        // Loop back to reacquire admission and re-run the body.
     }
 }

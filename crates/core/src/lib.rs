@@ -65,7 +65,7 @@ mod handle;
 mod system;
 mod view;
 
-pub use handle::{TxAbort, TxHandle};
+pub use handle::{HeapExhausted, TxAbort, TxHandle};
 pub use system::{Votm, VotmConfig};
 pub use view::{View, ViewStats};
 

@@ -2,9 +2,9 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use votm_rac::{ControllerConfig, QuotaMode};
 use votm_stm::TmAlgorithm;
+use votm_utils::Mutex;
 
 use crate::view::{view_arc_id, View};
 
@@ -22,6 +22,13 @@ pub struct VotmConfig {
     /// Reserve factor for `brk_view`: each view's heap reserves
     /// `size × reserve_factor` words so it can grow. 1 disables growth.
     pub reserve_factor: usize,
+    /// Starvation watchdog: `Some(K)` makes a transaction that aborts `K`
+    /// times in a row request *exclusive* admission on its next attempt —
+    /// the irrevocable Q = 1 lock-mode fallback, which cannot abort.
+    ///
+    /// Defaults to `None` (off): livelock under contention is a phenomenon
+    /// the paper measures, and escalation would change the reported tables.
+    pub escalate_after: Option<u32>,
 }
 
 impl Default for VotmConfig {
@@ -31,6 +38,7 @@ impl Default for VotmConfig {
             n_threads: 16,
             controller: ControllerConfig::default(),
             reserve_factor: 1,
+            escalate_after: None,
         }
     }
 }
@@ -89,6 +97,7 @@ impl Votm {
             quota,
             self.config.n_threads,
             &self.config.controller,
+            self.config.escalate_after,
         ));
         views.push(Some(Arc::clone(&view)));
         view
@@ -177,11 +186,7 @@ mod tests {
             ..Default::default()
         });
         let a = sys.create_view(16, QuotaMode::Adaptive);
-        let b = sys.create_view_with_algorithm(
-            16,
-            QuotaMode::Adaptive,
-            TmAlgorithm::OrecEagerRedo,
-        );
+        let b = sys.create_view_with_algorithm(16, QuotaMode::Adaptive, TmAlgorithm::OrecEagerRedo);
         assert!(format!("{a:?}").contains("NOrec"));
         assert!(format!("{b:?}").contains("OrecEagerRedo"));
     }

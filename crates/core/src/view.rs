@@ -18,9 +18,11 @@ pub struct View {
     gate: AdmissionGate,
     controller: Option<RacController>,
     quota_mode: QuotaMode,
+    escalate_after: Option<u32>,
 }
 
 impl View {
+    #[allow(clippy::too_many_arguments)] // crate-internal constructor, one call site
     pub(crate) fn new(
         id: usize,
         algo: TmAlgorithm,
@@ -29,6 +31,7 @@ impl View {
         quota_mode: QuotaMode,
         n_threads: u32,
         controller_config: &ControllerConfig,
+        escalate_after: Option<u32>,
     ) -> Self {
         let (initial_quota, controller) = match quota_mode {
             QuotaMode::Fixed(q) => (q, None),
@@ -46,6 +49,7 @@ impl View {
             gate: AdmissionGate::new(initial_quota, n_threads),
             controller,
             quota_mode,
+            escalate_after,
         }
     }
 
@@ -77,6 +81,13 @@ impl View {
     /// "multi-TM"/"TM" baselines).
     pub fn is_unrestricted(&self) -> bool {
         matches!(self.quota_mode, QuotaMode::Unrestricted)
+    }
+
+    /// The starvation watchdog's max-retry threshold `K`, if enabled: after
+    /// `K` consecutive aborts a transaction escalates to exclusive
+    /// admission. See [`crate::VotmConfig::escalate_after`].
+    pub fn escalate_after(&self) -> Option<u32> {
+        self.escalate_after
     }
 
     /// Allocates a block of `size_words` words from the view

@@ -7,9 +7,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use votm::{Addr, QuotaMode, TmAlgorithm, Votm, VotmConfig};
 use votm_sim::{RunStatus, SimConfig, SimExecutor};
+use votm_utils::Mutex;
 use votm_utils::SplitMix64;
 
 const TICKET: Addr = Addr(0);

@@ -149,7 +149,7 @@ fn aborted_transactions_roll_back_allocations() {
         ex.spawn(move |rt| async move {
             let mut first = true;
             view.transact(&rt, async |tx| {
-                let node = tx.alloc(4);
+                let node = tx.alloc(4)?;
                 tx.write(node, 7).await?;
                 let v = tx.read(Addr(0)).await?;
                 if first {
@@ -388,11 +388,8 @@ fn gate_wait_cycles_reflect_admission_blocking() {
 fn mixed_algorithm_views_interoperate() {
     let system = sys(TmAlgorithm::NOrec, 8);
     let norec_view = system.create_view(64, QuotaMode::Adaptive);
-    let orec_view = system.create_view_with_algorithm(
-        64,
-        QuotaMode::Adaptive,
-        TmAlgorithm::OrecEagerRedo,
-    );
+    let orec_view =
+        system.create_view_with_algorithm(64, QuotaMode::Adaptive, TmAlgorithm::OrecEagerRedo);
     let mut ex = SimExecutor::new(SimConfig::default());
     for _ in 0..8 {
         let a = Arc::clone(&norec_view);

@@ -68,10 +68,12 @@ impl TxHashMap {
         let header = view
             .alloc_block(H_TABLE + buckets)
             .expect("view heap exhausted");
-        view.heap().store(header.offset(H_BUCKETS), u64::from(buckets));
+        view.heap()
+            .store(header.offset(H_BUCKETS), u64::from(buckets));
         view.heap().store(header.offset(H_SIZE), 0);
         for b in 0..buckets {
-            view.heap().store(header.offset(H_TABLE + b), enc(Addr::NULL));
+            view.heap()
+                .store(header.offset(H_TABLE + b), enc(Addr::NULL));
         }
         Self { header, buckets }
     }
@@ -111,7 +113,7 @@ impl TxHashMap {
             }
             curr = dec(tx.read(curr.offset(N_NEXT)).await?);
         }
-        let node = tx.alloc(NODE_WORDS);
+        let node = tx.alloc(NODE_WORDS)?;
         let head = tx.read(slot).await?;
         tx.write(node.offset(N_NEXT), head).await?;
         tx.write(node.offset(N_KEY), key).await?;

@@ -60,7 +60,7 @@ impl TxList {
     /// Inserts `key` keeping ascending order (duplicates allowed, matching
     /// the paper's snippet).
     pub async fn insert(&self, tx: &mut TxHandle<'_>, key: u64) -> Result<(), TxAbort> {
-        let node = tx.alloc(NODE_WORDS);
+        let node = tx.alloc(NODE_WORDS)?;
         tx.write(node.offset(N_KEY), key).await?;
         let head = dec(tx.read(self.header.offset(H_HEAD)).await?);
         if head.is_null() || tx.read(head.offset(N_KEY)).await? >= key {

@@ -104,7 +104,7 @@ impl TxQueue {
 
     /// Enqueues `value`.
     pub async fn push_back(&self, tx: &mut TxHandle<'_>, value: u64) -> Result<(), TxAbort> {
-        let node = tx.alloc(NODE_WORDS);
+        let node = tx.alloc(NODE_WORDS)?;
         tx.write(node.offset(N_NEXT), enc(Addr::NULL)).await?;
         tx.write(node.offset(N_VALUE), value).await?;
         let tail = dec(tx.read(self.header.offset(H_TAIL)).await?);
@@ -129,7 +129,8 @@ impl TxQueue {
         let next = dec(tx.read(head.offset(N_NEXT)).await?);
         tx.write(self.header.offset(H_HEAD), enc(next)).await?;
         if next.is_null() {
-            tx.write(self.header.offset(H_TAIL), enc(Addr::NULL)).await?;
+            tx.write(self.header.offset(H_TAIL), enc(Addr::NULL))
+                .await?;
         }
         let len = tx.read(self.header.offset(H_LEN)).await?;
         tx.write(self.header.offset(H_LEN), len - 1).await?;
@@ -234,9 +235,7 @@ mod tests {
                 let sum = Arc::clone(&sum);
                 ex.spawn(move |rt| async move {
                     while consumed.load(Ordering::Relaxed) < produced {
-                        let got = view
-                            .transact(&rt, async |tx| q.pop_front(tx).await)
-                            .await;
+                        let got = view.transact(&rt, async |tx| q.pop_front(tx).await).await;
                         match got {
                             Some(v) => {
                                 consumed.fetch_add(1, Ordering::Relaxed);
@@ -253,7 +252,11 @@ mod tests {
             let expect: u64 = (0..4u64)
                 .flat_map(|t| (0..50u64).map(move |i| t * 1000 + i))
                 .sum();
-            assert_eq!(sum.load(Ordering::Relaxed), expect, "{algo:?}: lost/dup items");
+            assert_eq!(
+                sum.load(Ordering::Relaxed),
+                expect,
+                "{algo:?}: lost/dup items"
+            );
         }
     }
 }

@@ -163,7 +163,7 @@ impl TxTreap {
             curr = dec(tx.read(curr.offset(side)).await?);
         }
         // Absent: split at key, hang the new node between the halves.
-        let node = tx.alloc(NODE_WORDS);
+        let node = tx.alloc(NODE_WORDS)?;
         tx.write(node.offset(N_KEY), key).await?;
         tx.write(node.offset(N_VALUE), value).await?;
         let root = dec(tx.read(self.header.offset(H_ROOT)).await?);
@@ -307,7 +307,15 @@ mod tests {
                 assert_eq!(t.len(tx).await?, 7);
                 assert_eq!(
                     t.to_vec(tx).await?,
-                    vec![(1, 10), (2, 20), (3, 99), (5, 50), (7, 70), (8, 80), (9, 90)]
+                    vec![
+                        (1, 10),
+                        (2, 20),
+                        (3, 99),
+                        (5, 50),
+                        (7, 70),
+                        (8, 80),
+                        (9, 90)
+                    ]
                 );
                 assert_eq!(t.remove(tx, 5).await?, Some(50));
                 assert_eq!(t.remove(tx, 5).await?, None);
@@ -395,7 +403,10 @@ mod tests {
             ex2.spawn(move |rt| async move {
                 let all = view2.transact_ro(&rt, async |tx| t.to_vec(tx).await).await;
                 assert_eq!(all.len(), 240, "{algo:?}");
-                assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "{algo:?}: unsorted");
+                assert!(
+                    all.windows(2).all(|w| w[0].0 < w[1].0),
+                    "{algo:?}: unsorted"
+                );
                 for &(k, v) in &all {
                     assert_eq!(v, k + 1);
                 }
@@ -418,7 +429,8 @@ mod tests {
                 let op = rng.next_below(3);
                 let (got, want) = match op {
                     0 => (
-                        v2.transact(&rt, async |tx| t.insert(tx, k, step).await).await,
+                        v2.transact(&rt, async |tx| t.insert(tx, k, step).await)
+                            .await,
                         model.insert(k, step),
                     ),
                     1 => (

@@ -25,8 +25,7 @@
 pub mod packet;
 
 pub use packet::{
-    checksum, contains_attack, generate, GenConfig, Input, Packet, ATTACK_SIGNATURE,
-    FRAGMENT_WORDS,
+    checksum, contains_attack, generate, GenConfig, Input, Packet, ATTACK_SIGNATURE, FRAGMENT_WORDS,
 };
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -172,9 +171,10 @@ async fn decode(
         .await;
     match map.get(tx, flow).await? {
         None => {
-            let blk = tx.alloc(A_SLOTS + pkt.n_frags);
+            let blk = tx.alloc(A_SLOTS + pkt.n_frags)?;
             tx.write(blk.offset(A_RECEIVED), 1).await?;
-            tx.write(blk.offset(A_NFRAGS), u64::from(pkt.n_frags)).await?;
+            tx.write(blk.offset(A_NFRAGS), u64::from(pkt.n_frags))
+                .await?;
             // Zero every slot: the allocator reuses freed blocks verbatim.
             for s in 0..pkt.n_frags {
                 tx.write(blk.offset(A_SLOTS + s), 0).await?;
@@ -328,9 +328,7 @@ pub fn run_sim_with_dict(
                         payload.extend_from_slice(&input.packets[i as usize].data);
                     }
                     rt.work(payload.len() as u64 * SCAN_CYCLES_PER_WORD).await;
-                    if packet::checksum(&payload)
-                        != input.flow_checksums[pkt.flow_id as usize]
-                    {
+                    if packet::checksum(&payload) != input.flow_checksums[pkt.flow_id as usize] {
                         checksum_errors.fetch_add(1, Ordering::Relaxed);
                     }
                     if packet::contains_attack(&payload) {

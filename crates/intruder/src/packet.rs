@@ -112,11 +112,9 @@ pub fn generate(config: &GenConfig) -> Input {
 
 /// Order-sensitive payload checksum used to validate reassembly.
 pub fn checksum(payload: &[u64]) -> u64 {
-    payload
-        .iter()
-        .fold(0xcbf2_9ce4_8422_2325u64, |acc, &w| {
-            (acc ^ w).wrapping_mul(0x100_0000_01b3)
-        })
+    payload.iter().fold(0xcbf2_9ce4_8422_2325u64, |acc, &w| {
+        (acc ^ w).wrapping_mul(0x100_0000_01b3)
+    })
 }
 
 /// Scans a payload for the attack signature (the detector's hot loop).

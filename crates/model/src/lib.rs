@@ -71,10 +71,7 @@ pub fn scale(q: u32, n: u32) -> f64 {
 /// Eq. 2: makespan under RAC with quota `q` out of `n` threads.
 pub fn makespan_rac(txs: &[TxParams], q: u32, n: u32) -> f64 {
     assert!(n >= 2 && (1..=n).contains(&q));
-    let total: f64 = txs
-        .iter()
-        .map(|&tx| expected_tx_time_rac(tx, q, n))
-        .sum();
+    let total: f64 = txs.iter().map(|&tx| expected_tx_time_rac(tx, q, n)).sum();
     total / f64::from(q)
 }
 

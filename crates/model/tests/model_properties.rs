@@ -1,16 +1,29 @@
 //! Property-based tests of the RAC model: the paper's algebra must hold for
-//! *all* transaction sets, not just the worked examples.
+//! *all* transaction sets, not just the worked examples. Cases come from a
+//! fixed-seed PRNG (a few hundred random sets per property), so failures
+//! replay exactly.
 
-use proptest::prelude::*;
 use votm_model::*;
+use votm_utils::XorShift64;
 
-fn tx_strategy() -> impl Strategy<Value = TxParams> {
-    (0.1f64..1000.0, 0.0f64..50.0, 0.0f64..100.0)
-        .prop_map(|(t, c, d)| TxParams::new(t, c, d))
+/// Uniform f64 in `[lo, hi)` with 53 bits of entropy.
+fn f64_in(rng: &mut XorShift64, lo: f64, hi: f64) -> f64 {
+    let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    lo + (hi - lo) * unit
 }
 
-fn set_strategy() -> impl Strategy<Value = Vec<TxParams>> {
-    proptest::collection::vec(tx_strategy(), 1..40)
+fn random_tx(rng: &mut XorShift64) -> TxParams {
+    TxParams::new(
+        f64_in(rng, 0.1, 1000.0),
+        f64_in(rng, 0.0, 50.0),
+        f64_in(rng, 0.0, 100.0),
+    )
+}
+
+fn random_set(rng: &mut XorShift64) -> Vec<TxParams> {
+    (0..1 + rng.next_index(39))
+        .map(|_| random_tx(rng))
+        .collect()
 }
 
 /// Rescales abort durations so the set has δ > 1 at `n` threads (random
@@ -41,120 +54,159 @@ fn make_cold(mut txs: Vec<TxParams>, n: u32) -> Vec<TxParams> {
     txs
 }
 
-proptest! {
-    /// Eq. 3's closed form equals the direct difference of Eq. 2 − Eq. 1.
-    #[test]
-    fn eq3_closed_form_is_exact(txs in set_strategy(), n in 2u32..64, qsel in 0u32..64) {
-        let q = 1 + qsel % n;
+/// Eq. 3's closed form equals the direct difference of Eq. 2 − Eq. 1.
+#[test]
+fn eq3_closed_form_is_exact() {
+    let mut rng = XorShift64::new(0x0003_0de1_0001);
+    for _case in 0..256 {
+        let txs = random_set(&mut rng);
+        let n = 2 + rng.next_below(62) as u32;
+        let q = 1 + rng.next_below(u64::from(n)) as u32;
         let direct = makespan_rac(&txs, q, n) - makespan_tm(&txs, n);
         let closed = makespan_gap(&txs, q, n);
         let tol = 1e-9 * (1.0 + direct.abs().max(closed.abs()));
-        prop_assert!((direct - closed).abs() <= tol);
+        assert!((direct - closed).abs() <= tol, "n={n} q={q}");
     }
+}
 
-    /// Observation 1(a): δ > 1 ⇒ RAC (any Q < N) strictly beats TM.
-    #[test]
-    fn obs1a_sign(txs in set_strategy(), n in 2u32..64, qsel in 0u32..64) {
-        let q = 1 + qsel % (n - 1); // q in [1, n-1]
-        let txs = make_hot(txs, n);
-        prop_assert!(delta_ratio(&txs, n) > 1.0);
-        prop_assert!(makespan_gap(&txs, q, n) < 0.0);
+/// Observation 1(a): δ > 1 ⇒ RAC (any Q < N) strictly beats TM.
+#[test]
+fn obs1a_sign() {
+    let mut rng = XorShift64::new(0x0003_0de1_0002);
+    for _case in 0..256 {
+        let n = 2 + rng.next_below(62) as u32;
+        let q = 1 + rng.next_below(u64::from(n - 1)) as u32; // q in [1, n-1]
+        let txs = make_hot(random_set(&mut rng), n);
+        assert!(delta_ratio(&txs, n) > 1.0);
+        assert!(makespan_gap(&txs, q, n) < 0.0, "n={n} q={q}");
     }
+}
 
-    /// Observation 1(b): δ ≤ 1 ⇒ restricting admission cannot help.
-    #[test]
-    fn obs1b_sign(txs in set_strategy(), n in 2u32..64, qsel in 0u32..64) {
-        let q = 1 + qsel % n;
-        prop_assume!(delta_ratio(&txs, n) <= 1.0);
-        prop_assert!(makespan_gap(&txs, q, n) >= -1e-9);
+/// Observation 1(b): δ ≤ 1 ⇒ restricting admission cannot help.
+#[test]
+fn obs1b_sign() {
+    let mut rng = XorShift64::new(0x0003_0de1_0003);
+    let mut checked = 0u32;
+    for _case in 0..1024 {
+        let txs = random_set(&mut rng);
+        let n = 2 + rng.next_below(62) as u32;
+        let q = 1 + rng.next_below(u64::from(n)) as u32;
+        if delta_ratio(&txs, n) > 1.0 {
+            continue;
+        }
+        checked += 1;
+        assert!(makespan_gap(&txs, q, n) >= -1e-9, "n={n} q={q}");
     }
+    assert!(checked >= 64, "too few δ ≤ 1 samples ({checked})");
+}
 
-    /// Δ vanishes at Q = N: RAC with full quota *is* conventional TM.
-    #[test]
-    fn gap_zero_at_full_quota(txs in set_strategy(), n in 2u32..64) {
+/// Δ vanishes at Q = N: RAC with full quota *is* conventional TM.
+#[test]
+fn gap_zero_at_full_quota() {
+    let mut rng = XorShift64::new(0x0003_0de1_0004);
+    for _case in 0..256 {
+        let txs = random_set(&mut rng);
+        let n = 2 + rng.next_below(62) as u32;
         let gap = makespan_gap(&txs, n, n);
-        prop_assert!(gap.abs() <= 1e-9 * (1.0 + makespan_tm(&txs, n)));
+        assert!(gap.abs() <= 1e-9 * (1.0 + makespan_tm(&txs, n)), "n={n}");
     }
+}
 
-    /// Eq. 7: per-view decomposition of the single-view makespan is exact
-    /// for any partition of the transaction set.
-    #[test]
-    fn eq7_partition_decomposition(
-        s1 in set_strategy(),
-        s2 in set_strategy(),
-        n in 2u32..64,
-        qsel in 0u32..64,
-    ) {
-        let q = 1 + qsel % n;
+/// Eq. 7: per-view decomposition of the single-view makespan is exact
+/// for any partition of the transaction set.
+#[test]
+fn eq7_partition_decomposition() {
+    let mut rng = XorShift64::new(0x0003_0de1_0005);
+    for _case in 0..256 {
+        let s1 = random_set(&mut rng);
+        let s2 = random_set(&mut rng);
+        let n = 2 + rng.next_below(62) as u32;
+        let q = 1 + rng.next_below(u64::from(n)) as u32;
         let mut all = s1.clone();
         all.extend_from_slice(&s2);
         let lhs = makespan_rac(&all, q, n);
         let rhs = makespan_rac(&s1, q, n) + makespan_rac(&s2, q, n);
-        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs()));
+        assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs()), "n={n} q={q}");
     }
+}
 
-    /// Observation 2 (Eq. 13): with δ₁ > 1, δ₂ ≤ 1 and Q₁ ≤ Q ≤ Q₂,
-    /// independent per-view quotas are never worse than one shared quota.
-    #[test]
-    fn obs2_multi_view_dominates(
-        s1 in set_strategy(),
-        s2 in set_strategy(),
-        n in 2u32..32,
-        a in 0u32..32,
-        b in 0u32..32,
-        c in 0u32..32,
-    ) {
-        let s1 = make_hot(s1, n);
-        let s2 = make_cold(s2, n);
-        prop_assert!(delta_ratio(&s1, n) > 1.0);
-        prop_assert!(delta_ratio(&s2, n) <= 1.0 + 1e-9);
+/// Observation 2 (Eq. 13): with δ₁ > 1, δ₂ ≤ 1 and Q₁ ≤ Q ≤ Q₂,
+/// independent per-view quotas are never worse than one shared quota.
+#[test]
+fn obs2_multi_view_dominates() {
+    let mut rng = XorShift64::new(0x0003_0de1_0006);
+    for _case in 0..256 {
+        let n = 2 + rng.next_below(30) as u32;
+        let s1 = make_hot(random_set(&mut rng), n);
+        let s2 = make_cold(random_set(&mut rng), n);
+        assert!(delta_ratio(&s1, n) > 1.0);
+        assert!(delta_ratio(&s2, n) <= 1.0 + 1e-9);
         // Draw q1 <= q <= q2 from [1, n].
-        let mut qs = [1 + a % n, 1 + b % n, 1 + c % n];
+        let mut qs = [
+            1 + rng.next_below(u64::from(n)) as u32,
+            1 + rng.next_below(u64::from(n)) as u32,
+            1 + rng.next_below(u64::from(n)) as u32,
+        ];
         qs.sort_unstable();
         let (q1, q, q2) = (qs[0], qs[1], qs[2]);
         let (multi, single) = observation2_pair(&s1, q1, &s2, q2, q, n);
-        prop_assert!(
+        assert!(
             multi <= single + 1e-9 * (1.0 + single.abs()),
             "multi {multi} > single {single} (q1={q1}, q={q}, q2={q2}, n={n})"
         );
     }
+}
 
-    /// Monotonicity behind Observation 1: when δ > 1 the makespan is
-    /// increasing in Q (so decreasing Q always helps), and when δ < 1 it is
-    /// decreasing in Q.
-    #[test]
-    fn makespan_monotone_in_quota(txs in set_strategy(), n in 3u32..32) {
+/// Monotonicity behind Observation 1: when δ > 1 the makespan is
+/// increasing in Q (so decreasing Q always helps), and when δ < 1 it is
+/// decreasing in Q.
+#[test]
+fn makespan_monotone_in_quota() {
+    let mut rng = XorShift64::new(0x0003_0de1_0007);
+    for _case in 0..256 {
+        let txs = random_set(&mut rng);
+        let n = 3 + rng.next_below(29) as u32;
         let d = delta_ratio(&txs, n);
-        prop_assume!((d - 1.0).abs() > 1e-6);
+        if (d - 1.0).abs() <= 1e-6 {
+            continue;
+        }
         for q in 2..n {
             let m_lo = makespan_rac(&txs, q, n);
             let m_hi = makespan_rac(&txs, q + 1, n);
             if d > 1.0 {
-                prop_assert!(m_hi >= m_lo - 1e-9, "δ>1 but makespan fell: Q={q}");
+                assert!(m_hi >= m_lo - 1e-9, "δ>1 but makespan fell: Q={q}");
             } else {
-                prop_assert!(m_hi <= m_lo + 1e-9, "δ<1 but makespan rose: Q={q}");
+                assert!(m_hi <= m_lo + 1e-9, "δ<1 but makespan rose: Q={q}");
             }
         }
     }
+}
 
-    /// The Monte-Carlo sampler agrees with Eq. 2 (integral abort counts so
-    /// the binomial is exact; loose 5% tolerance for 4k samples).
-    #[test]
-    fn monte_carlo_agrees_with_closed_form(
-        seed in 1u64..10_000,
-        n in 2u32..17,
-        qsel in 0u32..16,
-        raw in proptest::collection::vec((1.0f64..50.0, 0u32..10, 0.5f64..20.0), 1..8),
-    ) {
-        let q = 1 + qsel % n;
-        let txs: Vec<TxParams> = raw
-            .into_iter()
-            .map(|(t, c, d)| TxParams::new(t, f64::from(c), d))
+/// The Monte-Carlo sampler agrees with Eq. 2 (integral abort counts so
+/// the binomial is exact; loose 5% tolerance for 4k samples).
+#[test]
+fn monte_carlo_agrees_with_closed_form() {
+    let mut rng = XorShift64::new(0x0003_0de1_0008);
+    for _case in 0..40 {
+        let seed = 1 + rng.next_below(9_999);
+        let n = 2 + rng.next_below(15) as u32;
+        let q = 1 + rng.next_below(u64::from(n)) as u32;
+        let txs: Vec<TxParams> = (0..1 + rng.next_index(7))
+            .map(|_| {
+                TxParams::new(
+                    f64_in(&mut rng, 1.0, 50.0),
+                    f64::from(rng.next_below(10) as u32),
+                    f64_in(&mut rng, 0.5, 20.0),
+                )
+            })
             .collect();
         let analytic = makespan_rac(&txs, q, n);
         let empirical = votm_model::montecarlo::mean_makespan(&txs, q, n, 4_000, seed);
         let err = (analytic - empirical).abs() / analytic.max(1e-9);
-        prop_assert!(err < 0.05, "relative error {err} (analytic {analytic}, mc {empirical})");
+        assert!(
+            err < 0.05,
+            "relative error {err} (analytic {analytic}, mc {empirical})"
+        );
     }
 }
 

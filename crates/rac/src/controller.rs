@@ -18,7 +18,7 @@
 //! (Q = 2 for single-view Eigenbench/OrecEagerRedo, Q₁ = 1 multi-view) that
 //! the raw halve/double rule alone cannot produce — see DESIGN.md.
 
-use parking_lot::Mutex;
+use votm_utils::Mutex;
 
 use votm_stm::{StatsSnapshot, TmStats};
 

@@ -19,8 +19,8 @@
 //! So instrumented and uninstrumented access can never overlap, no matter
 //! when the controller moves `Q`.
 
-use parking_lot::Mutex;
 use votm_sim::{Notify, Rt};
+use votm_utils::Mutex;
 
 /// How a thread was admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +37,38 @@ struct GateState {
     quota: u32,
     inside: u32,
     exclusive_inside: bool,
+    /// Escalated entrants waiting in [`AdmissionGate::acquire_exclusive`].
+    /// While non-zero, ordinary admissions are refused so the view drains
+    /// and the escalator cannot be starved by a stream of new entrants.
+    drain_waiters: u32,
+}
+
+/// RAII admission: releases the gate on drop.
+///
+/// Returned by [`AdmissionGate::admit`] / [`AdmissionGate::admit_exclusive`].
+/// Holding admission as a guard (instead of a bare [`AdmissionMode`] that
+/// must be paired with a manual [`AdmissionGate::release`]) is what makes
+/// the transaction pipeline panic-safe: if the body or the commit path
+/// unwinds, the guard's drop still decrements `P` and wakes waiters, so a
+/// crashed transaction can never strand the view at `P > 0` forever.
+#[must_use = "dropping the guard releases admission immediately"]
+#[derive(Debug)]
+pub struct GateGuard<'g> {
+    gate: &'g AdmissionGate,
+    mode: AdmissionMode,
+}
+
+impl GateGuard<'_> {
+    /// How this guard's holder was admitted.
+    pub fn mode(&self) -> AdmissionMode {
+        self.mode
+    }
+}
+
+impl Drop for GateGuard<'_> {
+    fn drop(&mut self) {
+        self.gate.release(self.mode);
+    }
 }
 
 /// Quota semaphore with exclusive (lock-mode) admission at `Q = 1`.
@@ -56,6 +88,7 @@ impl AdmissionGate {
                 quota: initial_quota.clamp(1, max_threads),
                 inside: 0,
                 exclusive_inside: false,
+                drain_waiters: 0,
             }),
             notify: Notify::new(),
             max_threads,
@@ -87,10 +120,21 @@ impl AdmissionGate {
         self.notify.notify_all();
     }
 
+    /// Escalated entrants currently waiting for exclusive admission (see
+    /// [`Self::acquire_exclusive`]); exposed for stall diagnostics.
+    pub fn drain_waiters(&self) -> u32 {
+        self.state.lock().drain_waiters
+    }
+
     /// One non-blocking admission attempt; `None` means the caller must
     /// wait.
     fn try_acquire(&self) -> Option<AdmissionMode> {
         let mut st = self.state.lock();
+        if st.drain_waiters > 0 {
+            // An escalated (starved) transaction is draining the view; no
+            // new ordinary admissions until it has entered and left.
+            return None;
+        }
         if st.quota <= 1 {
             if st.inside == 0 {
                 st.inside = 1;
@@ -116,16 +160,92 @@ impl AdmissionGate {
         }
     }
 
+    /// Like [`Self::acquire`], but returns an RAII [`GateGuard`] that
+    /// releases admission on drop — including during an unwind.
+    pub async fn admit(&self, rt: &Rt) -> GateGuard<'_> {
+        let mode = self.acquire(rt).await;
+        GateGuard { gate: self, mode }
+    }
+
+    /// Escalated admission for a starving transaction: waits for the view
+    /// to drain completely, then enters in [`AdmissionMode::Exclusive`]
+    /// *regardless of the current quota*.
+    ///
+    /// While any escalator waits, ordinary admissions are refused, so the
+    /// view empties in bounded time and a transaction that has lost `K`
+    /// consecutive conflicts can run uncontended (the irrevocable Q = 1
+    /// lock-mode fallback). The drain reservation itself is dropped safely
+    /// if this future is cancelled mid-wait.
+    pub async fn acquire_exclusive(&self, rt: &Rt) -> GateGuard<'_> {
+        // Reservation ticket: un-registers the drain request if the caller
+        // is cancelled before being admitted.
+        struct DrainTicket<'g> {
+            gate: &'g AdmissionGate,
+            admitted: bool,
+        }
+        impl Drop for DrainTicket<'_> {
+            fn drop(&mut self) {
+                if !self.admitted {
+                    self.gate.state.lock().drain_waiters -= 1;
+                    self.gate.notify.notify_all();
+                }
+            }
+        }
+
+        self.state.lock().drain_waiters += 1;
+        let mut ticket = DrainTicket {
+            gate: self,
+            admitted: false,
+        };
+        loop {
+            let epoch = self.notify.epoch();
+            {
+                let mut st = self.state.lock();
+                if st.inside == 0 {
+                    st.inside = 1;
+                    st.exclusive_inside = true;
+                    st.drain_waiters -= 1;
+                    ticket.admitted = true;
+                    drop(st);
+                    return GateGuard {
+                        gate: self,
+                        mode: AdmissionMode::Exclusive,
+                    };
+                }
+            }
+            rt.wait(&self.notify, epoch).await;
+        }
+    }
+
     /// Releases one admission (`release_view`'s final step).
+    ///
+    /// # Panics
+    /// On unbalanced use — releasing an empty gate, or an exclusive release
+    /// with no exclusive holder inside. These checks are always on (not
+    /// `debug_assert`): an unbalanced release silently corrupts `P` and
+    /// every admission decision after it, so it must fail loudly with the
+    /// gate state in the message.
     pub fn release(&self, mode: AdmissionMode) {
         {
             let mut st = self.state.lock();
-            debug_assert!(st.inside > 0, "release without acquire");
-            st.inside -= 1;
+            assert!(
+                st.inside > 0,
+                "AdmissionGate::release without a matching acquire \
+                 (mode {mode:?}, quota {}, inside {}, exclusive_inside {})",
+                st.quota,
+                st.inside,
+                st.exclusive_inside,
+            );
             if mode == AdmissionMode::Exclusive {
-                debug_assert!(st.exclusive_inside);
+                assert!(
+                    st.exclusive_inside,
+                    "exclusive release but no exclusive holder inside \
+                     (quota {}, inside {})",
+                    st.quota, st.inside,
+                );
                 st.exclusive_inside = false;
             }
+            st.inside -= 1;
         }
         self.notify.notify_all();
     }
@@ -188,6 +308,95 @@ mod tests {
         );
         g.release(excl);
         assert_eq!(g.try_acquire().unwrap(), AdmissionMode::Transactional);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without a matching acquire")]
+    fn unbalanced_release_panics_with_gate_state() {
+        let g = AdmissionGate::new(4, 16);
+        g.release(AdmissionMode::Transactional);
+    }
+
+    #[test]
+    #[should_panic(expected = "no exclusive holder inside")]
+    fn exclusive_release_without_exclusive_holder_panics() {
+        let g = AdmissionGate::new(4, 16);
+        let _t = g.try_acquire().unwrap();
+        g.release(AdmissionMode::Exclusive);
+    }
+
+    #[test]
+    fn guard_releases_on_drop_even_through_panic() {
+        let gate = Arc::new(AdmissionGate::new(2, 16));
+        let mut ex = SimExecutor::new(SimConfig::default());
+        {
+            let gate = Arc::clone(&gate);
+            ex.spawn(move |rt| async move {
+                let guard = gate.admit(&rt).await;
+                assert_eq!(guard.mode(), AdmissionMode::Transactional);
+                rt.charge(10).await;
+                // `guard` dropped here: P returns to 0.
+            });
+        }
+        assert_eq!(ex.run().status, RunStatus::Completed);
+        assert_eq!(gate.inside(), 0, "guard drop must release admission");
+
+        // The panic path: unwinding out of a scope holding the guard still
+        // releases (caught so the test itself survives).
+        let gate2 = Arc::clone(&gate);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let mode = gate2.try_acquire().unwrap();
+            let _guard = GateGuard { gate: &gate2, mode };
+            panic!("unwind while admitted");
+        }));
+        assert_eq!(gate.inside(), 0, "unwind must not strand P");
+    }
+
+    #[test]
+    fn exclusive_escalation_drains_and_blocks_new_entrants() {
+        let gate = Arc::new(AdmissionGate::new(4, 16));
+        let a = gate.try_acquire().unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut ex = SimExecutor::new(SimConfig::default());
+        {
+            // Escalator: must wait for `a` to leave, then enter exclusively.
+            let gate = Arc::clone(&gate);
+            let order = Arc::clone(&order);
+            ex.spawn(move |rt| async move {
+                let guard = gate.acquire_exclusive(&rt).await;
+                assert_eq!(guard.mode(), AdmissionMode::Exclusive);
+                order.lock().push("escalator");
+                rt.charge(50).await;
+            });
+        }
+        {
+            // Ordinary entrant arriving later: despite free quota it must
+            // queue behind the escalator's drain reservation.
+            let gate = Arc::clone(&gate);
+            let order = Arc::clone(&order);
+            ex.spawn(move |rt| async move {
+                rt.charge(5).await; // arrive after the escalator registered
+                let _guard = gate.admit(&rt).await;
+                order.lock().push("ordinary");
+                rt.charge(10).await;
+            });
+        }
+        {
+            // Holder `a` leaves at t=20, emptying the view.
+            let gate = Arc::clone(&gate);
+            ex.spawn(move |rt| async move {
+                rt.charge(20).await;
+                gate.release(a);
+            });
+        }
+        assert_eq!(ex.run().status, RunStatus::Completed);
+        assert_eq!(
+            *order.lock(),
+            vec!["escalator", "ordinary"],
+            "escalator must be admitted first, exclusively"
+        );
+        assert_eq!(gate.inside(), 0);
+        assert_eq!(gate.drain_waiters(), 0);
     }
 
     #[test]

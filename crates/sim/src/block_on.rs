@@ -65,10 +65,7 @@ mod tests {
         struct YieldOnce(bool);
         impl Future for YieldOnce {
             type Output = u32;
-            fn poll(
-                mut self: std::pin::Pin<&mut Self>,
-                cx: &mut Context<'_>,
-            ) -> Poll<u32> {
+            fn poll(mut self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
                 if self.0 {
                     Poll::Ready(7)
                 } else {

@@ -1,0 +1,118 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] extends [`crate::SimConfig`] with a *seeded* schedule of
+//! adversities: forced transaction aborts, injected panics, and extra
+//! delays, surfaced at the transaction pipeline's charge/work interleaving
+//! points via [`crate::Rt::take_fault`].
+//!
+//! Determinism is the point. Each task draws from its own PRNG, derived
+//! with SplitMix64 from `plan.seed ⊕ task-id`, and draws are consumed
+//! sequentially per fault point — so a task's fault sequence depends only
+//! on the plan seed and its own draw count, never on how tasks happen to
+//! interleave. Combined with the simulator's seeded scheduling this gives
+//! replayable chaos: the same `(sim seed, fault seed)` pair reproduces the
+//! exact failing schedule, which the chaos tests assert by comparing full
+//! fault logs across runs.
+
+use votm_utils::{SplitMix64, XorShift64};
+
+/// One injected fault, delivered at an interleaving point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Force the current transaction attempt to abort (as if it had
+    /// conflicted).
+    Abort,
+    /// Panic at this point — exercises the unwind/drop-guard recovery
+    /// paths.
+    Panic,
+    /// Stall for this many extra virtual cycles before continuing.
+    Delay(u64),
+}
+
+/// Seeded probabilistic fault schedule (all probabilities in percent,
+/// evaluated independently at every fault point in priority order
+/// panic → abort → delay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the per-task fault PRNGs (independent of the scheduling
+    /// seed, so the same fault schedule can be replayed under different
+    /// interleavings and vice versa).
+    pub seed: u64,
+    /// Chance (percent) of a forced [`FaultEvent::Abort`] per fault point.
+    pub abort_percent: u64,
+    /// Chance (percent) of an injected [`FaultEvent::Panic`] per fault
+    /// point.
+    pub panic_percent: u64,
+    /// Chance (percent) of an extra [`FaultEvent::Delay`] per fault point.
+    pub delay_percent: u64,
+    /// Injected delays are drawn uniformly from `[1, max_delay]` cycles.
+    pub max_delay: u64,
+    /// Hard cap on injected panics across the whole run (so chaos runs
+    /// with `panic_percent > 0` still make progress).
+    pub max_panics: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            abort_percent: 0,
+            panic_percent: 0,
+            delay_percent: 0,
+            max_delay: 100,
+            max_panics: u64::MAX,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The per-task fault PRNG: derived from the plan seed and the task id
+    /// only, so each task's draw sequence is schedule-independent.
+    pub(crate) fn rng_for_task(&self, task: usize) -> XorShift64 {
+        let mut sm = SplitMix64::new(self.seed ^ (task as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        sm.derive()
+    }
+}
+
+/// One entry of the run's fault log: which task received which fault at
+/// which of its draws. Logs from identical `(sim seed, fault seed)` runs
+/// are identical — the chaos tests assert this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Task (logical thread) index the fault was delivered to.
+    pub task: usize,
+    /// Sequential draw number within that task (0-based).
+    pub draw: u64,
+    /// The injected fault.
+    pub event: FaultEvent,
+}
+
+/// Aggregate fault counts for a run, reported in
+/// [`crate::RunOutcome::faults`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Forced aborts injected.
+    pub aborts: u64,
+    /// Panics injected.
+    pub panics: u64,
+    /// Delays injected.
+    pub delays: u64,
+    /// Total extra cycles of injected delay.
+    pub delay_cycles: u64,
+    /// Task panics observed by the executor (injected or organic) that
+    /// were isolated under [`crate::PanicPolicy::Isolate`].
+    pub tasks_killed_by_panic: u64,
+}
+
+/// What the executor does when a task's poll panics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PanicPolicy {
+    /// Re-raise the panic from [`crate::SimExecutor::run`] after marking
+    /// the task dead (the default — a panicking test still fails).
+    #[default]
+    Propagate,
+    /// Swallow the panic, mark the task dead, and keep simulating the
+    /// remaining tasks. Chaos runs use this to prove the *other* tasks
+    /// survive a crashed sibling.
+    Isolate,
+}

@@ -24,14 +24,16 @@
 #![warn(missing_docs)]
 
 mod block_on;
+pub mod fault;
 mod notify;
 mod real;
 mod sim_exec;
 
 pub use block_on::block_on;
+pub use fault::{FaultEvent, FaultPlan, FaultRecord, FaultStats, PanicPolicy};
 pub use notify::Notify;
 pub use real::{run_parallel, RealHandle};
-pub use sim_exec::{RunOutcome, RunStatus, SimConfig, SimExecutor, SimHandle};
+pub use sim_exec::{RunOutcome, RunStatus, SimConfig, SimExecutor, SimHandle, TaskStall};
 
 use std::future::Future;
 use std::pin::Pin;
@@ -105,6 +107,20 @@ impl Rt {
         match self {
             Rt::Sim(h) => h.thread_index(),
             Rt::Real(h) => h.thread_index(),
+        }
+    }
+
+    /// Draws the next injected fault for this task, if the executor has a
+    /// [`FaultPlan`] configured. Real-thread runs never inject faults.
+    ///
+    /// Callers (the transaction pipeline) consult this at charge/work
+    /// interleaving points and translate the event: `Abort` forces the
+    /// attempt to retry, `Panic` unwinds through the drop guards, `Delay`
+    /// charges extra cycles.
+    pub fn take_fault(&self) -> Option<FaultEvent> {
+        match self {
+            Rt::Sim(h) => h.take_fault(),
+            Rt::Real(_) => None,
         }
     }
 }

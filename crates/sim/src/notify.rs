@@ -25,7 +25,7 @@ use std::future::Future;
 use std::pin::Pin;
 use std::task::{Context, Poll, Waker};
 
-use parking_lot::Mutex;
+use votm_utils::Mutex;
 
 #[derive(Debug)]
 struct Inner {

@@ -19,20 +19,27 @@ use std::pin::Pin;
 use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 
-use parking_lot::Mutex;
+use votm_utils::Mutex;
 use votm_utils::XorShift64;
+
+use crate::fault::{FaultEvent, FaultPlan, FaultRecord, FaultStats, PanicPolicy};
 
 /// Configuration for one simulator run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Seed for scheduling tie-breaks (and nothing else — workloads seed
-    /// their own RNGs).
+    /// their own RNGs, and fault injection seeds via [`FaultPlan::seed`]).
     pub seed: u64,
     /// Virtual-cycle cap; exceeding it ends the run with
     /// [`RunStatus::Livelock`]. `None` disables the watchdog.
     pub vtime_cap: Option<u64>,
     /// Hard cap on task activations, a backstop against scheduling bugs.
     pub max_steps: u64,
+    /// Deterministic fault injection (see [`crate::fault`]); `None` runs
+    /// fault-free.
+    pub fault_plan: Option<FaultPlan>,
+    /// What to do when a task's poll panics (injected or organic).
+    pub panic_policy: PanicPolicy,
 }
 
 impl Default for SimConfig {
@@ -41,6 +48,8 @@ impl Default for SimConfig {
             seed: 1,
             vtime_cap: None,
             max_steps: u64::MAX,
+            fault_plan: None,
+            panic_policy: PanicPolicy::Propagate,
         }
     }
 }
@@ -61,8 +70,27 @@ pub enum RunStatus {
     StepBudgetExhausted,
 }
 
+/// Per-task stall diagnostic attached to non-`Completed` outcomes: enough
+/// to see *which* logical thread stopped making progress, *when* it last
+/// ran, and (through the stall probe) what it was waiting on.
+#[derive(Debug, Clone)]
+pub struct TaskStall {
+    /// Task (logical thread) index.
+    pub task: usize,
+    /// Virtual time of this task's last activation — how long it has been
+    /// stalled is `outcome.vtime - last_progress`.
+    pub last_progress: u64,
+    /// True if the task was parked on a [`crate::Notify`] wait (deadlock
+    /// shape); false if it was still being scheduled (livelock shape).
+    pub waiting: bool,
+    /// Free-form context from the stall probe registered with
+    /// [`SimExecutor::set_stall_probe`] — e.g. an admission-gate P/Q
+    /// snapshot.
+    pub detail: Option<String>,
+}
+
 /// Result of [`SimExecutor::run`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunOutcome {
     /// Why the run ended.
     pub status: RunStatus,
@@ -72,6 +100,16 @@ pub struct RunOutcome {
     pub tasks_remaining: usize,
     /// Task activations executed.
     pub steps: u64,
+    /// Aggregate injected-fault counts (all zero when
+    /// [`SimConfig::fault_plan`] is `None` and no task panicked).
+    pub faults: FaultStats,
+    /// Full injected-fault log in delivery order. Identical
+    /// `(SimConfig::seed, FaultPlan::seed)` pairs produce identical logs —
+    /// the chaos tests assert this replayability.
+    pub fault_log: Vec<FaultRecord>,
+    /// One entry per still-live task when the run did not complete
+    /// (livelock/deadlock/step-budget); empty on [`RunStatus::Completed`].
+    pub stalls: Vec<TaskStall>,
 }
 
 /// Task futures need not be `Send`: the simulator is single-threaded, and
@@ -95,6 +133,14 @@ struct TaskSlot {
     state: TaskState,
     /// A wake arrived while the task was being polled; reschedule it.
     wake_pending: bool,
+    /// Virtual time of this task's last activation (stall diagnostics).
+    last_progress: u64,
+    /// Per-task fault PRNG (present iff a [`FaultPlan`] is configured).
+    /// Derived from the plan seed and task id only, so the draw sequence
+    /// is independent of scheduling.
+    fault_rng: Option<XorShift64>,
+    /// Sequential fault draws taken by this task (log correlation).
+    fault_draws: u64,
 }
 
 struct Inner {
@@ -104,6 +150,9 @@ struct Inner {
     seq: u64,
     rng: XorShift64,
     live: usize,
+    plan: Option<FaultPlan>,
+    faults: FaultStats,
+    fault_log: Vec<FaultRecord>,
 }
 
 impl Inner {
@@ -121,7 +170,8 @@ impl Inner {
         slot.state = TaskState::Scheduled;
         let tiebreak = self.rng.next_u64();
         self.seq += 1;
-        self.queue.push(Reverse((at.max(self.now), tiebreak, self.seq, task)));
+        self.queue
+            .push(Reverse((at.max(self.now), tiebreak, self.seq, task)));
     }
 
     fn push_entry(&mut self, task: usize, at: u64) {
@@ -130,7 +180,40 @@ impl Inner {
         self.tasks[task].state = TaskState::Scheduled;
         let tiebreak = self.rng.next_u64();
         self.seq += 1;
-        self.queue.push(Reverse((at.max(self.now), tiebreak, self.seq, task)));
+        self.queue
+            .push(Reverse((at.max(self.now), tiebreak, self.seq, task)));
+    }
+
+    /// One fault draw for `task` (priority panic → abort → delay). Every
+    /// call consumes exactly the same amount of per-task randomness
+    /// regardless of outcome, keeping draw sequences schedule-independent.
+    fn draw_fault(&mut self, task: usize) -> Option<FaultEvent> {
+        let plan = self.plan?;
+        let slot = &mut self.tasks[task];
+        let rng = slot.fault_rng.as_mut()?;
+        let draw = slot.fault_draws;
+        slot.fault_draws += 1;
+
+        let panic_roll = rng.chance_percent(plan.panic_percent);
+        let abort_roll = rng.chance_percent(plan.abort_percent);
+        let delay_roll = rng.chance_percent(plan.delay_percent);
+        let delay_len = 1 + rng.next_below(plan.max_delay.max(1));
+
+        let event = if panic_roll && self.faults.panics < plan.max_panics {
+            self.faults.panics += 1;
+            FaultEvent::Panic
+        } else if abort_roll {
+            self.faults.aborts += 1;
+            FaultEvent::Abort
+        } else if delay_roll {
+            self.faults.delays += 1;
+            self.faults.delay_cycles += delay_len;
+            FaultEvent::Delay(delay_len)
+        } else {
+            return None;
+        };
+        self.fault_log.push(FaultRecord { task, draw, event });
+        Some(event)
     }
 }
 
@@ -188,6 +271,12 @@ impl SimHandle {
         let at = inner.now.saturating_add(cost);
         inner.push_entry(self.task, at);
     }
+
+    /// Draws the next injected fault for this task, if any (see
+    /// [`crate::fault`]).
+    pub(crate) fn take_fault(&self) -> Option<FaultEvent> {
+        self.shared.inner.lock().draw_fault(self.task)
+    }
 }
 
 /// Deterministic single-threaded discrete-event executor.
@@ -212,6 +301,9 @@ pub struct SimExecutor {
     futures: Vec<Option<TaskFuture>>,
     config: SimConfig,
     spawned: usize,
+    /// Optional context hook for stall diagnostics: called once per
+    /// still-live task when a run ends without completing.
+    stall_probe: Option<Box<dyn Fn(usize) -> Option<String>>>,
 }
 
 impl SimExecutor {
@@ -226,12 +318,25 @@ impl SimExecutor {
                     seq: 0,
                     rng: XorShift64::new(config.seed),
                     live: 0,
+                    plan: config.fault_plan,
+                    faults: FaultStats::default(),
+                    fault_log: Vec::new(),
                 }),
             }),
             futures: Vec::new(),
             config,
             spawned: 0,
+            stall_probe: None,
         }
+    }
+
+    /// Registers a stall probe: when a run ends in livelock, deadlock or
+    /// step exhaustion, the probe is called with each still-live task's
+    /// index and its answer lands in [`TaskStall::detail`]. Use it to
+    /// snapshot domain state the executor cannot see — e.g. the admission
+    /// gate's `P`/`Q` for the view a task is stuck on.
+    pub fn set_stall_probe(&mut self, probe: impl Fn(usize) -> Option<String> + 'static) {
+        self.stall_probe = Some(Box::new(probe));
     }
 
     /// Spawns a logical thread. `f` receives the task's [`crate::Rt`] handle
@@ -250,30 +355,68 @@ impl SimExecutor {
         };
         self.futures.push(Some(Box::pin(f(crate::Rt::Sim(handle)))));
         let mut inner = self.shared.inner.lock();
+        let fault_rng = self
+            .config
+            .fault_plan
+            .as_ref()
+            .map(|p| p.rng_for_task(task));
         inner.tasks.push(TaskSlot {
             state: TaskState::Waiting, // schedule() below flips it
             wake_pending: false,
+            last_progress: 0,
+            fault_rng,
+            fault_draws: 0,
         });
         inner.live += 1;
         inner.schedule(task, 0);
     }
 
+    /// Builds the final outcome, attaching per-task stall diagnostics when
+    /// the run did not complete.
+    fn build_outcome(&self, status: RunStatus, steps: u64) -> RunOutcome {
+        let mut inner = self.shared.inner.lock();
+        let stalls = if status == RunStatus::Completed {
+            Vec::new()
+        } else {
+            inner
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.state != TaskState::Done)
+                .map(|(task, s)| TaskStall {
+                    task,
+                    last_progress: s.last_progress,
+                    waiting: s.state == TaskState::Waiting,
+                    detail: self.stall_probe.as_ref().and_then(|p| p(task)),
+                })
+                .collect()
+        };
+        RunOutcome {
+            status,
+            vtime: inner.now,
+            tasks_remaining: inner.live,
+            steps,
+            faults: inner.faults,
+            fault_log: std::mem::take(&mut inner.fault_log),
+            stalls,
+        }
+    }
+
     /// Runs until completion, livelock, deadlock or step exhaustion.
+    ///
+    /// A task whose poll panics is unwound (its drop guards run), marked
+    /// dead, and then handled per [`SimConfig::panic_policy`]: the panic is
+    /// re-raised ([`PanicPolicy::Propagate`], default) or swallowed so the
+    /// remaining tasks keep running ([`PanicPolicy::Isolate`]).
     pub fn run(&mut self) -> RunOutcome {
         let mut steps: u64 = 0;
         loop {
             if steps >= self.config.max_steps {
-                let inner = self.shared.inner.lock();
-                return RunOutcome {
-                    status: RunStatus::StepBudgetExhausted,
-                    vtime: inner.now,
-                    tasks_remaining: inner.live,
-                    steps,
-                };
+                return self.build_outcome(RunStatus::StepBudgetExhausted, steps);
             }
 
             // Pop the next activation without holding the lock across the poll.
-            let task = {
+            let popped = {
                 let mut inner = self.shared.inner.lock();
                 let entry = loop {
                     match inner.queue.pop() {
@@ -287,34 +430,33 @@ impl SimExecutor {
                         None => break None,
                     }
                 };
-                let Some((vtime, _tie, _seq, task)) = entry else {
-                    let status = if inner.live == 0 {
-                        RunStatus::Completed
-                    } else {
-                        RunStatus::Deadlock
-                    };
-                    return RunOutcome {
-                        status,
-                        vtime: inner.now,
-                        tasks_remaining: inner.live,
-                        steps,
-                    };
-                };
-                if let Some(cap) = self.config.vtime_cap {
-                    if vtime > cap {
-                        return RunOutcome {
-                            status: RunStatus::Livelock,
-                            vtime: inner.now,
-                            tasks_remaining: inner.live,
-                            steps,
+                match entry {
+                    None => {
+                        let status = if inner.live == 0 {
+                            RunStatus::Completed
+                        } else {
+                            RunStatus::Deadlock
                         };
+                        Err(status)
+                    }
+                    Some((vtime, _tie, _seq, task)) => {
+                        if self.config.vtime_cap.is_some_and(|cap| vtime > cap) {
+                            Err(RunStatus::Livelock)
+                        } else {
+                            inner.now = inner.now.max(vtime);
+                            let now = inner.now;
+                            let slot = &mut inner.tasks[task];
+                            slot.state = TaskState::Running;
+                            slot.wake_pending = false;
+                            slot.last_progress = now;
+                            Ok(task)
+                        }
                     }
                 }
-                inner.now = inner.now.max(vtime);
-                let slot = &mut inner.tasks[task];
-                slot.state = TaskState::Running;
-                slot.wake_pending = false;
-                task
+            };
+            let task = match popped {
+                Ok(task) => task,
+                Err(status) => return self.build_outcome(status, steps),
             };
 
             steps += 1;
@@ -323,8 +465,32 @@ impl SimExecutor {
                 task,
             }));
             let mut cx = Context::from_waker(&waker);
-            let mut fut = self.futures[task].take().expect("scheduled task has a future");
-            let poll = fut.as_mut().poll(&mut cx);
+            let mut fut = self.futures[task]
+                .take()
+                .expect("scheduled task has a future");
+            let poll = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                fut.as_mut().poll(&mut cx)
+            }));
+
+            let poll = match poll {
+                Ok(poll) => poll,
+                Err(payload) => {
+                    // The unwind already ran the task future's drop guards
+                    // (gate release, transaction rollback); account for the
+                    // death, then propagate or isolate per policy.
+                    drop(fut);
+                    {
+                        let mut inner = self.shared.inner.lock();
+                        inner.tasks[task].state = TaskState::Done;
+                        inner.live -= 1;
+                        inner.faults.tasks_killed_by_panic += 1;
+                    }
+                    match self.config.panic_policy {
+                        PanicPolicy::Propagate => std::panic::resume_unwind(payload),
+                        PanicPolicy::Isolate => continue,
+                    }
+                }
+            };
 
             let mut inner = self.shared.inner.lock();
             let slot = &mut inner.tasks[task];
@@ -450,7 +616,11 @@ mod tests {
             v
         }
         assert_eq!(trace(7), trace(7));
-        assert_ne!(trace(7), trace(8), "different seeds should break ties differently");
+        assert_ne!(
+            trace(7),
+            trace(8),
+            "different seeds should break ties differently"
+        );
     }
 
     #[test]
@@ -531,5 +701,149 @@ mod tests {
             rt.charge(0).await;
         });
         assert_eq!(ex.run().status, RunStatus::Completed);
+    }
+
+    fn fault_config(sched_seed: u64, fault_seed: u64) -> SimConfig {
+        SimConfig {
+            seed: sched_seed,
+            fault_plan: Some(FaultPlan {
+                seed: fault_seed,
+                abort_percent: 20,
+                panic_percent: 0,
+                delay_percent: 30,
+                max_delay: 50,
+                ..Default::default()
+            }),
+            ..Default::default()
+        }
+    }
+
+    fn faulty_run(config: SimConfig) -> RunOutcome {
+        let mut ex = SimExecutor::new(config);
+        for _ in 0..4 {
+            ex.spawn(|rt: Rt| async move {
+                for _ in 0..50 {
+                    rt.charge(10).await;
+                    match rt.take_fault() {
+                        Some(FaultEvent::Delay(d)) => rt.charge(d).await,
+                        Some(FaultEvent::Abort) | Some(FaultEvent::Panic) | None => {}
+                    }
+                }
+            });
+        }
+        ex.run()
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_fault_schedules() {
+        let a = faulty_run(fault_config(3, 7));
+        let b = faulty_run(fault_config(3, 7));
+        assert!(!a.fault_log.is_empty(), "plan should inject something");
+        assert_eq!(a.fault_log, b.fault_log);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.vtime, b.vtime);
+    }
+
+    #[test]
+    fn fault_draws_are_schedule_independent_per_task() {
+        // Different *scheduling* seeds reorder execution, but each task's
+        // fault sequence (task, draw, event) must not change: sort both
+        // logs by (task, draw) and compare.
+        let mut a = faulty_run(fault_config(3, 7)).fault_log;
+        let mut b = faulty_run(fault_config(4, 7)).fault_log;
+        a.sort_by_key(|r| (r.task, r.draw));
+        b.sort_by_key(|r| (r.task, r.draw));
+        assert_eq!(a, b, "fault schedule leaked scheduling nondeterminism");
+    }
+
+    #[test]
+    fn isolate_policy_keeps_other_tasks_running() {
+        let done = Arc::new(AtomicU64::new(0));
+        let mut ex = SimExecutor::new(SimConfig {
+            panic_policy: crate::PanicPolicy::Isolate,
+            ..Default::default()
+        });
+        ex.spawn(|rt: Rt| async move {
+            rt.charge(5).await;
+            panic!("injected chaos");
+        });
+        for _ in 0..3 {
+            let done = Arc::clone(&done);
+            ex.spawn(move |rt: Rt| async move {
+                rt.charge(100).await;
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let out = ex.run();
+        assert_eq!(out.status, RunStatus::Completed);
+        assert_eq!(done.load(Ordering::SeqCst), 3, "survivors must finish");
+        assert_eq!(out.faults.tasks_killed_by_panic, 1);
+    }
+
+    #[test]
+    fn propagate_policy_reraises_task_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let mut ex = SimExecutor::new(SimConfig::default());
+            ex.spawn(|rt: Rt| async move {
+                rt.charge(1).await;
+                panic!("boom");
+            });
+            ex.run();
+        });
+        assert!(result.is_err(), "default policy must re-raise");
+    }
+
+    #[test]
+    fn stall_diagnostics_cover_deadlocked_tasks() {
+        let notify = Arc::new(Notify::new());
+        let mut ex = SimExecutor::new(SimConfig::default());
+        {
+            let n = Arc::clone(&notify);
+            ex.spawn(move |rt: Rt| async move {
+                rt.charge(40).await;
+                let epoch = n.epoch();
+                rt.wait(&n, epoch).await; // never notified
+            });
+        }
+        ex.spawn(|rt: Rt| async move {
+            rt.charge(10).await;
+        });
+        ex.set_stall_probe(|task| Some(format!("probe:{task}")));
+        let out = ex.run();
+        assert_eq!(out.status, RunStatus::Deadlock);
+        assert_eq!(out.stalls.len(), 1, "only the blocked task stalls");
+        let stall = &out.stalls[0];
+        assert_eq!(stall.task, 0);
+        assert_eq!(stall.last_progress, 40);
+        assert!(stall.waiting, "deadlocked task is parked on a Notify");
+        assert_eq!(stall.detail.as_deref(), Some("probe:0"));
+    }
+
+    #[test]
+    fn panic_budget_caps_injected_panics() {
+        let mut ex = SimExecutor::new(SimConfig {
+            panic_policy: crate::PanicPolicy::Isolate,
+            fault_plan: Some(FaultPlan {
+                seed: 11,
+                panic_percent: 100,
+                max_panics: 2,
+                ..Default::default()
+            }),
+            ..Default::default()
+        });
+        for _ in 0..6 {
+            ex.spawn(|rt: Rt| async move {
+                for _ in 0..20 {
+                    rt.charge(10).await;
+                    if let Some(FaultEvent::Panic) = rt.take_fault() {
+                        panic!("injected");
+                    }
+                }
+            });
+        }
+        let out = ex.run();
+        assert_eq!(out.status, RunStatus::Completed);
+        assert_eq!(out.faults.panics, 2, "budget must cap injections");
+        assert_eq!(out.faults.tasks_killed_by_panic, 2);
     }
 }

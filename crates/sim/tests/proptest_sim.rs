@@ -1,22 +1,30 @@
-//! Property-based tests of the virtual-time executor: the scheduling
+//! Randomized property tests of the virtual-time executor: the scheduling
 //! algebra the whole benchmark harness rests on.
+//!
+//! Cases are generated from a fixed-seed PRNG (the container has no network
+//! access for a property-testing dependency, and fixed seeds make failures
+//! directly replayable anyway): each test sweeps a few hundred random
+//! configurations and asserts the invariant on every one.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use proptest::prelude::*;
 use votm_sim::{Notify, Rt, RunStatus, SimConfig, SimExecutor};
+use votm_utils::{Mutex, XorShift64};
 
-proptest! {
-    /// The makespan of independent tasks is exactly the maximum of their
-    /// per-task charge sums (no spurious serialisation in the executor).
-    #[test]
-    fn makespan_is_max_of_independent_tasks(
-        tasks in proptest::collection::vec(
-            proptest::collection::vec(1u64..500, 1..10),
-            1..12,
-        ),
-    ) {
+/// The makespan of independent tasks is exactly the maximum of their
+/// per-task charge sums (no spurious serialisation in the executor).
+#[test]
+fn makespan_is_max_of_independent_tasks() {
+    let mut rng = XorShift64::new(0x5eed_0001);
+    for _ in 0..200 {
+        let n_tasks = 1 + rng.next_index(11);
+        let tasks: Vec<Vec<u64>> = (0..n_tasks)
+            .map(|_| {
+                let steps = 1 + rng.next_index(9);
+                (0..steps).map(|_| 1 + rng.next_below(499)).collect()
+            })
+            .collect();
         let expected: u64 = tasks
             .iter()
             .map(|costs| costs.iter().sum::<u64>())
@@ -31,21 +39,26 @@ proptest! {
             });
         }
         let out = ex.run();
-        prop_assert_eq!(out.status, RunStatus::Completed);
-        prop_assert_eq!(out.vtime, expected);
+        assert_eq!(out.status, RunStatus::Completed);
+        assert_eq!(out.vtime, expected);
     }
+}
 
-    /// Identical (seed, task set) pairs produce identical schedules even
-    /// when every activation ties on virtual time.
-    #[test]
-    fn tie_breaking_is_deterministic_per_seed(
-        seed in 1u64..10_000,
-        n_tasks in 2usize..10,
-        steps in 1usize..20,
-    ) {
+/// Identical (seed, task set) pairs produce identical schedules even when
+/// every activation ties on virtual time.
+#[test]
+fn tie_breaking_is_deterministic_per_seed() {
+    let mut rng = XorShift64::new(0x5eed_0002);
+    for _ in 0..100 {
+        let seed = 1 + rng.next_below(10_000);
+        let n_tasks = 2 + rng.next_index(8);
+        let steps = 1 + rng.next_index(19);
         let trace = |seed: u64| -> Vec<(u64, usize)> {
-            let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
-            let mut ex = SimExecutor::new(SimConfig { seed, ..Default::default() });
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let mut ex = SimExecutor::new(SimConfig {
+                seed,
+                ..Default::default()
+            });
             for i in 0..n_tasks {
                 let log = Arc::clone(&log);
                 ex.spawn(move |rt: Rt| async move {
@@ -59,13 +72,18 @@ proptest! {
             let v = log.lock().clone();
             v
         };
-        prop_assert_eq!(trace(seed), trace(seed));
+        assert_eq!(trace(seed), trace(seed));
     }
+}
 
-    /// notify_all wakes every waiter exactly once; none is lost even when
-    /// the notifier races registration (epoch pattern).
-    #[test]
-    fn notify_wakes_all_waiters(n_waiters in 1usize..16, delay in 1u64..1000) {
+/// notify_all wakes every waiter exactly once; none is lost even when the
+/// notifier races registration (epoch pattern).
+#[test]
+fn notify_wakes_all_waiters() {
+    let mut rng = XorShift64::new(0x5eed_0003);
+    for _ in 0..200 {
+        let n_waiters = 1 + rng.next_index(15);
+        let delay = 1 + rng.next_below(999);
         let notify = Arc::new(Notify::new());
         let woken = Arc::new(AtomicU64::new(0));
         let mut ex = SimExecutor::new(SimConfig::default());
@@ -86,14 +104,18 @@ proptest! {
             });
         }
         let out = ex.run();
-        prop_assert_eq!(out.status, RunStatus::Completed);
-        prop_assert_eq!(woken.load(Ordering::SeqCst), n_waiters as u64);
+        assert_eq!(out.status, RunStatus::Completed);
+        assert_eq!(woken.load(Ordering::SeqCst), n_waiters as u64);
     }
+}
 
-    /// The watchdog cap is exact: tasks that would finish at `cap` complete;
-    /// tasks needing `cap + 1` report livelock.
-    #[test]
-    fn vtime_cap_is_a_sharp_boundary(total in 10u64..10_000) {
+/// The watchdog cap is exact: tasks that would finish at `cap` complete;
+/// tasks needing `cap + 1` report livelock.
+#[test]
+fn vtime_cap_is_a_sharp_boundary() {
+    let mut rng = XorShift64::new(0x5eed_0004);
+    for _ in 0..200 {
+        let total = 10 + rng.next_below(9_990);
         for (cap, expect) in [
             (total, RunStatus::Completed),
             (total - 1, RunStatus::Livelock),
@@ -107,7 +129,7 @@ proptest! {
                 rt.charge(5).await;
             });
             let out = ex.run();
-            prop_assert_eq!(out.status, expect, "cap={} total={}", cap, total);
+            assert_eq!(out.status, expect, "cap={cap} total={total}");
         }
     }
 }

@@ -15,8 +15,8 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
 use votm_utils::FxHashMap;
+use votm_utils::Mutex;
 
 /// A word address within one view's heap — the TM-world pointer type.
 ///
@@ -275,7 +275,9 @@ mod tests {
         for _ in 0..8 {
             let h = Arc::clone(&h);
             handles.push(std::thread::spawn(move || {
-                (0..500).map(|_| h.alloc_block(3).unwrap()).collect::<Vec<_>>()
+                (0..500)
+                    .map(|_| h.alloc_block(3).unwrap())
+                    .collect::<Vec<_>>()
             }));
         }
         let mut all = HashSet::new();

@@ -76,9 +76,7 @@ impl TmInstance {
     pub fn with_reserve(algo: TmAlgorithm, size_words: usize, capacity_words: usize) -> Self {
         let globals = match algo {
             TmAlgorithm::NOrec => Globals::NOrec(NOrecGlobal::new()),
-            TmAlgorithm::OrecEagerRedo | TmAlgorithm::OrecLazy => {
-                Globals::Orec(OrecGlobal::new())
-            }
+            TmAlgorithm::OrecEagerRedo | TmAlgorithm::OrecLazy => Globals::Orec(OrecGlobal::new()),
         };
         Self {
             heap: WordHeap::with_reserve(size_words, capacity_words),
@@ -238,6 +236,34 @@ impl TxCtx {
     pub fn is_direct(&self) -> bool {
         matches!(self.mode, Mode::Direct(_))
     }
+
+    /// True while an attempt is live (begun and neither committed nor
+    /// aborted). Direct contexts report `false`: lock-mode sections hold no
+    /// transactional state to roll back.
+    pub fn is_active(&self) -> bool {
+        match &self.mode {
+            Mode::NOrec(tx) => tx.is_active(),
+            Mode::Orec(tx) => tx.is_active(),
+            Mode::Lazy(tx) => tx.is_active(),
+            Mode::Direct(_) => false,
+        }
+    }
+
+    /// True in the window between a `NeedsFinish` from
+    /// [`TxCtx::commit_begin`] and the matching [`TxCtx::commit_finish`].
+    ///
+    /// In this window the writeback has already reached the heap while
+    /// commit metadata (NOrec's seqlock / orec locks) is still held, so an
+    /// unwind must *finish* the commit rather than abort it — see the
+    /// drop guard in the `votm` crate's transaction driver.
+    pub fn mid_commit(&self) -> bool {
+        match &self.mode {
+            Mode::NOrec(tx) => tx.mid_commit(),
+            Mode::Orec(tx) => tx.mid_commit(),
+            Mode::Lazy(tx) => tx.mid_commit(),
+            Mode::Direct(_) => false,
+        }
+    }
 }
 
 /// Convenience for tests and tools: runs `body` as one transaction against
@@ -357,9 +383,7 @@ mod tests {
                     let inst = Arc::clone(&inst);
                     s.spawn(move || {
                         for i in 0..200u64 {
-                            run_sync(&inst, t, |tx, inst| {
-                                tx.write(inst, Addr(t as u32), i + 1)
-                            });
+                            run_sync(&inst, t, |tx, inst| tx.write(inst, Addr(t as u32), i + 1));
                         }
                     });
                 }

@@ -231,6 +231,15 @@ impl NOrecTx {
         self.active
     }
 
+    /// True between a `NeedsFinish` from [`Self::commit_begin`] and the
+    /// matching [`Self::commit_finish`] — i.e. while the global sequence
+    /// lock is held and the writeback has been published. An unwind in this
+    /// window must *finish* the commit (the writes are already in the
+    /// heap); aborting would strand the seqlock at an odd value forever.
+    pub fn mid_commit(&self) -> bool {
+        self.commit_seq.is_some()
+    }
+
     /// Drains accumulated work units (virtual cycles) since the last call.
     #[inline]
     pub fn take_work(&mut self) -> u64 {

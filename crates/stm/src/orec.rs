@@ -318,7 +318,9 @@ impl OrecTx {
             .take()
             .expect("commit_finish without commit_begin");
         for &(idx, _) in &self.locked {
-            global.orec(idx as usize).store(pack_version(end), Ordering::Release);
+            global
+                .orec(idx as usize)
+                .store(pack_version(end), Ordering::Release);
         }
         self.work += cost::METADATA_OP * self.locked.len() as u64;
         self.locked.clear();
@@ -345,6 +347,15 @@ impl OrecTx {
     /// True while an attempt is active.
     pub fn is_active(&self) -> bool {
         self.active
+    }
+
+    /// True between a `NeedsFinish` from [`Self::commit_begin`] and the
+    /// matching [`Self::commit_finish`]: the writeback already hit the
+    /// heap and this context still owns its locked orecs. An unwind in
+    /// this window must finish (publish) the commit — aborting would
+    /// restore pre-lock orec versions over already-written data.
+    pub fn mid_commit(&self) -> bool {
+        self.commit_version.is_some()
     }
 
     /// Drains accumulated work units since the last call.
@@ -473,7 +484,7 @@ mod tests {
         t1.begin(&g).unwrap();
         assert_eq!(t1.read(&g, &h, Addr(0)).unwrap(), 0);
         t1.write(&g, Addr(50), 1).unwrap(); // make t1 a writer
-        // t2 commits a write to Addr(0) after t1 read it.
+                                            // t2 commits a write to Addr(0) after t1 read it.
         run_tx(&g, &h, &mut t2, |tx| tx.write(&g, Addr(0), 9));
         assert_eq!(t1.commit_begin(&g, &h), Err(OpError::Conflict));
         t1.abort(&g);

@@ -229,6 +229,13 @@ impl OrecLazyTx {
         self.active
     }
 
+    /// True between a `NeedsFinish` from [`Self::commit_begin`] and the
+    /// matching [`Self::commit_finish`] (writeback done, orecs still
+    /// locked). An unwind in this window must finish the commit.
+    pub fn mid_commit(&self) -> bool {
+        self.commit_version.is_some()
+    }
+
     /// Drains accumulated work units since the last call.
     #[inline]
     pub fn take_work(&mut self) -> u64 {

@@ -21,6 +21,8 @@ pub struct TmStats {
     cycles_successful: CachePadded<AtomicU64>,
     busy_retries: CachePadded<AtomicU64>,
     gate_wait_cycles: CachePadded<AtomicU64>,
+    max_abort_streak: CachePadded<AtomicU64>,
+    escalations: CachePadded<AtomicU64>,
 }
 
 impl TmStats {
@@ -56,6 +58,20 @@ impl TmStats {
         self.gate_wait_cycles.fetch_add(cycles, Ordering::Relaxed);
     }
 
+    /// Records one transaction's consecutive-abort streak (the starvation
+    /// watchdog's signal): keeps the high-water mark across the instance.
+    #[inline]
+    pub fn record_abort_streak(&self, streak: u64) {
+        self.max_abort_streak.fetch_max(streak, Ordering::Relaxed);
+    }
+
+    /// Records one max-retry escalation (a starving transaction was granted
+    /// exclusive admission).
+    #[inline]
+    pub fn record_escalation(&self) {
+        self.escalations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Consistent-enough snapshot for reporting (individual counters are
     /// exact; cross-counter skew is bounded by one in-flight transaction).
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -66,6 +82,8 @@ impl TmStats {
             cycles_successful: self.cycles_successful.load(Ordering::Relaxed),
             busy_retries: self.busy_retries.load(Ordering::Relaxed),
             gate_wait_cycles: self.gate_wait_cycles.load(Ordering::Relaxed),
+            max_abort_streak: self.max_abort_streak.load(Ordering::Relaxed),
+            escalations: self.escalations.load(Ordering::Relaxed),
         }
     }
 }
@@ -85,6 +103,12 @@ pub struct StatsSnapshot {
     pub busy_retries: u64,
     /// Cycles threads spent blocked at the admission gate.
     pub gate_wait_cycles: u64,
+    /// Longest run of consecutive aborts any single transaction suffered —
+    /// the starvation watchdog's signal. A high-water mark, not a sum.
+    pub max_abort_streak: u64,
+    /// Max-retry escalations: times a starving transaction was granted
+    /// exclusive admission after exhausting its abort budget.
+    pub escalations: u64,
 }
 
 impl StatsSnapshot {
@@ -95,13 +119,11 @@ impl StatsSnapshot {
         if quota <= 1 || self.cycles_successful == 0 {
             return None;
         }
-        Some(
-            self.cycles_aborted as f64
-                / (self.cycles_successful as f64 * f64::from(quota - 1)),
-        )
+        Some(self.cycles_aborted as f64 / (self.cycles_successful as f64 * f64::from(quota - 1)))
     }
 
-    /// Difference `self − earlier`, for windowed estimation.
+    /// Difference `self − earlier`, for windowed estimation. High-water
+    /// marks (`max_abort_streak`) are carried over, not subtracted.
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             commits: self.commits - earlier.commits,
@@ -110,6 +132,8 @@ impl StatsSnapshot {
             cycles_successful: self.cycles_successful - earlier.cycles_successful,
             busy_retries: self.busy_retries - earlier.busy_retries,
             gate_wait_cycles: self.gate_wait_cycles - earlier.gate_wait_cycles,
+            max_abort_streak: self.max_abort_streak,
+            escalations: self.escalations - earlier.escalations,
         }
     }
 }
@@ -138,14 +162,29 @@ mod tests {
             aborts: 5,
             cycles_aborted: 300,
             cycles_successful: 100,
-            busy_retries: 0,
-            gate_wait_cycles: 0,
+            ..Default::default()
         };
         // delta(Q=4) = 300 / (100 * 3) = 1.0
         assert!((snap.delta(4).unwrap() - 1.0).abs() < 1e-12);
         assert_eq!(snap.delta(1), None, "Q=1 has no delta (paper: N/A)");
         let empty = StatsSnapshot::default();
         assert_eq!(empty.delta(4), None);
+    }
+
+    #[test]
+    fn abort_streak_is_a_high_water_mark() {
+        let s = TmStats::new();
+        s.record_abort_streak(3);
+        s.record_abort_streak(7);
+        s.record_abort_streak(5);
+        s.record_escalation();
+        let snap = s.snapshot();
+        assert_eq!(snap.max_abort_streak, 7);
+        assert_eq!(snap.escalations, 1);
+        // since() keeps the high-water mark rather than subtracting it.
+        let d = s.snapshot().since(&snap);
+        assert_eq!(d.max_abort_streak, 7);
+        assert_eq!(d.escalations, 0);
     }
 
     #[test]

@@ -1,11 +1,13 @@
-//! Property-based tests of the STM building blocks.
+//! Randomized property tests of the STM building blocks, driven by a
+//! fixed-seed PRNG (each test sweeps a few hundred random scripts; a seed is
+//! printed context in every assertion, so failures replay exactly).
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
 use votm_stm::instance::run_sync;
 use votm_stm::writeset::WriteSet;
 use votm_stm::{Addr, TmAlgorithm, TmInstance, WordHeap};
+use votm_utils::XorShift64;
 
 const HEAP_WORDS: u64 = 64;
 
@@ -15,24 +17,28 @@ enum Op {
     Write(u32, u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..HEAP_WORDS as u32).prop_map(Op::Read),
-        (0..HEAP_WORDS as u32, any::<u64>()).prop_map(|(a, v)| Op::Write(a, v)),
-    ]
+fn random_op(rng: &mut XorShift64) -> Op {
+    if rng.chance_percent(50) {
+        Op::Read(rng.next_below(HEAP_WORDS) as u32)
+    } else {
+        Op::Write(rng.next_below(HEAP_WORDS) as u32, rng.next_u64())
+    }
 }
 
-proptest! {
-    /// A single-threaded sequence of transactions, each a random op list,
-    /// behaves exactly like a flat HashMap: every read sees the latest
-    /// committed (or own buffered) write. Checked for both algorithms.
-    #[test]
-    fn sequential_transactions_match_reference_model(
-        txs in proptest::collection::vec(
-            proptest::collection::vec(op_strategy(), 1..12),
-            1..12,
-        ),
-    ) {
+/// A single-threaded sequence of transactions, each a random op list,
+/// behaves exactly like a flat HashMap: every read sees the latest
+/// committed (or own buffered) write. Checked for all algorithms.
+#[test]
+fn sequential_transactions_match_reference_model() {
+    let mut rng = XorShift64::new(0x57u64 << 32 | 1);
+    for _case in 0..100 {
+        let txs: Vec<Vec<Op>> = (0..1 + rng.next_index(11))
+            .map(|_| {
+                (0..1 + rng.next_index(11))
+                    .map(|_| random_op(&mut rng))
+                    .collect()
+            })
+            .collect();
         for algo in TmAlgorithm::ALL {
             let inst = TmInstance::new(algo, HEAP_WORDS as usize);
             let mut model: HashMap<u32, u64> = HashMap::new();
@@ -59,29 +65,30 @@ proptest! {
                 model = tx_model.clone();
             }
             for (a, v) in &model {
-                prop_assert_eq!(inst.heap().load(Addr(*a)), *v, "{:?} final", algo);
+                assert_eq!(inst.heap().load(Addr(*a)), *v, "{algo:?} final");
             }
         }
     }
+}
 
-    /// The allocator never hands out overlapping live blocks, regardless of
-    /// the alloc/free interleaving.
-    #[test]
-    fn allocator_blocks_never_overlap(
-        script in proptest::collection::vec((any::<bool>(), 1u32..16), 1..200),
-    ) {
+/// The allocator never hands out overlapping live blocks, regardless of the
+/// alloc/free interleaving.
+#[test]
+fn allocator_blocks_never_overlap() {
+    let mut rng = XorShift64::new(0x57u64 << 32 | 2);
+    for _case in 0..60 {
         let heap = WordHeap::new(16_384);
         let mut live: Vec<(Addr, u32)> = Vec::new();
-        for (is_alloc, size) in script {
+        let script_len = 1 + rng.next_index(199);
+        for _ in 0..script_len {
+            let is_alloc = rng.chance_percent(50);
+            let size = 1 + rng.next_below(15) as u32;
             if is_alloc || live.is_empty() {
                 if let Some(addr) = heap.alloc_block(size) {
                     // Overlap check against every live block.
                     for &(base, len) in &live {
                         let disjoint = addr.0 + size <= base.0 || base.0 + len <= addr.0;
-                        prop_assert!(
-                            disjoint,
-                            "block {addr:?}+{size} overlaps {base:?}+{len}"
-                        );
+                        assert!(disjoint, "block {addr:?}+{size} overlaps {base:?}+{len}");
                     }
                     live.push((addr, size));
                 }
@@ -91,14 +98,18 @@ proptest! {
                 heap.free_block(addr);
             }
         }
-        prop_assert_eq!(heap.live_blocks(), live.len());
+        assert_eq!(heap.live_blocks(), live.len());
     }
+}
 
-    /// WriteSet behaves as an insertion-ordered map.
-    #[test]
-    fn writeset_matches_reference(
-        ops in proptest::collection::vec((0u32..32, any::<u64>()), 0..64),
-    ) {
+/// WriteSet behaves as an insertion-ordered map.
+#[test]
+fn writeset_matches_reference() {
+    let mut rng = XorShift64::new(0x57u64 << 32 | 3);
+    for _case in 0..200 {
+        let ops: Vec<(u32, u64)> = (0..rng.next_index(64))
+            .map(|_| (rng.next_below(32) as u32, rng.next_u64()))
+            .collect();
         let mut ws = WriteSet::new();
         let mut model: HashMap<u32, u64> = HashMap::new();
         let mut order: Vec<u32> = Vec::new();
@@ -109,19 +120,23 @@ proptest! {
             ws.insert(Addr(*a), *v);
             model.insert(*a, *v);
         }
-        prop_assert_eq!(ws.len(), model.len());
+        assert_eq!(ws.len(), model.len());
         for (a, v) in &model {
-            prop_assert_eq!(ws.get(Addr(*a)), Some(*v));
+            assert_eq!(ws.get(Addr(*a)), Some(*v));
         }
         let got_order: Vec<u32> = ws.iter().map(|(a, _)| a.0).collect();
-        prop_assert_eq!(got_order, order, "first-write order must be stable");
+        assert_eq!(got_order, order, "first-write order must be stable");
     }
+}
 
-    /// Aborted transactions leave no trace on the heap (both algorithms).
-    #[test]
-    fn aborted_attempts_are_invisible(
-        writes in proptest::collection::vec((0u32..32, any::<u64>()), 1..16),
-    ) {
+/// Aborted transactions leave no trace on the heap (all algorithms).
+#[test]
+fn aborted_attempts_are_invisible() {
+    let mut rng = XorShift64::new(0x57u64 << 32 | 4);
+    for _case in 0..100 {
+        let writes: Vec<(u32, u64)> = (0..1 + rng.next_index(15))
+            .map(|_| (rng.next_below(32) as u32, rng.next_u64()))
+            .collect();
         for algo in TmAlgorithm::ALL {
             let inst = TmInstance::new(algo, 64);
             // Seed known values.
@@ -139,10 +154,10 @@ proptest! {
             }
             ctx.abort(&inst);
             for a in 0..32u32 {
-                prop_assert_eq!(
+                assert_eq!(
                     inst.heap().load(Addr(a)),
                     u64::from(a) + 1000,
-                    "{:?}: abort leaked a write to {}", algo, a
+                    "{algo:?}: abort leaked a write to {a}"
                 );
             }
         }

@@ -15,9 +15,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use votm_stm::instance::run_sync;
 use votm_stm::{Addr, TmAlgorithm, TmInstance};
+use votm_utils::Mutex;
 use votm_utils::{SplitMix64, XorShift64};
 
 const TICKET: Addr = Addr(0);
@@ -109,7 +109,11 @@ fn random_mix(algo: TmAlgorithm, threads: usize, tx_per_thread: usize, seed: u64
     }
     // And the final heap must equal the model.
     for (&a, &v) in &model {
-        assert_eq!(inst.heap().load(Addr(a)), v, "{algo:?}: final state diverges");
+        assert_eq!(
+            inst.heap().load(Addr(a)),
+            v,
+            "{algo:?}: final state diverges"
+        );
     }
     assert_eq!(inst.heap().load(TICKET), expected);
 }

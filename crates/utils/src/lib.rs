@@ -12,9 +12,11 @@ pub mod cycles;
 pub mod hash;
 pub mod pad;
 pub mod rng;
+pub mod sync;
 
 pub use backoff::Backoff;
 pub use cycles::{rdtsc, CycleSource};
 pub use hash::{hash_u64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use pad::CachePadded;
 pub use rng::{SplitMix64, XorShift64};
+pub use sync::{Mutex, MutexGuard};

@@ -15,7 +15,6 @@ use std::sync::Arc;
 use votm_repro::sim::{SimConfig, SimExecutor};
 use votm_repro::votm::{Addr, QuotaMode, TmAlgorithm, View, Votm, VotmConfig};
 
-
 const THREADS: u64 = 8;
 const ACCOUNTS: u64 = 4096;
 const OPS: u64 = 240;
@@ -64,8 +63,10 @@ fn run(counter: Arc<View>, accounts: Arc<View>, counter_base: u32, accounts_base
                             // Fraud/limit checks: real computation that a
                             // needlessly-serialised view would waste.
                             tx.local_work(4, 0, 600).await;
-                            tx.write(Addr(accounts_base + from), a.wrapping_sub(1)).await?;
-                            tx.write(Addr(accounts_base + to), b.wrapping_add(1)).await?;
+                            tx.write(Addr(accounts_base + from), a.wrapping_sub(1))
+                                .await?;
+                            tx.write(Addr(accounts_base + to), b.wrapping_add(1))
+                                .await?;
                             Ok(())
                         })
                         .await;

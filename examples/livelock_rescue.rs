@@ -50,7 +50,11 @@ fn main() {
 
     let (status, vtime, aborts, _) = hot_run(QuotaMode::Unrestricted, CAP);
     println!("no admission control : {status:?} after {vtime} cycles, {aborts} aborts");
-    assert_eq!(status, RunStatus::Livelock, "expected the hot view to livelock");
+    assert_eq!(
+        status,
+        RunStatus::Livelock,
+        "expected the hot view to livelock"
+    );
 
     let (status, vtime, aborts, q) = hot_run(QuotaMode::Adaptive, CAP);
     println!(

@@ -35,7 +35,7 @@ fn main() {
         ex.spawn(move |rt| async move {
             for i in 0..10u64 {
                 let key = i * 4 + t; // 0..40, interleaved across threads
-                // acquire_view .. release_view, with automatic retry:
+                                     // acquire_view .. release_view, with automatic retry:
                 view.transact(&rt, async |tx| list.insert(tx, key).await)
                     .await;
             }

@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use votm_repro::ds::{TxHashMap, TxQueue, TxTreap};
-use votm_repro::sim::{RunStatus, SimConfig, SimExecutor};
+use votm_repro::sim::{FaultPlan, FaultRecord, RunStatus, SimConfig, SimExecutor};
 use votm_repro::utils::{SplitMix64, XorShift64};
 use votm_repro::votm::{QuotaMode, TmAlgorithm, Votm, VotmConfig};
 
@@ -18,6 +18,33 @@ const TOKENS_PER_THREAD: u64 = 40;
 /// Each token is pushed into the queue (view A), then migrated by a random
 /// consumer into either the hash map or the treap (view B), then counted.
 fn chaos_round(algo: TmAlgorithm, quota: QuotaMode, seed: u64) {
+    chaos_round_inner(algo, quota, seed, None);
+}
+
+/// Fault-injected variant: forced aborts and injected delays on top of the
+/// same workload. Returns the run's fault log so callers can assert
+/// identical-seed ⇒ identical-fault-schedule determinism.
+fn chaos_round_with_faults(algo: TmAlgorithm, quota: QuotaMode, seed: u64) -> Vec<FaultRecord> {
+    // No injected panics here: a killed task would (correctly) take its
+    // unmigrated tokens with it, and this test's contract is exact-once
+    // conservation. Panic recovery is covered by the core panic_safety and
+    // fault_storm suites.
+    let plan = FaultPlan {
+        seed: seed ^ 0xfa17_fa17,
+        abort_percent: 5,
+        delay_percent: 10,
+        max_delay: 200,
+        ..Default::default()
+    };
+    chaos_round_inner(algo, quota, seed, Some(plan)).expect("fault plan set")
+}
+
+fn chaos_round_inner(
+    algo: TmAlgorithm,
+    quota: QuotaMode,
+    seed: u64,
+    plan: Option<FaultPlan>,
+) -> Option<Vec<FaultRecord>> {
     let sys = Votm::new(VotmConfig {
         algorithm: algo,
         n_threads: THREADS as u32,
@@ -34,6 +61,7 @@ fn chaos_round(algo: TmAlgorithm, quota: QuotaMode, seed: u64) {
     let mut seeds = SplitMix64::new(seed);
     let mut ex = SimExecutor::new(SimConfig {
         seed,
+        fault_plan: plan,
         ..Default::default()
     });
     for t in 0..THREADS {
@@ -49,15 +77,18 @@ fn chaos_round(algo: TmAlgorithm, quota: QuotaMode, seed: u64) {
                     .transact(&rt, async |tx| queue.push_back(tx, token).await)
                     .await;
                 if rng.chance_percent(50) {
-                    drain_one(&rt, &qview, &mview, &queue, &map, &treap, &consumed, &mut rng)
-                        .await;
+                    drain_one(
+                        &rt, &qview, &mview, &queue, &map, &treap, &consumed, &mut rng,
+                    )
+                    .await;
                 }
             }
             // Drain phase.
             while consumed.load(Ordering::Relaxed) < total {
-                let made_progress =
-                    drain_one(&rt, &qview, &mview, &queue, &map, &treap, &consumed, &mut rng)
-                        .await;
+                let made_progress = drain_one(
+                    &rt, &qview, &mview, &queue, &map, &treap, &consumed, &mut rng,
+                )
+                .await;
                 if !made_progress {
                     rt.charge(500).await; // queue empty but others still pushing
                 }
@@ -65,8 +96,19 @@ fn chaos_round(algo: TmAlgorithm, quota: QuotaMode, seed: u64) {
         });
     }
     let out = ex.run();
-    assert_eq!(out.status, RunStatus::Completed, "{algo:?} {quota:?} seed {seed}");
+    assert_eq!(
+        out.status,
+        RunStatus::Completed,
+        "{algo:?} {quota:?} seed {seed}"
+    );
     assert_eq!(consumed.load(Ordering::Relaxed), total);
+    if plan.is_some() {
+        assert!(
+            out.faults.aborts > 0 && out.faults.delays > 0,
+            "fault plan was configured but injected nothing: {:?}",
+            out.faults
+        );
+    }
 
     // Final audit: every token present exactly once, in exactly one place.
     let mut ex2 = SimExecutor::new(SimConfig::default());
@@ -104,6 +146,7 @@ fn chaos_round(algo: TmAlgorithm, quota: QuotaMode, seed: u64) {
         assert_eq!(sum, THREADS * TOKENS_PER_THREAD);
     });
     assert_eq!(ex2.run().status, RunStatus::Completed);
+    plan.map(|_| out.fault_log)
 }
 
 /// Pops one token and files it into a random structure; returns false if
@@ -169,4 +212,25 @@ fn chaos_under_adaptive_rac_and_lock_mode() {
         chaos_round(algo, QuotaMode::Adaptive, 7);
         chaos_round(algo, QuotaMode::Fixed(1), 8); // pure lock mode
     }
+}
+
+#[test]
+fn chaos_with_fault_injection_conserves_tokens() {
+    for seed in [5u64, 21, 337] {
+        chaos_round_with_faults(TmAlgorithm::NOrec, QuotaMode::Fixed(8), seed);
+        chaos_round_with_faults(TmAlgorithm::OrecEagerRedo, QuotaMode::Fixed(8), seed);
+    }
+}
+
+#[test]
+fn chaos_fault_schedule_is_deterministic_per_seed() {
+    // Identical (sim seed, fault seed) pairs must replay the exact same
+    // fault schedule, fault for fault — the property that makes a failing
+    // chaos run reproducible from its seed alone.
+    let a = chaos_round_with_faults(TmAlgorithm::NOrec, QuotaMode::Fixed(8), 41);
+    let b = chaos_round_with_faults(TmAlgorithm::NOrec, QuotaMode::Fixed(8), 41);
+    assert!(!a.is_empty(), "plan injected nothing");
+    assert_eq!(a, b, "same seed must replay the same fault schedule");
+    let c = chaos_round_with_faults(TmAlgorithm::NOrec, QuotaMode::Fixed(8), 42);
+    assert_ne!(a, c, "different seed should perturb the schedule");
 }

@@ -106,7 +106,10 @@ fn measured_delta_agrees_with_model_advice() {
     assert_eq!(ex.run().status, RunStatus::Completed);
     let stats = view.stats();
     let delta = stats.delta().expect("Q=16 has a defined delta");
-    assert!(delta > 1.0, "hot view should measure delta > 1, got {delta}");
+    assert!(
+        delta > 1.0,
+        "hot view should measure delta > 1, got {delta}"
+    );
     assert_eq!(
         model::observation1(Some(delta)),
         model::QuotaAdvice::Decrease
@@ -193,7 +196,7 @@ fn paper_api_lifecycle() {
         ex.spawn(move |rt| async move {
             view.transact(&rt, async |tx| {
                 tx.write(block, 7).await?;
-                let inner = tx.alloc(4);
+                let inner = tx.alloc(4)?;
                 tx.write(inner, 9).await?;
                 tx.free(inner);
                 Ok(())
