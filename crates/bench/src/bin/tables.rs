@@ -19,11 +19,17 @@ use votm_bench::{fmt, Settings};
 struct Args {
     tables: Vec<u32>,
     settings: Settings,
+    /// `--json`: run the throughput gate and write `BENCH_2.json` instead of
+    /// printing markdown tables.
+    json: bool,
+    eigen_scale_set: bool,
 }
 
 fn parse_args() -> Args {
     let mut settings = Settings::default();
     let mut tables = Vec::new();
+    let mut json = false;
+    let mut eigen_scale_set = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut value = |name: &str| -> String {
@@ -36,8 +42,10 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--table takes a number 3..=10"),
             ),
+            "--json" => json = true,
             "--eigen-scale" => {
-                settings.eigen_scale = value("--eigen-scale").parse().expect("bad scale")
+                settings.eigen_scale = value("--eigen-scale").parse().expect("bad scale");
+                eigen_scale_set = true;
             }
             "--intruder-scale" => {
                 settings.intruder_scale = value("--intruder-scale").parse().expect("bad scale")
@@ -49,8 +57,8 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: tables [--table N]... [--eigen-scale F] [--intruder-scale F] \
-                     [--threads N] [--seed S] [--cap-factor K]"
+                    "usage: tables [--table N]... [--json] [--eigen-scale F] \
+                     [--intruder-scale F] [--threads N] [--seed S] [--cap-factor K]"
                 );
                 std::process::exit(0);
             }
@@ -60,11 +68,56 @@ fn parse_args() -> Args {
     if tables.is_empty() {
         tables = (3..=10).collect();
     }
-    Args { tables, settings }
+    Args {
+        tables,
+        settings,
+        json,
+        eigen_scale_set,
+    }
+}
+
+/// The quick-mode Eigenbench scale the throughput gate pins (unless
+/// overridden with `--eigen-scale`), so successive PRs' `BENCH_<n>.json`
+/// artifacts are directly comparable.
+const GATE_EIGEN_SCALE: f64 = 0.001;
+
+/// Output artifact of `--json`: the PR-numbered benchmark trajectory file.
+const GATE_ARTIFACT: &str = "BENCH_2.json";
+
+fn run_json_gate(mut settings: Settings, eigen_scale_set: bool) {
+    if !eigen_scale_set {
+        settings.eigen_scale = GATE_EIGEN_SCALE;
+    }
+    let t0 = std::time::Instant::now();
+    let rows = votm_bench::throughput_gate(&settings);
+    let json = votm_bench::gate_rows_to_json(&settings, &rows);
+    std::fs::write(GATE_ARTIFACT, &json)
+        .unwrap_or_else(|e| panic!("cannot write {GATE_ARTIFACT}: {e}"));
+    eprintln!(
+        "wrote {GATE_ARTIFACT}: {} rows in {:.1}s wall time",
+        rows.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    for r in &rows {
+        eprintln!(
+            "  {:>14} {:>11} N={:<2} -> {:>12.1} txns/vsec (abort rate {:.3}, \
+             gate fast-path {:.3})",
+            r.algo,
+            r.version,
+            r.n_threads,
+            r.txns_per_vsec,
+            r.abort_rate,
+            r.gate_fast_path_hit_rate
+        );
+    }
 }
 
 fn main() {
     let args = parse_args();
+    if args.json {
+        run_json_gate(args.settings, args.eigen_scale_set);
+        return;
+    }
     let s = &args.settings;
     println!(
         "# VOTM table reproduction (eigen-scale {}, intruder-scale {:.6}, N={}, seed {}, cap {}x)\n",

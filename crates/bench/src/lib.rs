@@ -426,6 +426,192 @@ pub fn thread_scaling(settings: &Settings) -> Vec<(u32, f64, f64)> {
         .collect()
 }
 
+// ------------------------------------------------------- Throughput gate
+
+/// One row of the machine-readable throughput gate (`BENCH_<n>.json`).
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// STM algorithm name.
+    pub algo: &'static str,
+    /// Eigenbench version label ("single-view" = 1 view, "multi-view" = 2).
+    pub version: &'static str,
+    /// Number of views the version partitions memory into.
+    pub n_views: u32,
+    /// Thread count N for this row.
+    pub n_threads: u32,
+    /// Completed, unless any seed in the sweep failed to complete.
+    pub status: RunStatus,
+    /// Committed transactions summed over views and the seed sweep.
+    pub commits: u64,
+    /// Aborted attempts summed over views and the seed sweep.
+    pub aborts: u64,
+    /// `aborts / (commits + aborts)` (0 when idle).
+    pub abort_rate: f64,
+    /// Makespan in virtual cycles, summed over the seed sweep.
+    pub vtime: u64,
+    /// Committed transactions per virtual second — the regression metric.
+    pub txns_per_vsec: f64,
+    /// Host wall-clock seconds the row took to simulate (informational;
+    /// varies with host load, not gated on).
+    pub wall_s: f64,
+    /// Fraction of gate admissions served on the lock-free CAS fast path,
+    /// aggregated over views.
+    pub gate_fast_path_hit_rate: f64,
+}
+
+/// The thread counts the throughput gate sweeps.
+pub const GATE_THREADS: [u32; 2] = [4, 16];
+
+/// Seeds per gate configuration. One seed is one interleaving; a single
+/// simulated schedule can swing a config's makespan by ±1–2%, so the gate
+/// aggregates a small seed sweep (total commits over total virtual time)
+/// to keep the trajectory metric stable across PRs.
+pub const GATE_SEEDS: u64 = 3;
+
+/// Runs the reproducible throughput gate: every STM algorithm × Eigenbench
+/// {single-view, multi-view} × N ∈ [`GATE_THREADS`], adaptive quotas, each
+/// config aggregated over [`GATE_SEEDS`] consecutive seeds. Later PRs
+/// regress their `BENCH_<n>.json` against this trajectory.
+pub fn throughput_gate(settings: &Settings) -> Vec<GateRow> {
+    let mut rows = Vec::new();
+    for algo in TmAlgorithm::ALL {
+        for version in [
+            votm_eigenbench::Version::SingleView,
+            votm_eigenbench::Version::MultiView,
+        ] {
+            for n in GATE_THREADS {
+                let t0 = std::time::Instant::now();
+                let mut status = RunStatus::Completed;
+                let mut n_views = 0u32;
+                let (mut commits, mut aborts, mut vtime) = (0u64, 0u64, 0u64);
+                let (mut fast, mut slow) = (0u64, 0u64);
+                for seed_off in 0..GATE_SEEDS {
+                    let mut s = *settings;
+                    s.n_threads = n;
+                    s.seed = settings.seed.wrapping_add(seed_off);
+                    let res = eigen_run(
+                        &s,
+                        algo,
+                        version,
+                        [QuotaMode::Adaptive, QuotaMode::Adaptive],
+                        None,
+                    );
+                    if res.outcome.status != RunStatus::Completed {
+                        status = res.outcome.status;
+                    }
+                    n_views = res.views.len() as u32;
+                    commits += res.views.iter().map(|v| v.tm.commits).sum::<u64>();
+                    aborts += res.views.iter().map(|v| v.tm.aborts).sum::<u64>();
+                    vtime += res.outcome.vtime;
+                    fast += res.views.iter().map(|v| v.gate.fast_acquires).sum::<u64>();
+                    slow += res.views.iter().map(|v| v.gate.slow_acquires).sum::<u64>();
+                }
+                let wall_s = t0.elapsed().as_secs_f64();
+                let attempts = commits + aborts;
+                let admissions = fast + slow;
+                rows.push(GateRow {
+                    algo: algo.name(),
+                    version: version.name(),
+                    n_views,
+                    n_threads: n,
+                    status,
+                    commits,
+                    aborts,
+                    abort_rate: if attempts == 0 {
+                        0.0
+                    } else {
+                        aborts as f64 / attempts as f64
+                    },
+                    vtime,
+                    txns_per_vsec: if vtime == 0 {
+                        0.0
+                    } else {
+                        commits as f64 / vsec(vtime)
+                    },
+                    wall_s,
+                    gate_fast_path_hit_rate: if admissions == 0 {
+                        1.0
+                    } else {
+                        fast as f64 / admissions as f64
+                    },
+                });
+            }
+        }
+    }
+    rows
+}
+
+fn json_str(s: &str) -> String {
+    // The strings serialised here are algorithm/version labels and status
+    // names — plain ASCII identifiers — so escaping covers only the JSON
+    // specials that could ever appear.
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    // JSON has no NaN/Infinity; clamp to null so the artifact always parses.
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialises gate rows as the `BENCH_<n>.json` artifact (hand-rolled: the
+/// workspace is offline and carries no serde).
+pub fn gate_rows_to_json(settings: &Settings, rows: &[GateRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"benchmark\": \"eigenbench\", \"eigen_scale\": {}, \"seed\": {}, \
+         \"quota_mode\": \"adaptive\", \"thread_counts\": [{}], \"seeds_per_config\": {}}},\n",
+        json_f64(settings.eigen_scale),
+        settings.seed,
+        GATE_THREADS.map(|n| n.to_string()).join(", "),
+        GATE_SEEDS,
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"algo\": {}, \"version\": {}, \"n_views\": {}, \"n_threads\": {}, \
+             \"status\": {}, \"commits\": {}, \"aborts\": {}, \"abort_rate\": {}, \
+             \"vtime\": {}, \"txns_per_vsec\": {}, \"wall_s\": {}, \
+             \"gate_fast_path_hit_rate\": {}}}{}\n",
+            json_str(r.algo),
+            json_str(r.version),
+            r.n_views,
+            r.n_threads,
+            json_str(match r.status {
+                RunStatus::Completed => "completed",
+                RunStatus::Livelock => "livelock",
+                RunStatus::Deadlock => "deadlock",
+                RunStatus::StepBudgetExhausted => "step-budget-exhausted",
+            }),
+            r.commits,
+            r.aborts,
+            json_f64(r.abort_rate),
+            r.vtime,
+            json_f64(r.txns_per_vsec),
+            json_f64(r.wall_s),
+            json_f64(r.gate_fast_path_hit_rate),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn version_has_rac_eigen(v: votm_eigenbench::Version) -> bool {
     matches!(
         v,
@@ -519,6 +705,36 @@ mod tests {
             "Observation 2: multi-view Q1=1 ({}) must beat single-view optimum ({best_single})",
             multi_q1.runtime_s
         );
+    }
+
+    #[test]
+    fn throughput_gate_rows_and_json_are_well_formed() {
+        let mut s = tiny();
+        s.eigen_scale = 0.0001;
+        let rows = throughput_gate(&s);
+        // 3 algorithms × 2 versions × GATE_THREADS.len() thread counts.
+        assert_eq!(rows.len(), 3 * 2 * GATE_THREADS.len());
+        for r in &rows {
+            assert_eq!(r.status, RunStatus::Completed, "{r:?}");
+            assert!(r.commits > 0, "{r:?}");
+            assert!(r.txns_per_vsec > 0.0, "{r:?}");
+            assert!(
+                (0.0..=1.0).contains(&r.abort_rate),
+                "abort rate out of range: {r:?}"
+            );
+            assert!(
+                (0.0..=1.0).contains(&r.gate_fast_path_hit_rate),
+                "hit rate out of range: {r:?}"
+            );
+            assert_eq!(r.n_views, if r.version == "multi-view" { 2 } else { 1 });
+        }
+        let json = gate_rows_to_json(&s, &rows);
+        // Structural smoke checks (full parse is CI's python step).
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert_eq!(json.matches("\"algo\"").count(), rows.len());
+        assert!(json.contains("\"rows\": ["));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
     }
 
     #[test]

@@ -46,7 +46,7 @@
 use votm_rac::AdmissionMode;
 use votm_sim::{FaultEvent, Rt};
 use votm_stm::{cost, Addr, CommitPhase, OpError, TxCtx};
-use votm_utils::Backoff;
+use votm_utils::JitterBackoff;
 
 use crate::view::View;
 
@@ -107,7 +107,7 @@ pub struct TxHandle<'v> {
     allocs: Vec<Addr>,
     /// Frees requested by this attempt — applied only if it commits.
     frees: Vec<Addr>,
-    backoff: Backoff,
+    backoff: JitterBackoff,
     /// Cycle timestamp at attempt start (real-thread accounting).
     start: u64,
     /// Set by [`Self::finish`]; a drop with this still false is an unwind.
@@ -121,6 +121,7 @@ impl<'v> TxHandle<'v> {
             AdmissionMode::Transactional => view.tm().tx_ctx(rt.thread_index()),
         };
         let start = rt.now();
+        let backoff = JitterBackoff::new(rt.thread_index() as u64);
         Self {
             view,
             rt,
@@ -129,7 +130,7 @@ impl<'v> TxHandle<'v> {
             attempt_work: 0,
             allocs: Vec::new(),
             frees: Vec::new(),
-            backoff: Backoff::new(),
+            backoff,
             start,
             finished: false,
         }
@@ -146,7 +147,7 @@ impl<'v> TxHandle<'v> {
     /// Lets a `Busy` operation wait: charges model time; under real threads
     /// also spins/yields so the lock holder can run.
     async fn busy_wait(&mut self) {
-        self.view.tm().stats().record_busy();
+        self.view.tm().stats().record_busy(self.rt.thread_index());
         self.attempt_work += cost::BUSY_RETRY;
         self.rt.charge(cost::BUSY_RETRY).await;
         if !self.rt.is_virtual() {
@@ -333,12 +334,13 @@ impl<'v> TxHandle<'v> {
             self.attempt_work = 0;
             self.rt.now().saturating_sub(self.start)
         };
+        let tid = self.rt.thread_index();
         if committed {
             self.apply_side_effects();
-            self.view.tm().stats().record_commit(cycles);
+            self.view.tm().stats().record_commit(tid, cycles);
         } else {
             self.rollback_side_effects();
-            self.view.tm().stats().record_abort(cycles);
+            self.view.tm().stats().record_abort(tid, cycles);
         }
         if let Some(ctrl) = self.view.controller() {
             ctrl.on_tx_end(self.view.gate(), self.view.tm().stats());
@@ -367,22 +369,23 @@ impl Drop for TxHandle<'_> {
             return;
         }
         self.attempt_work += self.ctx.take_work();
+        let tid = self.rt.thread_index();
         if self.ctx.mid_commit() {
             self.ctx.commit_finish(self.view.tm());
             self.attempt_work += self.ctx.take_work();
             self.apply_side_effects();
-            self.view.tm().stats().record_commit(self.attempt_work);
+            self.view.tm().stats().record_commit(tid, self.attempt_work);
         } else if self.ctx.is_direct() {
             self.allocs.clear();
             self.frees.clear();
-            self.view.tm().stats().record_abort(self.attempt_work);
+            self.view.tm().stats().record_abort(tid, self.attempt_work);
         } else {
             if self.ctx.is_active() {
                 self.ctx.abort(self.view.tm());
                 self.attempt_work += self.ctx.take_work();
             }
             self.rollback_side_effects();
-            self.view.tm().stats().record_abort(self.attempt_work);
+            self.view.tm().stats().record_abort(tid, self.attempt_work);
         }
         self.attempt_work = 0;
         if let Some(ctrl) = self.view.controller() {
@@ -418,14 +421,16 @@ where
             let guard = if escalate {
                 // Max-retry escalation: drain the view and run alone in
                 // the irrevocable lock mode, which cannot abort.
-                view.tm().stats().record_escalation();
+                view.tm().stats().record_escalation(rt.thread_index());
                 view.gate().acquire_exclusive(rt).await
             } else {
                 view.gate().admit(rt).await
             };
             let waited = rt.now().saturating_sub(wait_from);
             if waited > 0 {
-                view.tm().stats().record_gate_wait(waited);
+                view.tm()
+                    .stats()
+                    .record_gate_wait(rt.thread_index(), waited);
             }
             Some(guard)
         };
@@ -502,7 +507,9 @@ where
         drop(gate_guard);
 
         streak += 1;
-        view.tm().stats().record_abort_streak(streak);
+        view.tm()
+            .stats()
+            .record_abort_streak(rt.thread_index(), streak);
         // Loop back to reacquire admission and re-run the body.
     }
 }

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use votm_rac::{AdmissionGate, ControllerConfig, QuotaMode, RacController};
+use votm_rac::{AdmissionGate, ControllerConfig, GateStats, QuotaMode, RacController};
 use votm_sim::Rt;
 use votm_stm::{Addr, StatsSnapshot, TmAlgorithm, TmInstance};
 
@@ -149,6 +149,7 @@ impl View {
             view_id: self.id,
             quota,
             tm: self.tm.stats().snapshot(),
+            gate: self.gate.gate_stats(),
         }
     }
 }
@@ -173,6 +174,9 @@ pub struct ViewStats {
     pub quota: u32,
     /// Commit/abort/cycle counters.
     pub tm: StatsSnapshot,
+    /// Admission-gate fast/slow path counters (all zero for unrestricted
+    /// views, whose transactions never consult the gate).
+    pub gate: GateStats,
 }
 
 impl ViewStats {

@@ -227,10 +227,10 @@ mod tests {
         abort_cycles: u64,
     ) -> Option<u32> {
         for _ in 0..commits {
-            stats.record_commit(commit_cycles / commits.max(1));
+            stats.record_commit(0, commit_cycles / commits.max(1));
         }
         for _ in 0..aborts {
-            stats.record_abort(abort_cycles / aborts.max(1));
+            stats.record_abort(0, abort_cycles / aborts.max(1));
         }
         let mut last = None;
         for _ in 0..ctrl.config().window_attempts {
@@ -327,8 +327,8 @@ mod tests {
         let gate = AdmissionGate::new(16, 16);
         let stats = TmStats::new();
         let ctrl = RacController::new(cfg(1000));
-        stats.record_abort(1_000_000);
-        stats.record_commit(10);
+        stats.record_abort(0, 1_000_000);
+        stats.record_commit(0, 10);
         for _ in 0..999 {
             assert_eq!(ctrl.on_tx_end(&gate, &stats), None);
         }

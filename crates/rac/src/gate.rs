@@ -18,9 +18,31 @@
 //!
 //! So instrumented and uninstrumented access can never overlap, no matter
 //! when the controller moves `Q`.
+//!
+//! # Lock-free fast path
+//!
+//! The gate is a per-transaction fixed cost: *every* transaction pays one
+//! admission and one release, so this is exactly the framework overhead the
+//! paper's Eq. 5 argument requires to be negligible. The entire gate state —
+//! `(inside, quota, drain_waiters, exclusive_inside)` — is packed into one
+//! `AtomicU64` ([`PackedState`]), making:
+//!
+//! * [`AdmissionGate::try_acquire`] / [`AdmissionGate::release`] a single
+//!   CAS with bounded exponential backoff on contention (the lightweight
+//!   contention-management discipline of Dice, Hendler & Mirsky), and
+//! * [`AdmissionGate::quota`] / [`AdmissionGate::inside`] plain loads.
+//!
+//! The `Notify` slow path (which takes a mutex internally) is entered only
+//! to *block* — a full view, an exclusive drain — or to broadcast a quota
+//! change. A release wakes waiters only when the sleeper count says someone
+//! is parked, so uncontended acquire/release performs **zero** mutex
+//! acquisitions; [`AdmissionGate::gate_stats`] counts fast-path admissions
+//! and slow-path entries so tests and the throughput gate can verify that.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use votm_sim::{Notify, Rt};
-use votm_utils::Mutex;
+use votm_utils::CachePadded;
 
 /// How a thread was admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,20 +54,90 @@ pub enum AdmissionMode {
     Transactional,
 }
 
-#[derive(Debug)]
-struct GateState {
-    quota: u32,
-    inside: u32,
+/// Unpacked view of the gate word, used for decisions and assert messages.
+///
+/// Layout of the packed `u64`:
+///
+/// ```text
+/// bits  0..16   inside            (P, threads currently admitted)
+/// bits 16..32   quota             (Q)
+/// bits 32..48   drain_waiters     (escalators waiting for an empty view)
+/// bit  48       exclusive_inside  (the admitted holder is in lock mode)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PackedState {
+    inside: u16,
+    quota: u16,
+    drain_waiters: u16,
     exclusive_inside: bool,
-    /// Escalated entrants waiting in [`AdmissionGate::acquire_exclusive`].
-    /// While non-zero, ordinary admissions are refused so the view drains
-    /// and the escalator cannot be starved by a stream of new entrants.
-    drain_waiters: u32,
+}
+
+const INSIDE_SHIFT: u64 = 0;
+const QUOTA_SHIFT: u64 = 16;
+const DRAIN_SHIFT: u64 = 32;
+const EXCL_BIT: u64 = 1 << 48;
+const FIELD_MASK: u64 = 0xFFFF;
+
+impl PackedState {
+    #[inline]
+    fn unpack(word: u64) -> Self {
+        Self {
+            inside: ((word >> INSIDE_SHIFT) & FIELD_MASK) as u16,
+            quota: ((word >> QUOTA_SHIFT) & FIELD_MASK) as u16,
+            drain_waiters: ((word >> DRAIN_SHIFT) & FIELD_MASK) as u16,
+            exclusive_inside: word & EXCL_BIT != 0,
+        }
+    }
+
+    #[inline]
+    fn pack(self) -> u64 {
+        (u64::from(self.inside) << INSIDE_SHIFT)
+            | (u64::from(self.quota) << QUOTA_SHIFT)
+            | (u64::from(self.drain_waiters) << DRAIN_SHIFT)
+            | if self.exclusive_inside { EXCL_BIT } else { 0 }
+    }
+}
+
+/// Counters for the fast/slow path split, snapshotted by
+/// [`AdmissionGate::gate_stats`].
+///
+/// `fast_acquires` are admissions granted by the CAS fast path without ever
+/// touching the `Notify` mutex; `slow_acquires` had to park at least once.
+/// `slow_path_entries` counts every entry into the mutex-protected wait /
+/// wake machinery (epoch snapshot + sleep, or a wake broadcast).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateStats {
+    /// Admissions completed entirely on the lock-free CAS path.
+    pub fast_acquires: u64,
+    /// Admissions that entered the blocking slow path at least once.
+    pub slow_acquires: u64,
+    /// Entries into the mutex-backed wait/wake slow path.
+    pub slow_path_entries: u64,
+}
+
+impl GateStats {
+    /// Fraction of admissions served without blocking (1.0 when idle).
+    pub fn fast_path_hit_rate(&self) -> f64 {
+        let total = self.fast_acquires + self.slow_acquires;
+        if total == 0 {
+            return 1.0;
+        }
+        self.fast_acquires as f64 / total as f64
+    }
+
+    /// Difference `self − earlier`, for windowed reporting.
+    pub fn since(&self, earlier: &GateStats) -> GateStats {
+        GateStats {
+            fast_acquires: self.fast_acquires - earlier.fast_acquires,
+            slow_acquires: self.slow_acquires - earlier.slow_acquires,
+            slow_path_entries: self.slow_path_entries - earlier.slow_path_entries,
+        }
+    }
 }
 
 /// RAII admission: releases the gate on drop.
 ///
-/// Returned by [`AdmissionGate::admit`] / [`AdmissionGate::admit_exclusive`].
+/// Returned by [`AdmissionGate::admit`] / [`AdmissionGate::acquire_exclusive`].
 /// Holding admission as a guard (instead of a bare [`AdmissionMode`] that
 /// must be paired with a manual [`AdmissionGate::release`]) is what makes
 /// the transaction pipeline panic-safe: if the body or the commit path
@@ -71,10 +163,25 @@ impl Drop for GateGuard<'_> {
     }
 }
 
+/// Bounded CAS retry budget before a fast-path attempt gives up and reports
+/// "must wait". Under the simulator a CAS never fails (one OS thread); under
+/// real threads a handful of retries with escalating pauses absorbs transient
+/// contention without degrading into unbounded spinning.
+const CAS_RETRY_LIMIT: u32 = 8;
+
 /// Quota semaphore with exclusive (lock-mode) admission at `Q = 1`.
 #[derive(Debug)]
 pub struct AdmissionGate {
-    state: Mutex<GateState>,
+    /// The packed `(inside, quota, drain_waiters, exclusive)` word — the
+    /// single source of truth, alone on its cache line.
+    word: CachePadded<AtomicU64>,
+    /// Threads parked (or about to park) in the blocking slow path. A
+    /// release skips the wake broadcast entirely while this is zero.
+    sleepers: CachePadded<AtomicU64>,
+    /// Fast/slow path accounting; see [`GateStats`].
+    fast_acquires: CachePadded<AtomicU64>,
+    slow_acquires: CachePadded<AtomicU64>,
+    slow_path_entries: CachePadded<AtomicU64>,
     notify: Notify,
     max_threads: u32,
 }
@@ -83,26 +190,40 @@ impl AdmissionGate {
     /// Creates a gate with an initial quota (clamped to `[1, max_threads]`).
     pub fn new(initial_quota: u32, max_threads: u32) -> Self {
         assert!(max_threads >= 1);
+        assert!(
+            max_threads <= u32::from(u16::MAX),
+            "max_threads {max_threads} exceeds the packed-field width"
+        );
+        let init = PackedState {
+            inside: 0,
+            quota: initial_quota.clamp(1, max_threads) as u16,
+            drain_waiters: 0,
+            exclusive_inside: false,
+        };
         Self {
-            state: Mutex::new(GateState {
-                quota: initial_quota.clamp(1, max_threads),
-                inside: 0,
-                exclusive_inside: false,
-                drain_waiters: 0,
-            }),
+            word: CachePadded::new(AtomicU64::new(init.pack())),
+            sleepers: CachePadded::new(AtomicU64::new(0)),
+            fast_acquires: CachePadded::new(AtomicU64::new(0)),
+            slow_acquires: CachePadded::new(AtomicU64::new(0)),
+            slow_path_entries: CachePadded::new(AtomicU64::new(0)),
             notify: Notify::new(),
             max_threads,
         }
     }
 
-    /// Current quota `Q`.
-    pub fn quota(&self) -> u32 {
-        self.state.lock().quota
+    #[inline]
+    fn load(&self) -> PackedState {
+        PackedState::unpack(self.word.load(Ordering::SeqCst))
     }
 
-    /// Threads currently inside (`P`).
+    /// Current quota `Q` (plain load, no lock).
+    pub fn quota(&self) -> u32 {
+        u32::from(self.load().quota)
+    }
+
+    /// Threads currently inside (`P`) (plain load, no lock).
     pub fn inside(&self) -> u32 {
-        self.state.lock().inside
+        u32::from(self.load().inside)
     }
 
     /// The `N` this gate was configured with.
@@ -110,49 +231,120 @@ impl AdmissionGate {
         self.max_threads
     }
 
-    /// Sets the quota (clamped to `[1, max_threads]`) and wakes waiters so
-    /// an increase admits them promptly.
-    pub fn set_quota(&self, quota: u32) {
-        {
-            let mut st = self.state.lock();
-            st.quota = quota.clamp(1, self.max_threads);
-        }
-        self.notify.notify_all();
-    }
-
     /// Escalated entrants currently waiting for exclusive admission (see
     /// [`Self::acquire_exclusive`]); exposed for stall diagnostics.
     pub fn drain_waiters(&self) -> u32 {
-        self.state.lock().drain_waiters
+        u32::from(self.load().drain_waiters)
+    }
+
+    /// Fast/slow path counters (see [`GateStats`]).
+    pub fn gate_stats(&self) -> GateStats {
+        GateStats {
+            fast_acquires: self.fast_acquires.load(Ordering::Relaxed),
+            slow_acquires: self.slow_acquires.load(Ordering::Relaxed),
+            slow_path_entries: self.slow_path_entries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sets the quota (clamped to `[1, max_threads]`) and wakes waiters so
+    /// an increase admits them promptly. Quota changes are rare (one per
+    /// controller window), so this always takes the broadcast slow path.
+    pub fn set_quota(&self, quota: u32) {
+        let q = quota.clamp(1, self.max_threads) as u16;
+        let mut cur = self.word.load(Ordering::SeqCst);
+        loop {
+            let mut st = PackedState::unpack(cur);
+            st.quota = q;
+            match self.word.compare_exchange_weak(
+                cur,
+                st.pack(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(observed) => cur = observed,
+            }
+        }
+        self.slow_path_entries.fetch_add(1, Ordering::Relaxed);
+        self.notify.notify_all();
     }
 
     /// One non-blocking admission attempt; `None` means the caller must
-    /// wait.
+    /// wait. Pure CAS with bounded backoff — no mutex, ever.
     fn try_acquire(&self) -> Option<AdmissionMode> {
-        let mut st = self.state.lock();
-        if st.drain_waiters > 0 {
-            // An escalated (starved) transaction is draining the view; no
-            // new ordinary admissions until it has entered and left.
-            return None;
-        }
-        if st.quota <= 1 {
-            if st.inside == 0 {
-                st.inside = 1;
-                st.exclusive_inside = true;
-                return Some(AdmissionMode::Exclusive);
+        let mut backoff = votm_utils::Backoff::new();
+        let mut attempts = 0;
+        let mut cur = self.word.load(Ordering::SeqCst);
+        loop {
+            let st = PackedState::unpack(cur);
+            if st.drain_waiters > 0 {
+                // An escalated (starved) transaction is draining the view;
+                // no new ordinary admissions until it has entered and left.
+                return None;
             }
-        } else if !st.exclusive_inside && st.inside < st.quota {
-            st.inside += 1;
-            return Some(AdmissionMode::Transactional);
+            let (next, mode) = if st.quota <= 1 {
+                if st.inside != 0 {
+                    return None;
+                }
+                (
+                    PackedState {
+                        inside: 1,
+                        exclusive_inside: true,
+                        ..st
+                    },
+                    AdmissionMode::Exclusive,
+                )
+            } else if !st.exclusive_inside && st.inside < st.quota {
+                (
+                    PackedState {
+                        inside: st.inside + 1,
+                        ..st
+                    },
+                    AdmissionMode::Transactional,
+                )
+            } else {
+                return None;
+            };
+            match self.word.compare_exchange_weak(
+                cur,
+                next.pack(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Some(mode),
+                Err(observed) => {
+                    attempts += 1;
+                    if attempts >= CAS_RETRY_LIMIT {
+                        // Pathological CAS contention: treat as "must wait"
+                        // rather than spinning unboundedly (Dice et al.'s
+                        // bounded-backoff discipline).
+                        return None;
+                    }
+                    backoff.snooze();
+                    cur = observed;
+                }
+            }
         }
-        None
     }
 
     /// Acquires admission, suspending (simulated or real) while the view is
     /// full. This is `acquire_view`'s blocking step.
     pub async fn acquire(&self, rt: &Rt) -> AdmissionMode {
+        // Uncontended fast path: one CAS, no mutex, no Notify traffic.
+        if let Some(mode) = self.try_acquire() {
+            self.fast_acquires.fetch_add(1, Ordering::Relaxed);
+            return mode;
+        }
+        self.slow_acquires.fetch_add(1, Ordering::Relaxed);
+        // Register as a sleeper *before* the epoch/test/wait sequence so a
+        // concurrent release cannot skip the wake broadcast: if our
+        // try_acquire below fails, the releaser's decrement came after it,
+        // and its sleeper check comes later still — so it must observe this
+        // registration (all SeqCst). The guard survives cancellation.
+        let _sleeper = SleeperGuard::register(self);
         loop {
             let epoch = self.notify.epoch();
+            self.slow_path_entries.fetch_add(1, Ordering::Relaxed);
             if let Some(mode) = self.try_acquire() {
                 return mode;
             }
@@ -186,48 +378,101 @@ impl AdmissionGate {
         impl Drop for DrainTicket<'_> {
             fn drop(&mut self) {
                 if !self.admitted {
-                    self.gate.state.lock().drain_waiters -= 1;
-                    self.gate.notify.notify_all();
+                    self.gate.update_drain(-1);
+                    self.gate.wake_sleepers();
                 }
             }
         }
 
-        self.state.lock().drain_waiters += 1;
+        self.update_drain(1);
         let mut ticket = DrainTicket {
             gate: self,
             admitted: false,
         };
+        let _sleeper = SleeperGuard::register(self);
+        let mut cur = self.word.load(Ordering::SeqCst);
         loop {
             let epoch = self.notify.epoch();
-            {
-                let mut st = self.state.lock();
-                if st.inside == 0 {
-                    st.inside = 1;
-                    st.exclusive_inside = true;
-                    st.drain_waiters -= 1;
-                    ticket.admitted = true;
-                    drop(st);
-                    return GateGuard {
-                        gate: self,
-                        mode: AdmissionMode::Exclusive,
-                    };
+            self.slow_path_entries.fetch_add(1, Ordering::Relaxed);
+            loop {
+                let st = PackedState::unpack(cur);
+                if st.inside != 0 {
+                    break;
+                }
+                debug_assert!(st.drain_waiters > 0, "lost our drain reservation");
+                let next = PackedState {
+                    inside: 1,
+                    exclusive_inside: true,
+                    drain_waiters: st.drain_waiters - 1,
+                    ..st
+                };
+                match self.word.compare_exchange_weak(
+                    cur,
+                    next.pack(),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ) {
+                    Ok(_) => {
+                        ticket.admitted = true;
+                        return GateGuard {
+                            gate: self,
+                            mode: AdmissionMode::Exclusive,
+                        };
+                    }
+                    Err(observed) => cur = observed,
                 }
             }
             rt.wait(&self.notify, epoch).await;
+            cur = self.word.load(Ordering::SeqCst);
         }
     }
 
-    /// Releases one admission (`release_view`'s final step).
+    /// Adjusts the drain-waiter field by `delta` (CAS loop).
+    fn update_drain(&self, delta: i32) {
+        let mut cur = self.word.load(Ordering::SeqCst);
+        loop {
+            let mut st = PackedState::unpack(cur);
+            st.drain_waiters = st
+                .drain_waiters
+                .checked_add_signed(delta as i16)
+                .expect("drain_waiters under/overflow");
+            match self.word.compare_exchange_weak(
+                cur,
+                st.pack(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    /// Wakes parked waiters, but only if someone is actually parked — the
+    /// uncontended release path never touches the Notify mutex.
+    #[inline]
+    fn wake_sleepers(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            self.slow_path_entries.fetch_add(1, Ordering::Relaxed);
+            self.notify.notify_all();
+        }
+    }
+
+    /// Releases one admission (`release_view`'s final step). Pure CAS on the
+    /// uncontended path; the Notify mutex is touched only when a waiter is
+    /// parked.
     ///
     /// # Panics
     /// On unbalanced use — releasing an empty gate, or an exclusive release
     /// with no exclusive holder inside. These checks are always on (not
     /// `debug_assert`): an unbalanced release silently corrupts `P` and
     /// every admission decision after it, so it must fail loudly with the
-    /// gate state in the message.
+    /// gate state in the message. The panic fires *before* any state
+    /// mutation, so a caught unbalanced release leaves the gate intact.
     pub fn release(&self, mode: AdmissionMode) {
-        {
-            let mut st = self.state.lock();
+        let mut cur = self.word.load(Ordering::SeqCst);
+        loop {
+            let st = PackedState::unpack(cur);
             assert!(
                 st.inside > 0,
                 "AdmissionGate::release without a matching acquire \
@@ -243,20 +488,52 @@ impl AdmissionGate {
                      (quota {}, inside {})",
                     st.quota, st.inside,
                 );
-                st.exclusive_inside = false;
             }
-            st.inside -= 1;
+            let next = PackedState {
+                inside: st.inside - 1,
+                exclusive_inside: st.exclusive_inside && mode != AdmissionMode::Exclusive,
+                ..st
+            };
+            match self.word.compare_exchange_weak(
+                cur,
+                next.pack(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(observed) => cur = observed,
+            }
         }
-        self.notify.notify_all();
+        self.wake_sleepers();
+    }
+}
+
+/// RAII sleeper registration: decrements the count even if the waiting
+/// future is cancelled mid-park.
+struct SleeperGuard<'g> {
+    gate: &'g AdmissionGate,
+}
+
+impl<'g> SleeperGuard<'g> {
+    fn register(gate: &'g AdmissionGate) -> Self {
+        gate.sleepers.fetch_add(1, Ordering::SeqCst);
+        Self { gate }
+    }
+}
+
+impl Drop for SleeperGuard<'_> {
+    fn drop(&mut self) {
+        self.gate.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::atomic::AtomicU32;
     use std::sync::Arc;
     use votm_sim::{RunStatus, SimConfig, SimExecutor};
+    use votm_utils::Mutex;
 
     #[test]
     fn try_acquire_respects_quota() {
@@ -323,6 +600,86 @@ mod tests {
         let g = AdmissionGate::new(4, 16);
         let _t = g.try_acquire().unwrap();
         g.release(AdmissionMode::Exclusive);
+    }
+
+    /// The balance asserts fire *before* any mutation, so a caught
+    /// unbalanced release (a mid-release panic) leaves the gate word intact
+    /// and the gate fully usable — P ≤ Q holds throughout.
+    #[test]
+    fn mid_release_panic_leaves_gate_consistent() {
+        let g = Arc::new(AdmissionGate::new(4, 16));
+        let a = g.try_acquire().unwrap();
+        let g2 = Arc::clone(&g);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            g2.release(AdmissionMode::Exclusive); // unbalanced: panics
+        }));
+        assert!(r.is_err());
+        assert_eq!(g.inside(), 1, "failed release must not mutate P");
+        assert_eq!(g.quota(), 4);
+        // Gate still works: admit up to quota, then balanced releases.
+        let b = g.try_acquire().unwrap();
+        let c = g.try_acquire().unwrap();
+        let d = g.try_acquire().unwrap();
+        assert!(g.try_acquire().is_none());
+        for m in [a, b, c, d] {
+            g.release(m);
+        }
+        assert_eq!(g.inside(), 0);
+    }
+
+    /// Acceptance check for the lock-free fast path: an uncontended
+    /// acquire/release stream performs zero slow-path (mutex) entries and
+    /// 100% fast-path admissions.
+    #[test]
+    fn uncontended_path_never_enters_slow_path() {
+        let gate = Arc::new(AdmissionGate::new(4, 16));
+        let mut ex = SimExecutor::new(SimConfig::default());
+        {
+            let gate = Arc::clone(&gate);
+            ex.spawn(move |rt| async move {
+                for _ in 0..100 {
+                    let guard = gate.admit(&rt).await;
+                    rt.charge(10).await;
+                    drop(guard);
+                }
+            });
+        }
+        assert_eq!(ex.run().status, RunStatus::Completed);
+        let s = gate.gate_stats();
+        assert_eq!(s.fast_acquires, 100, "all admissions on the CAS path");
+        assert_eq!(s.slow_acquires, 0);
+        assert_eq!(
+            s.slow_path_entries, 0,
+            "uncontended acquire/release must never touch the mutex path"
+        );
+        assert!((s.fast_path_hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    /// A contended gate still admits everyone, and the stats ledger accounts
+    /// for every admission as either fast or slow.
+    #[test]
+    fn contended_stats_ledger_is_complete() {
+        let gate = Arc::new(AdmissionGate::new(2, 16));
+        let mut ex = SimExecutor::new(SimConfig::default());
+        for _ in 0..8 {
+            let gate = Arc::clone(&gate);
+            ex.spawn(move |rt| async move {
+                for _ in 0..25 {
+                    let guard = gate.admit(&rt).await;
+                    rt.charge(50).await;
+                    drop(guard);
+                }
+            });
+        }
+        assert_eq!(ex.run().status, RunStatus::Completed);
+        let s = gate.gate_stats();
+        assert_eq!(s.fast_acquires + s.slow_acquires, 8 * 25);
+        assert!(
+            s.slow_acquires > 0,
+            "Q=2 with 8 threads must block somebody"
+        );
+        assert!(s.slow_path_entries > 0);
+        assert!(s.fast_path_hit_rate() < 1.0);
     }
 
     #[test]
@@ -463,6 +820,79 @@ mod tests {
         assert_eq!(ex.run().status, RunStatus::Completed);
     }
 
+    /// Serializability of the CAS fast path against concurrent `set_quota`
+    /// storms and exclusive drains: instantaneous occupancy never exceeds
+    /// the *largest* quota ever set, exclusive holders never overlap
+    /// anybody, everyone finishes, and the final word is balanced.
+    #[test]
+    fn sim_cas_admission_interleaved_with_quota_changes_and_drain() {
+        for seed in 0..8u64 {
+            let gate = Arc::new(AdmissionGate::new(4, 16));
+            let inside = Arc::new(AtomicU32::new(0));
+            let peak = Arc::new(AtomicU32::new(0));
+            let excl_overlap = Arc::new(AtomicU32::new(0));
+            let mut ex = SimExecutor::new(SimConfig {
+                seed,
+                ..SimConfig::default()
+            });
+            // 12 ordinary entrants.
+            for _ in 0..12 {
+                let gate = Arc::clone(&gate);
+                let inside = Arc::clone(&inside);
+                let peak = Arc::clone(&peak);
+                ex.spawn(move |rt| async move {
+                    for _ in 0..10 {
+                        let guard = gate.admit(&rt).await;
+                        let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        rt.charge(30).await;
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                        drop(guard);
+                        rt.charge(5).await;
+                    }
+                });
+            }
+            // A quota-storm controller: 1 ↔ 8, never above 8.
+            {
+                let gate = Arc::clone(&gate);
+                ex.spawn(move |rt| async move {
+                    for i in 0..20 {
+                        rt.charge(40).await;
+                        gate.set_quota(if i % 2 == 0 { 1 } else { 8 });
+                    }
+                    gate.set_quota(8); // leave room so everyone finishes
+                });
+            }
+            // Two escalators doing exclusive drains mid-storm.
+            for _ in 0..2 {
+                let gate = Arc::clone(&gate);
+                let inside = Arc::clone(&inside);
+                let excl_overlap = Arc::clone(&excl_overlap);
+                ex.spawn(move |rt| async move {
+                    rt.charge(100).await;
+                    let guard = gate.acquire_exclusive(&rt).await;
+                    assert_eq!(
+                        inside.load(Ordering::SeqCst),
+                        0,
+                        "exclusive admission into a non-empty view"
+                    );
+                    assert_eq!(excl_overlap.fetch_add(1, Ordering::SeqCst), 0);
+                    rt.charge(60).await;
+                    excl_overlap.fetch_sub(1, Ordering::SeqCst);
+                    drop(guard);
+                });
+            }
+            let out = ex.run();
+            assert_eq!(out.status, RunStatus::Completed, "seed {seed}");
+            assert!(
+                peak.load(Ordering::SeqCst) <= 8,
+                "seed {seed}: occupancy exceeded the largest quota ever set"
+            );
+            assert_eq!(gate.inside(), 0, "seed {seed}: unbalanced at exit");
+            assert_eq!(gate.drain_waiters(), 0, "seed {seed}");
+        }
+    }
+
     #[test]
     fn real_threads_respect_quota() {
         let gate = Arc::new(AdmissionGate::new(3, 8));
@@ -488,5 +918,25 @@ mod tests {
         });
         assert!(peak.load(Ordering::SeqCst) <= 3);
         assert_eq!(inside.load(Ordering::SeqCst), 0);
+    }
+
+    /// Real threads hammering the fast path: the ledger stays complete and
+    /// a generously-sized quota keeps everything on the CAS path.
+    #[test]
+    fn real_threads_fast_path_accounting() {
+        let gate = Arc::new(AdmissionGate::new(8, 8));
+        let gate2 = Arc::clone(&gate);
+        votm_sim::run_parallel(8, move |_, rt| {
+            let gate = Arc::clone(&gate2);
+            async move {
+                for _ in 0..100 {
+                    let mode = gate.acquire(&rt).await;
+                    gate.release(mode);
+                }
+            }
+        });
+        let s = gate.gate_stats();
+        assert_eq!(s.fast_acquires + s.slow_acquires, 800);
+        assert_eq!(gate.inside(), 0);
     }
 }

@@ -27,7 +27,7 @@ pub mod controller;
 pub mod gate;
 
 pub use controller::{ControllerConfig, RacController};
-pub use gate::{AdmissionGate, AdmissionMode, GateGuard};
+pub use gate::{AdmissionGate, AdmissionMode, GateGuard, GateStats};
 
 /// How a view's quota is managed (third argument of `create_view`: a value
 /// `< 1` requests dynamic management, a value `≥ 1` pins the quota).

@@ -20,6 +20,11 @@ pub const METADATA_OP: u64 = 20;
 /// recheck) — the values are usually still cached.
 pub const VALIDATE_WORD: u64 = 4;
 
+/// Testing one read-set entry against a commit write-summary filter — a
+/// register-resident AND/compare, an order of magnitude cheaper than the
+/// heap re-read it replaces.
+pub const FILTER_WORD: u64 = 1;
+
 /// Writing one redo-log / write-buffer word back to the heap at commit.
 pub const WRITEBACK_WORD: u64 = 10;
 

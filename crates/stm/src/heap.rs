@@ -22,7 +22,7 @@ use votm_utils::Mutex;
 ///
 /// `u32` keeps read/write sets small; a view can hold 2^32 − 1 words
 /// (32 GiB), far beyond any workload here.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Addr(pub u32);
 
 impl Addr {

@@ -276,7 +276,9 @@ pub fn run_sync<T>(
     mut body: impl FnMut(&mut TxCtx, &TmInstance) -> OpResult<T>,
 ) -> T {
     let mut ctx = inst.tx_ctx(thread_index);
-    let mut backoff = votm_utils::Backoff::new();
+    // Seeded jitter so threads that abort on the same conflict don't retry
+    // in lockstep and collide again.
+    let mut backoff = votm_utils::JitterBackoff::new(thread_index as u64);
     'attempt: loop {
         loop {
             match ctx.begin(inst) {
@@ -292,7 +294,7 @@ pub fn run_sync<T>(
             // are a restart.
             Err(OpError::Busy) | Err(OpError::Conflict) => {
                 ctx.abort(inst);
-                inst.stats.record_abort(ctx.take_work());
+                inst.stats.record_abort(thread_index, ctx.take_work());
                 backoff.snooze();
                 continue 'attempt;
             }
@@ -300,21 +302,21 @@ pub fn run_sync<T>(
         loop {
             match ctx.commit_begin(inst) {
                 Ok(CommitPhase::Done) => {
-                    inst.stats.record_commit(ctx.take_work());
+                    inst.stats.record_commit(thread_index, ctx.take_work());
                     return value;
                 }
                 Ok(CommitPhase::NeedsFinish { .. }) => {
                     ctx.commit_finish(inst);
-                    inst.stats.record_commit(ctx.take_work());
+                    inst.stats.record_commit(thread_index, ctx.take_work());
                     return value;
                 }
                 Err(OpError::Busy) => {
-                    inst.stats.record_busy();
+                    inst.stats.record_busy(thread_index);
                     backoff.snooze();
                 }
                 Err(OpError::Conflict) => {
                     ctx.abort(inst);
-                    inst.stats.record_abort(ctx.take_work());
+                    inst.stats.record_abort(thread_index, ctx.take_work());
                     backoff.snooze();
                     continue 'attempt;
                 }

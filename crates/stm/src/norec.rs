@@ -22,19 +22,49 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use votm_utils::CachePadded;
+use votm_utils::{CachePadded, InlineVec};
 
 use crate::cost;
 use crate::heap::{Addr, WordHeap};
-use crate::writeset::WriteSet;
+use crate::writeset::{summary_bit, WriteSet};
 use crate::{CommitPhase, OpError, OpResult};
 
-/// Global state of one NOrec instance: just the sequence lock.
-#[derive(Debug, Default)]
+/// Read-set entries kept inline in the transaction descriptor before
+/// spilling to the heap (see [`votm_utils::InlineVec`]).
+const INLINE_READS: usize = 8;
+
+/// Commit write-summary ring length. Each committer publishes a 64-bit
+/// Bloom summary of its write set keyed by commit number; a validator whose
+/// snapshot lags by at most this many commits can OR the window's summaries
+/// and skip value-comparing reads the window provably never wrote.
+const SUMMARY_SLOTS: u64 = 64;
+
+/// Global state of one NOrec instance: the sequence lock plus the commit
+/// write-summary ring.
+#[derive(Debug)]
 pub struct NOrecGlobal {
     /// Even = unlocked (value is the commit timestamp); odd = locked by a
     /// committer doing writeback.
     seq: CachePadded<AtomicU64>,
+    /// Ring of per-commit write summaries, indexed by
+    /// `commit_number & (SUMMARY_SLOTS - 1)` where a commit that moves the
+    /// clock to even value `t` has commit number `t / 2`. A slot is written
+    /// only while its committer holds the sequence lock, so any validator
+    /// that reads a torn/overwritten window is caught by its final
+    /// clock-stability check and retries — stale ring data can cause a
+    /// spurious retry, never a missed conflict.
+    summaries: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl Default for NOrecGlobal {
+    fn default() -> Self {
+        Self {
+            seq: CachePadded::new(AtomicU64::new(0)),
+            summaries: (0..SUMMARY_SLOTS)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
 }
 
 impl NOrecGlobal {
@@ -48,6 +78,11 @@ impl NOrecGlobal {
         self.seq.load(Ordering::Acquire)
     }
 
+    #[inline]
+    fn summary_slot(&self, commit_number: u64) -> &AtomicU64 {
+        &self.summaries[(commit_number & (SUMMARY_SLOTS - 1)) as usize]
+    }
+
     /// Current commit timestamp (diagnostics; odd while a commit is in
     /// flight).
     pub fn timestamp(&self) -> u64 {
@@ -59,7 +94,7 @@ impl NOrecGlobal {
 #[derive(Debug)]
 pub struct NOrecTx {
     snapshot: u64,
-    reads: Vec<(Addr, u64)>,
+    reads: InlineVec<(Addr, u64), INLINE_READS>,
     writes: WriteSet,
     /// Work units accrued since `take_work`.
     work: u64,
@@ -79,7 +114,7 @@ impl NOrecTx {
     pub fn new() -> Self {
         Self {
             snapshot: 0,
-            reads: Vec::new(),
+            reads: InlineVec::new(),
             writes: WriteSet::new(),
             work: 0,
             active: false,
@@ -106,16 +141,47 @@ impl NOrecTx {
     /// Value-based validation: re-reads every read-set entry and, if all
     /// still match, advances the snapshot to `target` (an even clock value
     /// newer than the snapshot, observed by the caller).
+    ///
+    /// When the snapshot lags `target` by at most [`SUMMARY_SLOTS`] commits,
+    /// the window's published write summaries are ORed together and reads
+    /// whose summary bit is clear — addresses *provably* untouched by every
+    /// interleaved commit — skip the value comparison (a register test,
+    /// [`cost::FILTER_WORD`], instead of a heap re-read). Correctness does
+    /// not depend on ring freshness: if any summary in the window could have
+    /// been overwritten by a later commit, the clock has necessarily moved
+    /// past `target` and the final stability check fails the whole pass.
     fn validate(&mut self, global: &NOrecGlobal, heap: &WordHeap, target: u64) -> OpResult<()> {
         debug_assert_eq!(target & 1, 0);
-        self.work += cost::VALIDATE_WORD * self.reads.len() as u64 + cost::METADATA_OP;
-        for &(addr, seen) in &self.reads {
+        debug_assert!(target > self.snapshot);
+        self.work += cost::METADATA_OP;
+        let window = (target - self.snapshot) / 2;
+        let filter = if window <= SUMMARY_SLOTS {
+            let mut combined = 0u64;
+            for k in (self.snapshot / 2 + 1)..=(target / 2) {
+                combined |= global.summary_slot(k).load(Ordering::Acquire);
+            }
+            // One word-load per window commit; the slots are read-mostly
+            // shared lines, far cheaper than metadata CAS traffic.
+            self.work += cost::FILTER_WORD * window;
+            Some(combined)
+        } else {
+            None // snapshot too old: the window has left the ring
+        };
+        for (addr, seen) in self.reads.iter() {
+            if let Some(f) = filter {
+                if f & summary_bit(addr) == 0 {
+                    self.work += cost::FILTER_WORD;
+                    continue;
+                }
+            }
+            self.work += cost::VALIDATE_WORD;
             if heap.load(addr) != seen {
                 return Err(OpError::Conflict);
             }
         }
         // The clock must not have moved during our re-reads, otherwise this
-        // validation pass is not atomic — back off and retry.
+        // validation pass is not atomic (and the summary window may be
+        // stale) — back off and retry.
         if global.load_seq() != target {
             return Err(OpError::Busy);
         }
@@ -195,7 +261,11 @@ impl NOrecTx {
                 return Err(OpError::Busy);
             }
         }
-        // Sequence lock held (odd): write back.
+        // Sequence lock held (odd): publish this commit's write summary
+        // (validators key it by commit number target/2), then write back.
+        global
+            .summary_slot((self.snapshot + 2) / 2)
+            .store(self.writes.summary(), Ordering::Release);
         let n = self.writes.len() as u64;
         for (addr, value) in self.writes.iter() {
             heap.store(addr, value);
@@ -424,6 +494,91 @@ mod tests {
         assert_eq!(tx.take_work(), 0, "drained");
         tx.abort();
         assert!(tx.take_work() >= cost::ABORT_PENALTY);
+    }
+
+    #[test]
+    fn summary_filter_skips_value_checks_for_untouched_reads() {
+        let (g, h) = setup();
+        let mut t1 = NOrecTx::new();
+        let mut t2 = NOrecTx::new();
+        t1.begin(&g).unwrap();
+        const N_READS: u64 = 20;
+        for i in 0..N_READS {
+            t1.read(&g, &h, Addr(i as u32)).unwrap();
+        }
+        // One disjoint commit moves the clock by exactly one slot.
+        run_tx(&g, &h, &mut t2, |tx| tx.write(Addr(50), 1));
+        t1.take_work();
+        // This read revalidates through the 1-commit window. With the
+        // summary filter nearly every read-set entry is dismissed at
+        // FILTER_WORD instead of VALIDATE_WORD.
+        t1.read(&g, &h, Addr(21)).unwrap();
+        let w = t1.take_work();
+        let full = cost::SHARED_ACCESS + cost::METADATA_OP + cost::VALIDATE_WORD * N_READS;
+        assert!(
+            w < full,
+            "filtered revalidation ({w}) should undercut full validation ({full})"
+        );
+        assert_eq!(t1.commit_begin(&g, &h).unwrap(), CommitPhase::Done);
+    }
+
+    #[test]
+    fn filter_window_conflicts_are_still_caught() {
+        let (g, h) = setup();
+        let mut t1 = NOrecTx::new();
+        let mut t2 = NOrecTx::new();
+        t1.begin(&g).unwrap();
+        t1.read(&g, &h, Addr(5)).unwrap();
+        // Several disjoint commits, then one touching the read address —
+        // all inside the summary window.
+        for i in 0..5 {
+            run_tx(&g, &h, &mut t2, |tx| tx.write(Addr(30 + i), 1));
+        }
+        run_tx(&g, &h, &mut t2, |tx| tx.write(Addr(5), 77));
+        assert_eq!(t1.read(&g, &h, Addr(6)), Err(OpError::Conflict));
+        t1.abort();
+    }
+
+    #[test]
+    fn snapshot_older_than_ring_falls_back_to_full_validation() {
+        let (g, h) = setup();
+        let mut t1 = NOrecTx::new();
+        let mut t2 = NOrecTx::new();
+        t1.begin(&g).unwrap();
+        t1.read(&g, &h, Addr(10)).unwrap();
+        // 80 disjoint commits — more than SUMMARY_SLOTS, so t1's window has
+        // left the ring and it must value-compare everything. The reads are
+        // all unchanged, so validation still succeeds (NOrec's value-based
+        // advantage survives the fallback).
+        for i in 0..80u32 {
+            run_tx(&g, &h, &mut t2, |tx| tx.write(Addr(20 + i % 40), 1));
+        }
+        assert!(g.timestamp() / 2 > SUMMARY_SLOTS);
+        assert_eq!(t1.read(&g, &h, Addr(11)).unwrap(), 0);
+        assert_eq!(t1.commit_begin(&g, &h).unwrap(), CommitPhase::Done);
+
+        // Same shape but with a real conflict beyond the ring: caught.
+        let mut t3 = NOrecTx::new();
+        t3.begin(&g).unwrap();
+        t3.read(&g, &h, Addr(10)).unwrap();
+        for i in 0..80u32 {
+            run_tx(&g, &h, &mut t2, |tx| tx.write(Addr(20 + i % 40), 2));
+        }
+        run_tx(&g, &h, &mut t2, |tx| tx.write(Addr(10), 9));
+        assert_eq!(t3.read(&g, &h, Addr(11)), Err(OpError::Conflict));
+        t3.abort();
+    }
+
+    #[test]
+    fn read_set_spills_past_inline_capacity() {
+        let (g, h) = setup();
+        let mut tx = NOrecTx::new();
+        tx.begin(&g).unwrap();
+        for i in 0..(INLINE_READS as u32 * 3) {
+            assert_eq!(tx.read(&g, &h, Addr(i)).unwrap(), 0);
+        }
+        assert_eq!(tx.read_set_len(), INLINE_READS * 3);
+        assert_eq!(tx.commit_begin(&g, &h).unwrap(), CommitPhase::Done);
     }
 
     #[test]

@@ -16,12 +16,17 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use votm_utils::{hash_u64, CachePadded};
+use votm_utils::{hash_u64, CachePadded, InlineVec};
 
 use crate::cost;
 use crate::heap::{Addr, WordHeap};
 use crate::writeset::WriteSet;
 use crate::{CommitPhase, OpError, OpResult};
+
+/// Read-set orec indices kept inline in the transaction descriptor before
+/// spilling to the heap (see [`votm_utils::InlineVec`]); shared by the
+/// eager and lazy variants.
+pub(crate) const INLINE_READS: usize = 8;
 
 /// Orec encoding: LSB = lock bit. Unlocked: `version << 1`. Locked:
 /// `(owner << 1) | 1` where `owner` is a non-zero transaction identity.
@@ -139,7 +144,7 @@ pub struct OrecTx {
     /// Snapshot of the version clock; all reads are consistent as of it.
     start: u64,
     /// Orec indices read (duplicates possible; validation tolerates them).
-    reads: Vec<u32>,
+    reads: InlineVec<u32, INLINE_READS>,
     redo: WriteSet,
     /// Orecs we hold, with the pre-lock value to restore on abort.
     locked: Vec<(u32, u64)>,
@@ -155,7 +160,7 @@ impl OrecTx {
         Self {
             owner: thread_index as u64 + 1,
             start: 0,
-            reads: Vec::new(),
+            reads: InlineVec::new(),
             redo: WriteSet::new(),
             locked: Vec::new(),
             work: 0,
@@ -183,7 +188,7 @@ impl OrecTx {
     fn extend(&mut self, global: &OrecGlobal) -> OpResult<()> {
         let now = global.clock.load(Ordering::Acquire);
         self.work += cost::VALIDATE_WORD * self.reads.len() as u64 + cost::METADATA_OP;
-        for &idx in &self.reads {
+        for idx in self.reads.iter() {
             let ov = global.orec(idx as usize).load(Ordering::Acquire);
             if is_locked(ov) {
                 if owner_of(ov) != self.owner {
@@ -290,7 +295,7 @@ impl OrecTx {
         if end != self.start + 1 {
             // Someone committed since our snapshot: validate the read set.
             self.work += cost::VALIDATE_WORD * self.reads.len() as u64;
-            for &idx in &self.reads {
+            for idx in self.reads.iter() {
                 let ov = global.orec(idx as usize).load(Ordering::Acquire);
                 if is_locked(ov) {
                     if owner_of(ov) != self.owner {

@@ -17,9 +17,13 @@
 
 use std::sync::atomic::Ordering;
 
+use votm_utils::InlineVec;
+
 use crate::cost;
 use crate::heap::{Addr, WordHeap};
-use crate::orec::{is_locked, owner_of, pack_owner, pack_version, version_of, OrecGlobal};
+use crate::orec::{
+    is_locked, owner_of, pack_owner, pack_version, version_of, OrecGlobal, INLINE_READS,
+};
 use crate::writeset::WriteSet;
 use crate::{CommitPhase, OpError, OpResult};
 
@@ -29,7 +33,7 @@ pub struct OrecLazyTx {
     owner: u64,
     start: u64,
     /// Orec indices read (validated against `start` at commit).
-    reads: Vec<u32>,
+    reads: InlineVec<u32, INLINE_READS>,
     writes: WriteSet,
     /// Orecs locked during the current commit attempt, with pre-lock values.
     locked: Vec<(u32, u64)>,
@@ -44,7 +48,7 @@ impl OrecLazyTx {
         Self {
             owner: thread_index as u64 + 1,
             start: 0,
-            reads: Vec::new(),
+            reads: InlineVec::new(),
             writes: WriteSet::new(),
             locked: Vec::new(),
             work: 0,
@@ -71,7 +75,7 @@ impl OrecLazyTx {
     fn extend(&mut self, global: &OrecGlobal) -> OpResult<()> {
         let now = global.clock_now();
         self.work += cost::VALIDATE_WORD * self.reads.len() as u64 + cost::METADATA_OP;
-        for &idx in &self.reads {
+        for idx in self.reads.iter() {
             let ov = global.orec_at(idx as usize).load(Ordering::Acquire);
             if is_locked(ov) || version_of(ov) > self.start {
                 return Err(OpError::Conflict);
@@ -167,17 +171,23 @@ impl OrecLazyTx {
         let end = global.clock_tick();
         if end != self.start + 1 {
             self.work += cost::VALIDATE_WORD * self.reads.len() as u64;
-            for &idx in &self.reads {
+            let mut conflict = false;
+            for i in 0..self.reads.len() {
+                let idx = self.reads.get(i);
                 let ov = global.orec_at(idx as usize).load(Ordering::Acquire);
                 if is_locked(ov) {
                     if owner_of(ov) != self.owner {
-                        self.release_locks(global);
-                        return Err(OpError::Conflict);
+                        conflict = true;
+                        break;
                     }
                 } else if version_of(ov) > self.start {
-                    self.release_locks(global);
-                    return Err(OpError::Conflict);
+                    conflict = true;
+                    break;
                 }
+            }
+            if conflict {
+                self.release_locks(global);
+                return Err(OpError::Conflict);
             }
         }
         let n = self.writes.len() as u64;

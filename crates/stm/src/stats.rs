@@ -1,9 +1,35 @@
 //! Per-TM-instance statistics — exactly the quantities in the paper's
 //! tables: #tx, #abort, CPU cycles in aborted and successful transactions.
+//!
+//! Counters are *striped*: each recording thread hashes to one of
+//! [`STAT_STRIPES`] cache-padded counter blocks, so commit/abort bumps from
+//! different threads land on different cache lines instead of ping-ponging
+//! one shared line (the false-sharing hot spot Huang et al. identify for
+//! centralized OCC metadata). [`TmStats::snapshot`] folds the stripes back
+//! into the single [`StatsSnapshot`] the tables and the δ(Q) estimator
+//! consume.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use votm_utils::CachePadded;
+
+/// Number of counter stripes. A power of two so thread indices fold with a
+/// mask; 16 stripes × 128-byte padding keeps the whole table at 2 KiB per
+/// instance while covering the thread counts the paper sweeps (≤ 16).
+pub const STAT_STRIPES: usize = 16;
+
+/// One stripe: the full counter block, alone on its cache line(s).
+#[derive(Debug, Default)]
+struct Stripe {
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    cycles_aborted: AtomicU64,
+    cycles_successful: AtomicU64,
+    busy_retries: AtomicU64,
+    gate_wait_cycles: AtomicU64,
+    max_abort_streak: AtomicU64,
+    escalations: AtomicU64,
+}
 
 /// Shared counters for one TM instance (one view).
 ///
@@ -13,16 +39,20 @@ use votm_utils::CachePadded;
 /// ```text
 /// δ(Q) = cycles_aborted_tx / (cycles_successful_tx · (Q − 1))
 /// ```
-#[derive(Debug, Default)]
+///
+/// Every `record_*` method takes the recording thread's index (`tid`); it is
+/// folded into a stripe index with a mask, so any `usize` is acceptable.
+#[derive(Debug)]
 pub struct TmStats {
-    commits: CachePadded<AtomicU64>,
-    aborts: CachePadded<AtomicU64>,
-    cycles_aborted: CachePadded<AtomicU64>,
-    cycles_successful: CachePadded<AtomicU64>,
-    busy_retries: CachePadded<AtomicU64>,
-    gate_wait_cycles: CachePadded<AtomicU64>,
-    max_abort_streak: CachePadded<AtomicU64>,
-    escalations: CachePadded<AtomicU64>,
+    stripes: [CachePadded<Stripe>; STAT_STRIPES],
+}
+
+impl Default for TmStats {
+    fn default() -> Self {
+        Self {
+            stripes: std::array::from_fn(|_| CachePadded::new(Stripe::default())),
+        }
+    }
 }
 
 impl TmStats {
@@ -31,60 +61,78 @@ impl TmStats {
         Self::default()
     }
 
+    #[inline]
+    fn stripe(&self, tid: usize) -> &Stripe {
+        &self.stripes[tid & (STAT_STRIPES - 1)]
+    }
+
     /// Records one committed transaction that consumed `cycles`.
     #[inline]
-    pub fn record_commit(&self, cycles: u64) {
-        self.commits.fetch_add(1, Ordering::Relaxed);
-        self.cycles_successful.fetch_add(cycles, Ordering::Relaxed);
+    pub fn record_commit(&self, tid: usize, cycles: u64) {
+        let s = self.stripe(tid);
+        s.commits.fetch_add(1, Ordering::Relaxed);
+        s.cycles_successful.fetch_add(cycles, Ordering::Relaxed);
     }
 
     /// Records one aborted attempt that wasted `cycles`.
     #[inline]
-    pub fn record_abort(&self, cycles: u64) {
-        self.aborts.fetch_add(1, Ordering::Relaxed);
-        self.cycles_aborted.fetch_add(cycles, Ordering::Relaxed);
+    pub fn record_abort(&self, tid: usize, cycles: u64) {
+        let s = self.stripe(tid);
+        s.aborts.fetch_add(1, Ordering::Relaxed);
+        s.cycles_aborted.fetch_add(cycles, Ordering::Relaxed);
     }
 
     /// Records a `Busy` retry (seqlock held, lost CAS race).
     #[inline]
-    pub fn record_busy(&self) {
-        self.busy_retries.fetch_add(1, Ordering::Relaxed);
+    pub fn record_busy(&self, tid: usize) {
+        self.stripe(tid)
+            .busy_retries
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records cycles a thread spent blocked at the admission gate — the
     /// direct cost RAC pays to buy fewer aborts.
     #[inline]
-    pub fn record_gate_wait(&self, cycles: u64) {
-        self.gate_wait_cycles.fetch_add(cycles, Ordering::Relaxed);
+    pub fn record_gate_wait(&self, tid: usize, cycles: u64) {
+        self.stripe(tid)
+            .gate_wait_cycles
+            .fetch_add(cycles, Ordering::Relaxed);
     }
 
     /// Records one transaction's consecutive-abort streak (the starvation
     /// watchdog's signal): keeps the high-water mark across the instance.
     #[inline]
-    pub fn record_abort_streak(&self, streak: u64) {
-        self.max_abort_streak.fetch_max(streak, Ordering::Relaxed);
+    pub fn record_abort_streak(&self, tid: usize, streak: u64) {
+        self.stripe(tid)
+            .max_abort_streak
+            .fetch_max(streak, Ordering::Relaxed);
     }
 
     /// Records one max-retry escalation (a starving transaction was granted
     /// exclusive admission).
     #[inline]
-    pub fn record_escalation(&self) {
-        self.escalations.fetch_add(1, Ordering::Relaxed);
+    pub fn record_escalation(&self, tid: usize) {
+        self.stripe(tid).escalations.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Consistent-enough snapshot for reporting (individual counters are
-    /// exact; cross-counter skew is bounded by one in-flight transaction).
+    /// Consistent-enough snapshot for reporting: sums (or maxes, for the
+    /// high-water marks) across stripes. Individual counters are exact;
+    /// cross-counter skew is bounded by one in-flight transaction.
     pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            commits: self.commits.load(Ordering::Relaxed),
-            aborts: self.aborts.load(Ordering::Relaxed),
-            cycles_aborted: self.cycles_aborted.load(Ordering::Relaxed),
-            cycles_successful: self.cycles_successful.load(Ordering::Relaxed),
-            busy_retries: self.busy_retries.load(Ordering::Relaxed),
-            gate_wait_cycles: self.gate_wait_cycles.load(Ordering::Relaxed),
-            max_abort_streak: self.max_abort_streak.load(Ordering::Relaxed),
-            escalations: self.escalations.load(Ordering::Relaxed),
+        let mut out = StatsSnapshot::default();
+        for s in &self.stripes {
+            out.commits += s.commits.load(Ordering::Relaxed);
+            out.aborts += s.aborts.load(Ordering::Relaxed);
+            out.cycles_aborted += s.cycles_aborted.load(Ordering::Relaxed);
+            out.cycles_successful += s.cycles_successful.load(Ordering::Relaxed);
+            out.busy_retries += s.busy_retries.load(Ordering::Relaxed);
+            out.gate_wait_cycles += s.gate_wait_cycles.load(Ordering::Relaxed);
+            out.max_abort_streak = out
+                .max_abort_streak
+                .max(s.max_abort_streak.load(Ordering::Relaxed));
+            out.escalations += s.escalations.load(Ordering::Relaxed);
         }
+        out
     }
 }
 
@@ -145,14 +193,35 @@ mod tests {
     #[test]
     fn commit_abort_accounting() {
         let s = TmStats::new();
-        s.record_commit(100);
-        s.record_commit(50);
-        s.record_abort(30);
+        s.record_commit(0, 100);
+        s.record_commit(0, 50);
+        s.record_abort(0, 30);
         let snap = s.snapshot();
         assert_eq!(snap.commits, 2);
         assert_eq!(snap.aborts, 1);
         assert_eq!(snap.cycles_successful, 150);
         assert_eq!(snap.cycles_aborted, 30);
+    }
+
+    #[test]
+    fn stripes_aggregate_across_thread_indices() {
+        let s = TmStats::new();
+        // One commit from every stripe, plus indices past the stripe count
+        // (they must fold with the mask, not panic or get dropped).
+        for tid in 0..STAT_STRIPES * 3 {
+            s.record_commit(tid, 10);
+        }
+        s.record_abort(7, 5);
+        s.record_abort(7 + STAT_STRIPES, 5);
+        s.record_busy(31);
+        s.record_gate_wait(64, 40);
+        let snap = s.snapshot();
+        assert_eq!(snap.commits, (STAT_STRIPES * 3) as u64);
+        assert_eq!(snap.cycles_successful, (STAT_STRIPES * 3) as u64 * 10);
+        assert_eq!(snap.aborts, 2);
+        assert_eq!(snap.cycles_aborted, 10);
+        assert_eq!(snap.busy_retries, 1);
+        assert_eq!(snap.gate_wait_cycles, 40);
     }
 
     #[test]
@@ -172,14 +241,14 @@ mod tests {
     }
 
     #[test]
-    fn abort_streak_is_a_high_water_mark() {
+    fn abort_streak_is_a_cross_stripe_high_water_mark() {
         let s = TmStats::new();
-        s.record_abort_streak(3);
-        s.record_abort_streak(7);
-        s.record_abort_streak(5);
-        s.record_escalation();
+        s.record_abort_streak(0, 3);
+        s.record_abort_streak(5, 7); // different stripe
+        s.record_abort_streak(2, 5);
+        s.record_escalation(1);
         let snap = s.snapshot();
-        assert_eq!(snap.max_abort_streak, 7);
+        assert_eq!(snap.max_abort_streak, 7, "max must span stripes");
         assert_eq!(snap.escalations, 1);
         // since() keeps the high-water mark rather than subtracting it.
         let d = s.snapshot().since(&snap);
@@ -190,10 +259,10 @@ mod tests {
     #[test]
     fn windowed_difference() {
         let s = TmStats::new();
-        s.record_commit(10);
+        s.record_commit(0, 10);
         let w0 = s.snapshot();
-        s.record_commit(20);
-        s.record_abort(5);
+        s.record_commit(1, 20);
+        s.record_abort(2, 5);
         let w1 = s.snapshot();
         let d = w1.since(&w0);
         assert_eq!(d.commits, 1);

@@ -5,9 +5,9 @@
 use std::collections::HashMap;
 
 use votm_stm::instance::run_sync;
-use votm_stm::writeset::WriteSet;
-use votm_stm::{Addr, TmAlgorithm, TmInstance, WordHeap};
-use votm_utils::XorShift64;
+use votm_stm::writeset::{WriteSet, INLINE_WRITES};
+use votm_stm::{Addr, OpError, TmAlgorithm, TmInstance, WordHeap};
+use votm_utils::{InlineVec, XorShift64};
 
 const HEAP_WORDS: u64 = 64;
 
@@ -126,6 +126,136 @@ fn writeset_matches_reference() {
         }
         let got_order: Vec<u32> = ws.iter().map(|(a, _)| a.0).collect();
         assert_eq!(got_order, order, "first-write order must be stable");
+    }
+}
+
+/// The WriteSet's inline→spilled transition is semantically invisible:
+/// random scripts whose distinct-key counts straddle [`INLINE_WRITES`]
+/// behave exactly like a HashMap on both sides of the boundary, overwrites
+/// of keys inserted *before* the spill land correctly *after* it, and a
+/// cleared spilled set drops back to the inline path.
+#[test]
+fn writeset_spill_boundary_equivalence() {
+    let mut rng = XorShift64::new(0x57u64 << 32 | 5);
+    for _case in 0..300 {
+        // Key pool sized 1..=2*INLINE_WRITES so roughly half the scripts
+        // spill and half stay inline; op count up to 3 writes per key so
+        // overwrites regularly cross the transition.
+        let pool = 1 + rng.next_index(2 * INLINE_WRITES);
+        let n_ops = 1 + rng.next_index(3 * pool);
+        let mut ws = WriteSet::new();
+        let mut model: HashMap<u32, u64> = HashMap::new();
+        for _ in 0..n_ops {
+            let a = rng.next_below(pool as u64) as u32;
+            let v = rng.next_u64();
+            ws.insert(Addr(a), v);
+            model.insert(a, v);
+            assert_eq!(
+                ws.is_inline(),
+                model.len() <= INLINE_WRITES,
+                "inline flag must flip exactly when distinct keys cross {INLINE_WRITES}"
+            );
+        }
+        assert_eq!(ws.len(), model.len());
+        for (a, v) in &model {
+            assert_eq!(ws.get(Addr(*a)), Some(*v), "lookup after possible spill");
+        }
+        // Never-written addresses miss on both paths (exercises the
+        // summary-filter early return).
+        for a in pool as u32..pool as u32 + 8 {
+            assert_eq!(ws.get(Addr(a)), None);
+        }
+        // Reuse after clear: a spilled set must return to the inline path.
+        ws.clear();
+        assert!(ws.is_inline() && ws.is_empty());
+        ws.insert(Addr(0), 7);
+        assert_eq!(ws.get(Addr(0)), Some(7));
+        assert!(ws.is_inline());
+    }
+}
+
+/// `InlineVec` (the NOrec/orec read-set container) matches a plain `Vec`
+/// under random push/set/clear scripts whose lengths straddle the inline
+/// capacity, including repeated spill→clear→refill cycles.
+#[test]
+fn inline_vec_matches_vec_reference() {
+    const N: usize = 8; // same capacity the read sets use
+    let mut rng = XorShift64::new(0x57u64 << 32 | 6);
+    for _case in 0..300 {
+        let mut iv: InlineVec<u64, N> = InlineVec::new();
+        let mut model: Vec<u64> = Vec::new();
+        for _ in 0..1 + rng.next_index(3 * N) {
+            match rng.next_below(10) {
+                0 => {
+                    iv.clear();
+                    model.clear();
+                }
+                1..=2 if !model.is_empty() => {
+                    let i = rng.next_index(model.len());
+                    let v = rng.next_u64();
+                    iv.set(i, v);
+                    model[i] = v;
+                }
+                _ => {
+                    let v = rng.next_u64();
+                    iv.push(v);
+                    model.push(v);
+                }
+            }
+            assert_eq!(iv.len(), model.len());
+            assert_eq!(iv.is_inline(), model.len() <= N);
+            assert_eq!(iv.iter().collect::<Vec<_>>(), model);
+            for (i, v) in model.iter().enumerate() {
+                assert_eq!(iv.get(i), *v);
+            }
+        }
+    }
+}
+
+/// NOrec revalidation is exact on both sides of the read-set spill
+/// boundary: for every read-set size straddling the inline capacity, a
+/// concurrent *disjoint* commit (clock moved, values untouched) never
+/// aborts the reader, while a commit overwriting any read address is
+/// detected at the very next read.
+#[test]
+fn norec_revalidation_across_spill_boundary() {
+    let mut rng = XorShift64::new(0x57u64 << 32 | 7);
+    for k in 1..=16usize {
+        for _case in 0..20 {
+            let inst = TmInstance::new(TmAlgorithm::NOrec, HEAP_WORDS as usize);
+            // Seed distinct values.
+            run_sync(&inst, 0, |tx, inst| {
+                for a in 0..HEAP_WORDS as u32 {
+                    tx.write(inst, Addr(a), u64::from(a) + 500)?;
+                }
+                Ok(())
+            });
+            // Reader builds a k-entry read set over addrs 0..k.
+            let mut reader = inst.tx_ctx(1);
+            reader.begin(&inst).unwrap();
+            for a in 0..k as u32 {
+                assert_eq!(reader.read(&inst, Addr(a)).unwrap(), u64::from(a) + 500);
+            }
+            // A disjoint writer commits (moves the clock; addrs ≥ 32).
+            let disjoint = 32 + rng.next_below(HEAP_WORDS - 32) as u32;
+            run_sync(&inst, 2, |tx, inst| tx.write(inst, Addr(disjoint), 1));
+            // Reader's next read revalidates and must succeed.
+            let probe = 16 + rng.next_below(8) as u32;
+            assert_eq!(
+                reader.read(&inst, Addr(probe)).unwrap(),
+                u64::from(probe) + 500,
+                "k={k}: disjoint commit aborted the reader"
+            );
+            // A conflicting writer overwrites one of the read addresses.
+            let victim = rng.next_below(k as u64) as u32;
+            run_sync(&inst, 2, |tx, inst| tx.write(inst, Addr(victim), 9999));
+            assert_eq!(
+                reader.read(&inst, Addr(probe)),
+                Err(OpError::Conflict),
+                "k={k}: overwrite of read addr {victim} not detected"
+            );
+            reader.abort(&inst);
+        }
     }
 }
 

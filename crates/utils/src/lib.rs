@@ -10,13 +10,15 @@
 pub mod backoff;
 pub mod cycles;
 pub mod hash;
+pub mod inline;
 pub mod pad;
 pub mod rng;
 pub mod sync;
 
-pub use backoff::Backoff;
+pub use backoff::{Backoff, JitterBackoff};
 pub use cycles::{rdtsc, CycleSource};
 pub use hash::{hash_u64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use inline::InlineVec;
 pub use pad::CachePadded;
 pub use rng::{SplitMix64, XorShift64};
 pub use sync::{Mutex, MutexGuard};
