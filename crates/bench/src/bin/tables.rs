@@ -19,9 +19,13 @@ use votm_bench::{fmt, Settings};
 struct Args {
     tables: Vec<u32>,
     settings: Settings,
-    /// `--json`: run the throughput gate and write `BENCH_2.json` instead of
+    /// `--json`: run the throughput gate and write `BENCH_3.json` instead of
     /// printing markdown tables.
     json: bool,
+    /// `--trace PATH`: run one recorded multi-view adaptive Eigenbench sim
+    /// and write the Chrome trace to PATH (plus the snapshot schema next to
+    /// it) instead of printing markdown tables.
+    trace: Option<String>,
     eigen_scale_set: bool,
 }
 
@@ -29,6 +33,7 @@ fn parse_args() -> Args {
     let mut settings = Settings::default();
     let mut tables = Vec::new();
     let mut json = false;
+    let mut trace = None;
     let mut eigen_scale_set = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -43,6 +48,7 @@ fn parse_args() -> Args {
                     .expect("--table takes a number 3..=10"),
             ),
             "--json" => json = true,
+            "--trace" => trace = Some(value("--trace")),
             "--eigen-scale" => {
                 settings.eigen_scale = value("--eigen-scale").parse().expect("bad scale");
                 eigen_scale_set = true;
@@ -57,7 +63,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: tables [--table N]... [--json] [--eigen-scale F] \
+                    "usage: tables [--table N]... [--json] [--trace PATH] [--eigen-scale F] \
                      [--intruder-scale F] [--threads N] [--seed S] [--cap-factor K]"
                 );
                 std::process::exit(0);
@@ -72,6 +78,7 @@ fn parse_args() -> Args {
         tables,
         settings,
         json,
+        trace,
         eigen_scale_set,
     }
 }
@@ -82,7 +89,7 @@ fn parse_args() -> Args {
 const GATE_EIGEN_SCALE: f64 = 0.001;
 
 /// Output artifact of `--json`: the PR-numbered benchmark trajectory file.
-const GATE_ARTIFACT: &str = "BENCH_2.json";
+const GATE_ARTIFACT: &str = "BENCH_3.json";
 
 fn run_json_gate(mut settings: Settings, eigen_scale_set: bool) {
     if !eigen_scale_set {
@@ -112,8 +119,40 @@ fn run_json_gate(mut settings: Settings, eigen_scale_set: bool) {
     }
 }
 
+/// The sidecar path for `--trace PATH`: `foo.json` → `foo.snapshot.json`.
+fn snapshot_path(trace_path: &str) -> String {
+    match trace_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.snapshot.json"),
+        None => format!("{trace_path}.snapshot.json"),
+    }
+}
+
+fn run_trace(settings: &Settings, path: &str) {
+    let t0 = std::time::Instant::now();
+    let cap = votm_bench::capture_trace(settings, TmAlgorithm::OrecEagerRedo);
+    std::fs::write(path, &cap.chrome_trace).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    let snap_path = snapshot_path(path);
+    std::fs::write(&snap_path, &cap.snapshot)
+        .unwrap_or_else(|e| panic!("cannot write {snap_path}: {e}"));
+    let commits: u64 = cap.views.iter().map(|v| v.tm.commits).sum();
+    let aborts: u64 = cap.views.iter().map(|v| v.tm.aborts).sum();
+    eprintln!(
+        "wrote {path} ({} bytes) and {snap_path} ({} bytes) in {:.1}s: \
+         {commits} commits, {aborts} aborts, {} quota changes \
+         (open the trace in chrome://tracing or https://ui.perfetto.dev)",
+        cap.chrome_trace.len(),
+        cap.snapshot.len(),
+        t0.elapsed().as_secs_f64(),
+        cap.quota_changes,
+    );
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.trace {
+        run_trace(&args.settings, path);
+        return;
+    }
     if args.json {
         run_json_gate(args.settings, args.eigen_scale_set);
         return;

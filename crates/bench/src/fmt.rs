@@ -86,6 +86,32 @@ pub fn sweep_table(title: &str, rows: &[SweepRow]) -> String {
     lines.push(row_line("delta(Q)", rows, |r| {
         cell_or_livelock(r.status, delta(r.views[0].delta()))
     }));
+    lines.push(row_line("busy_retries", rows, |r| {
+        cell_or_livelock(r.status, count(r.views[0].tm.busy_retries))
+    }));
+    lines.push(row_line("gate_wait_cycles", rows, |r| {
+        cell_or_livelock(r.status, count(r.views[0].tm.gate_wait_cycles))
+    }));
+    lines.push(row_line("gate fast/slow", rows, |r| {
+        cell_or_livelock(
+            r.status,
+            format!(
+                "{}/{}",
+                count(r.views[0].gate.fast_acquires),
+                count(r.views[0].gate.slow_acquires)
+            ),
+        )
+    }));
+    lines.push(row_line("commit p50/p99 (cyc)", rows, |r| {
+        cell_or_livelock(
+            r.status,
+            format!(
+                "{}/{}",
+                count(r.views[0].hists.commit.quantile(0.50)),
+                count(r.views[0].hists.commit.quantile(0.99))
+            ),
+        )
+    }));
     out.push_str(&markdown(&lines));
     out
 }
@@ -117,6 +143,23 @@ pub fn multi_view_sweep_table(title: &str, rows: &[SweepRow]) -> String {
         lines.push(row_line(&format!("delta(Q{label})"), rows, |r| {
             cell_or_livelock(r.status, delta(r.views[vi].delta()))
         }));
+        lines.push(row_line(&format!("gate_wait_cycles{label}"), rows, |r| {
+            cell_or_livelock(r.status, count(r.views[vi].tm.gate_wait_cycles))
+        }));
+        lines.push(row_line(
+            &format!("commit{label} p50/p99 (cyc)"),
+            rows,
+            |r| {
+                cell_or_livelock(
+                    r.status,
+                    format!(
+                        "{}/{}",
+                        count(r.views[vi].hists.commit.quantile(0.50)),
+                        count(r.views[vi].hists.commit.quantile(0.99))
+                    ),
+                )
+            },
+        ));
     }
     out.push_str(&markdown(&lines));
     out

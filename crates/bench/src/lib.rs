@@ -20,11 +20,17 @@ pub mod harness;
 
 use std::sync::Arc;
 
-use votm::{QuotaMode, TmAlgorithm, ViewStats};
+use votm::{FlightRecorder, QuotaMode, TmAlgorithm, ViewStats};
 use votm_eigenbench::{EigenConfig, EigenResult};
 use votm_intruder::{GenConfig, Input, IntruderResult};
+use votm_obs::export::{self, ViewReport};
+use votm_obs::HistogramSnapshot;
 use votm_sim::{RunStatus, SimConfig};
 use votm_stm::cost::CYCLES_PER_SECOND;
+
+/// Cycle-to-microsecond conversion for exported traces (the simulator's
+/// cost model clocks a 2.5 GHz core).
+pub const CYCLES_PER_US: u64 = CYCLES_PER_SECOND / 1_000_000;
 
 /// Global experiment settings.
 #[derive(Debug, Clone, Copy)]
@@ -122,12 +128,24 @@ fn eigen_run(
     quotas: [QuotaMode; 2],
     cap: Option<u64>,
 ) -> EigenResult {
-    votm_eigenbench::run_sim(
+    eigen_run_recorded(settings, algo, version, quotas, cap, None)
+}
+
+fn eigen_run_recorded(
+    settings: &Settings,
+    algo: TmAlgorithm,
+    version: votm_eigenbench::Version,
+    quotas: [QuotaMode; 2],
+    cap: Option<u64>,
+    recorder: Option<Arc<FlightRecorder>>,
+) -> EigenResult {
+    votm_eigenbench::run_sim_recorded(
         &settings.eigen_config(),
         algo,
         version,
         quotas,
         settings.sim(cap),
+        recorder,
     )
 }
 
@@ -457,6 +475,20 @@ pub struct GateRow {
     /// Fraction of gate admissions served on the lock-free CAS fast path,
     /// aggregated over views.
     pub gate_fast_path_hit_rate: f64,
+    /// Gate admissions served on the lock-free CAS fast path (raw count,
+    /// summed over views and seeds).
+    pub fast_acquires: u64,
+    /// Gate admissions that entered the blocking slow path.
+    pub slow_acquires: u64,
+    /// Busy-wait retries (seqlock held, lost CAS race; not aborts).
+    pub busy_retries: u64,
+    /// Cycles threads spent blocked at admission gates.
+    pub gate_wait_cycles: u64,
+    /// Median commit latency in cycles (bucket upper bound), from the
+    /// per-view commit histograms merged over views and seeds.
+    pub commit_p50_cycles: u64,
+    /// 99th-percentile commit latency in cycles (bucket upper bound).
+    pub commit_p99_cycles: u64,
 }
 
 /// The thread counts the throughput gate sweeps.
@@ -472,6 +504,10 @@ pub const GATE_SEEDS: u64 = 3;
 /// {single-view, multi-view} × N ∈ [`GATE_THREADS`], adaptive quotas, each
 /// config aggregated over [`GATE_SEEDS`] consecutive seeds. Later PRs
 /// regress their `BENCH_<n>.json` against this trajectory.
+///
+/// Every run executes with a live [`FlightRecorder`] attached, so the gated
+/// numbers *include* the observability layer's recording cost — the rows
+/// themselves are the overhead proof the tracing layer is held to.
 pub fn throughput_gate(settings: &Settings) -> Vec<GateRow> {
     let mut rows = Vec::new();
     for algo in TmAlgorithm::ALL {
@@ -485,16 +521,20 @@ pub fn throughput_gate(settings: &Settings) -> Vec<GateRow> {
                 let mut n_views = 0u32;
                 let (mut commits, mut aborts, mut vtime) = (0u64, 0u64, 0u64);
                 let (mut fast, mut slow) = (0u64, 0u64);
+                let (mut busy, mut gate_wait) = (0u64, 0u64);
+                let mut commit_hist = HistogramSnapshot::default();
                 for seed_off in 0..GATE_SEEDS {
                     let mut s = *settings;
                     s.n_threads = n;
                     s.seed = settings.seed.wrapping_add(seed_off);
-                    let res = eigen_run(
+                    let recorder = Arc::new(FlightRecorder::with_default_capacity(n as usize));
+                    let res = eigen_run_recorded(
                         &s,
                         algo,
                         version,
                         [QuotaMode::Adaptive, QuotaMode::Adaptive],
                         None,
+                        Some(recorder),
                     );
                     if res.outcome.status != RunStatus::Completed {
                         status = res.outcome.status;
@@ -505,6 +545,11 @@ pub fn throughput_gate(settings: &Settings) -> Vec<GateRow> {
                     vtime += res.outcome.vtime;
                     fast += res.views.iter().map(|v| v.gate.fast_acquires).sum::<u64>();
                     slow += res.views.iter().map(|v| v.gate.slow_acquires).sum::<u64>();
+                    busy += res.views.iter().map(|v| v.tm.busy_retries).sum::<u64>();
+                    gate_wait += res.views.iter().map(|v| v.tm.gate_wait_cycles).sum::<u64>();
+                    for v in &res.views {
+                        commit_hist.merge(&v.hists.commit);
+                    }
                 }
                 let wall_s = t0.elapsed().as_secs_f64();
                 let attempts = commits + aborts;
@@ -534,11 +579,78 @@ pub fn throughput_gate(settings: &Settings) -> Vec<GateRow> {
                     } else {
                         fast as f64 / admissions as f64
                     },
+                    fast_acquires: fast,
+                    slow_acquires: slow,
+                    busy_retries: busy,
+                    gate_wait_cycles: gate_wait,
+                    commit_p50_cycles: commit_hist.quantile(0.50),
+                    commit_p99_cycles: commit_hist.quantile(0.99),
                 });
             }
         }
     }
     rows
+}
+
+// ---------------------------------------------------------- Trace capture
+
+/// Output of [`capture_trace`]: both JSON documents `tables --trace` writes.
+#[derive(Debug, Clone)]
+pub struct TraceCapture {
+    /// Chrome `trace_event` JSON (opens in `chrome://tracing` / Perfetto).
+    pub chrome_trace: String,
+    /// `votm-obs-snapshot-v1` JSON: per-view stats, abort-reason breakdown,
+    /// latency histograms and the quota-decision timeline.
+    pub snapshot: String,
+    /// Quota-change events on the trace, summed across views.
+    pub quota_changes: usize,
+    /// Per-view statistics of the captured run (for assertions/reporting).
+    pub views: Vec<ViewStats>,
+}
+
+/// Runs one seeded multi-view adaptive Eigenbench simulation with a live
+/// flight recorder and exports it. Deterministic: identical settings
+/// produce byte-identical JSON — the clock is virtual, the exporters order
+/// threads, events and timelines canonically, and floats print with fixed
+/// precision.
+pub fn capture_trace(settings: &Settings, algo: TmAlgorithm) -> TraceCapture {
+    let recorder = Arc::new(FlightRecorder::with_default_capacity(
+        settings.n_threads as usize,
+    ));
+    let res = eigen_run_recorded(
+        settings,
+        algo,
+        votm_eigenbench::Version::MultiView,
+        [QuotaMode::Adaptive, QuotaMode::Adaptive],
+        None,
+        Some(Arc::clone(&recorder)),
+    );
+    let threads = recorder.snapshot();
+    let reports: Vec<ViewReport> = res
+        .views
+        .iter()
+        .map(|v| ViewReport {
+            view_id: v.view_id,
+            quota: v.quota,
+            commits: v.tm.commits,
+            aborts: v.tm.aborts,
+            aborts_by_reason: v.tm.aborts_by_reason,
+            cycles_aborted: v.tm.cycles_aborted,
+            cycles_successful: v.tm.cycles_successful,
+            busy_retries: v.tm.busy_retries,
+            gate_wait_cycles: v.tm.gate_wait_cycles,
+            escalations: v.tm.escalations,
+            hists: v.hists,
+            quota_timeline: export::quota_timeline(&threads, v.view_id as u16),
+        })
+        .collect();
+    let quota_changes = reports.iter().map(|r| r.quota_timeline.len()).sum();
+    TraceCapture {
+        chrome_trace: export::chrome_trace(&threads, CYCLES_PER_US),
+        snapshot: export::snapshot_json(&reports),
+        quota_changes,
+        views: res.views,
+    }
 }
 
 fn json_str(s: &str) -> String {
@@ -587,7 +699,9 @@ pub fn gate_rows_to_json(settings: &Settings, rows: &[GateRow]) -> String {
             "    {{\"algo\": {}, \"version\": {}, \"n_views\": {}, \"n_threads\": {}, \
              \"status\": {}, \"commits\": {}, \"aborts\": {}, \"abort_rate\": {}, \
              \"vtime\": {}, \"txns_per_vsec\": {}, \"wall_s\": {}, \
-             \"gate_fast_path_hit_rate\": {}}}{}\n",
+             \"gate_fast_path_hit_rate\": {}, \"fast_acquires\": {}, \
+             \"slow_acquires\": {}, \"busy_retries\": {}, \"gate_wait_cycles\": {}, \
+             \"commit_p50_cycles\": {}, \"commit_p99_cycles\": {}}}{}\n",
             json_str(r.algo),
             json_str(r.version),
             r.n_views,
@@ -605,6 +719,12 @@ pub fn gate_rows_to_json(settings: &Settings, rows: &[GateRow]) -> String {
             json_f64(r.txns_per_vsec),
             json_f64(r.wall_s),
             json_f64(r.gate_fast_path_hit_rate),
+            r.fast_acquires,
+            r.slow_acquires,
+            r.busy_retries,
+            r.gate_wait_cycles,
+            r.commit_p50_cycles,
+            r.commit_p99_cycles,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }

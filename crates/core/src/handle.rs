@@ -43,6 +43,7 @@
 //! lock mode (which cannot abort), and ordinary admissions resume when it
 //! leaves.
 
+use votm_obs::{AbortReason, EventKind, RecorderHandle};
 use votm_rac::AdmissionMode;
 use votm_sim::{FaultEvent, Rt};
 use votm_stm::{cost, Addr, CommitPhase, OpError, TxCtx};
@@ -112,6 +113,12 @@ pub struct TxHandle<'v> {
     start: u64,
     /// Set by [`Self::finish`]; a drop with this still false is an unwind.
     finished: bool,
+    /// Structured cause of the pending abort, refined as conflicts are
+    /// detected; reported if this attempt ends without committing.
+    abort_reason: AbortReason,
+    /// Flight-recorder handle bound to this thread's ring (dead when the
+    /// system has no recorder configured).
+    rec: RecorderHandle,
 }
 
 impl<'v> TxHandle<'v> {
@@ -122,6 +129,7 @@ impl<'v> TxHandle<'v> {
         };
         let start = rt.now();
         let backoff = JitterBackoff::new(rt.thread_index() as u64);
+        let rec = view.recorder_handle(rt.thread_index());
         Self {
             view,
             rt,
@@ -133,7 +141,15 @@ impl<'v> TxHandle<'v> {
             backoff,
             start,
             finished: false,
+            abort_reason: AbortReason::Explicit,
+            rec,
         }
+    }
+
+    /// This view's id as the compact event field.
+    #[inline]
+    fn vid(&self) -> u16 {
+        self.view.id() as u16
     }
 
     /// Drains the context's work units, charges them to the runtime and
@@ -166,12 +182,39 @@ impl<'v> TxHandle<'v> {
         match self.rt.take_fault() {
             None => Ok(()),
             Some(FaultEvent::Delay(d)) => {
+                self.rec.record(
+                    self.rt.now(),
+                    EventKind::Fault {
+                        view: self.vid(),
+                        code: 0,
+                        cycles: d,
+                    },
+                );
                 self.attempt_work += d;
                 self.rt.charge(d).await;
                 Ok(())
             }
-            Some(FaultEvent::Abort) => Err(TxAbort),
+            Some(FaultEvent::Abort) => {
+                self.rec.record(
+                    self.rt.now(),
+                    EventKind::Fault {
+                        view: self.vid(),
+                        code: 1,
+                        cycles: 0,
+                    },
+                );
+                self.abort_reason = AbortReason::FaultInjected;
+                Err(TxAbort)
+            }
             Some(FaultEvent::Panic) => {
+                self.rec.record(
+                    self.rt.now(),
+                    EventKind::Fault {
+                        view: self.vid(),
+                        code: 2,
+                        cycles: 0,
+                    },
+                );
                 panic!("injected fault: panic at vtime {}", self.rt.now())
             }
         }
@@ -186,10 +229,26 @@ impl<'v> TxHandle<'v> {
         match self.rt.take_fault() {
             None | Some(FaultEvent::Abort) => {}
             Some(FaultEvent::Delay(d)) => {
+                self.rec.record(
+                    self.rt.now(),
+                    EventKind::Fault {
+                        view: self.vid(),
+                        code: 0,
+                        cycles: d,
+                    },
+                );
                 self.attempt_work += d;
                 self.rt.charge(d).await;
             }
             Some(FaultEvent::Panic) => {
+                self.rec.record(
+                    self.rt.now(),
+                    EventKind::Fault {
+                        view: self.vid(),
+                        code: 2,
+                        cycles: 0,
+                    },
+                );
                 panic!("injected fault: panic at vtime {}", self.rt.now())
             }
         }
@@ -213,11 +272,13 @@ impl<'v> TxHandle<'v> {
                         // Bounded spin: a wait-for cycle (two writers each
                         // spin-reading the other's locked orec) must break
                         // by aborting, like TinySTM's spin timeout.
+                        self.abort_reason = AbortReason::WriteLockBusy;
                         return Err(TxAbort);
                     }
                 }
                 Err(OpError::Conflict) => {
                     self.charge_pending().await;
+                    self.abort_reason = self.ctx.conflict_reason();
                     return Err(TxAbort);
                 }
             }
@@ -246,11 +307,13 @@ impl<'v> TxHandle<'v> {
                     self.busy_wait().await;
                     streak += 1;
                     if streak >= BUSY_ABORT_LIMIT {
+                        self.abort_reason = AbortReason::WriteLockBusy;
                         return Err(TxAbort);
                     }
                 }
                 Err(OpError::Conflict) => {
                     self.charge_pending().await;
+                    self.abort_reason = self.ctx.conflict_reason();
                     return Err(TxAbort);
                 }
             }
@@ -321,6 +384,57 @@ impl<'v> TxHandle<'v> {
         }
     }
 
+    /// Books a committed attempt: commit counter, commit-latency histogram
+    /// and the trace event, so the three can never disagree.
+    fn book_commit(&self, cycles: u64) {
+        self.view
+            .tm()
+            .stats()
+            .record_commit(self.rt.thread_index(), cycles);
+        self.view.hists().commit.record(cycles);
+        self.rec.record(
+            self.rt.now(),
+            EventKind::TxCommit {
+                view: self.vid(),
+                cycles,
+            },
+        );
+    }
+
+    /// Books an aborted attempt under its structured reason.
+    fn book_abort(&self, cycles: u64) {
+        self.view
+            .tm()
+            .stats()
+            .record_abort(self.rt.thread_index(), cycles, self.abort_reason);
+        self.rec.record(
+            self.rt.now(),
+            EventKind::TxAbort {
+                view: self.vid(),
+                reason: self.abort_reason,
+                cycles,
+            },
+        );
+    }
+
+    /// Pokes the adaptive controller; when it adjusts the quota, puts the
+    /// decision (with the δ(Q) sample behind it) on the trace timeline.
+    fn poke_controller(&self) {
+        if let Some(ctrl) = self.view.controller() {
+            if let Some(d) = ctrl.on_tx_end_decision(self.view.gate(), self.view.tm().stats()) {
+                self.rec.record(
+                    self.rt.now(),
+                    EventKind::QuotaChange {
+                        view: self.vid(),
+                        old_q: d.old_q as u16,
+                        new_q: d.new_q as u16,
+                        delta: d.delta,
+                    },
+                );
+            }
+        }
+    }
+
     /// Closes out the attempt on the normal (non-unwind) path: applies or
     /// rolls back side effects, books the attempt's cycles, and pokes the
     /// adaptive controller. Disarms the drop guard.
@@ -334,17 +448,14 @@ impl<'v> TxHandle<'v> {
             self.attempt_work = 0;
             self.rt.now().saturating_sub(self.start)
         };
-        let tid = self.rt.thread_index();
         if committed {
             self.apply_side_effects();
-            self.view.tm().stats().record_commit(tid, cycles);
+            self.book_commit(cycles);
         } else {
             self.rollback_side_effects();
-            self.view.tm().stats().record_abort(tid, cycles);
+            self.book_abort(cycles);
         }
-        if let Some(ctrl) = self.view.controller() {
-            ctrl.on_tx_end(self.view.gate(), self.view.tm().stats());
-        }
+        self.poke_controller();
     }
 }
 
@@ -369,28 +480,25 @@ impl Drop for TxHandle<'_> {
             return;
         }
         self.attempt_work += self.ctx.take_work();
-        let tid = self.rt.thread_index();
         if self.ctx.mid_commit() {
             self.ctx.commit_finish(self.view.tm());
             self.attempt_work += self.ctx.take_work();
             self.apply_side_effects();
-            self.view.tm().stats().record_commit(tid, self.attempt_work);
+            self.book_commit(self.attempt_work);
         } else if self.ctx.is_direct() {
             self.allocs.clear();
             self.frees.clear();
-            self.view.tm().stats().record_abort(tid, self.attempt_work);
+            self.book_abort(self.attempt_work);
         } else {
             if self.ctx.is_active() {
                 self.ctx.abort(self.view.tm());
                 self.attempt_work += self.ctx.take_work();
             }
             self.rollback_side_effects();
-            self.view.tm().stats().record_abort(tid, self.attempt_work);
+            self.book_abort(self.attempt_work);
         }
         self.attempt_work = 0;
-        if let Some(ctrl) = self.view.controller() {
-            ctrl.on_tx_end(self.view.gate(), self.view.tm().stats());
-        }
+        self.poke_controller();
     }
 }
 
@@ -405,8 +513,13 @@ where
     F: for<'h> AsyncFnMut(&'h mut TxHandle<'_>) -> Result<T, TxAbort>,
 {
     let unrestricted = view.is_unrestricted();
+    let rec = view.recorder_handle(rt.thread_index());
+    let vid = view.id() as u16;
     // Consecutive aborts of *this* transaction — the starvation signal.
     let mut streak: u64 = 0;
+    // When the previous attempt aborted: its end timestamp, for the
+    // abort-to-retry latency histogram.
+    let mut last_abort_at: Option<u64> = None;
     loop {
         // acquire_view: RAC admission (skipped for the no-RAC baselines).
         // Admission is held as an RAII guard; dropping it (normally or
@@ -422,15 +535,19 @@ where
                 // Max-retry escalation: drain the view and run alone in
                 // the irrevocable lock mode, which cannot abort.
                 view.tm().stats().record_escalation(rt.thread_index());
+                rec.record(wait_from, EventKind::Escalation { view: vid });
                 view.gate().acquire_exclusive(rt).await
             } else {
                 view.gate().admit(rt).await
             };
             let waited = rt.now().saturating_sub(wait_from);
+            view.hists().gate_wait.record(waited);
             if waited > 0 {
                 view.tm()
                     .stats()
                     .record_gate_wait(rt.thread_index(), waited);
+                rec.record(wait_from, EventKind::GateWaitEnter { view: vid });
+                rec.record(rt.now(), EventKind::GateWaitExit { view: vid, waited });
             }
             Some(guard)
         };
@@ -454,6 +571,12 @@ where
             }
         }
         handle.charge_pending().await;
+        rec.record(rt.now(), EventKind::TxBegin { view: vid });
+        if let Some(aborted_at) = last_abort_at.take() {
+            view.hists()
+                .abort_to_retry
+                .record(rt.now().saturating_sub(aborted_at));
+        }
 
         let outcome = body(&mut handle).await;
 
@@ -479,7 +602,10 @@ where
                             handle.charge_pending().await;
                             handle.busy_wait().await;
                         }
-                        Err(OpError::Conflict) => break false,
+                        Err(OpError::Conflict) => {
+                            handle.abort_reason = handle.ctx.conflict_reason();
+                            break false;
+                        }
                     }
                 };
                 if committed {
@@ -505,6 +631,7 @@ where
         handle.finish(false);
         drop(handle);
         drop(gate_guard);
+        last_abort_at = Some(rt.now());
 
         streak += 1;
         view.tm()

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use votm_obs::FlightRecorder;
 use votm_rac::{ControllerConfig, QuotaMode};
 use votm_stm::TmAlgorithm;
 use votm_utils::Mutex;
@@ -29,6 +30,10 @@ pub struct VotmConfig {
     /// Defaults to `None` (off): livelock under contention is a phenomenon
     /// the paper measures, and escalation would change the reported tables.
     pub escalate_after: Option<u32>,
+    /// Flight recorder shared by every view created on this system. `None`
+    /// (the default) makes all event recording a dead-handle no-op; latency
+    /// histograms stay on either way.
+    pub recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for VotmConfig {
@@ -39,6 +44,7 @@ impl Default for VotmConfig {
             controller: ControllerConfig::default(),
             reserve_factor: 1,
             escalate_after: None,
+            recorder: None,
         }
     }
 }
@@ -98,6 +104,7 @@ impl Votm {
             self.config.n_threads,
             &self.config.controller,
             self.config.escalate_after,
+            self.config.recorder.clone(),
         ));
         views.push(Some(Arc::clone(&view)));
         view

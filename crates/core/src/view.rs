@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use votm_obs::{FlightRecorder, RecorderHandle, ViewHistSnapshot, ViewHists};
 use votm_rac::{AdmissionGate, ControllerConfig, GateStats, QuotaMode, RacController};
 use votm_sim::Rt;
 use votm_stm::{Addr, StatsSnapshot, TmAlgorithm, TmInstance};
@@ -19,6 +20,10 @@ pub struct View {
     controller: Option<RacController>,
     quota_mode: QuotaMode,
     escalate_after: Option<u32>,
+    /// Always-on latency histograms (commit, abort-to-retry, gate wait).
+    hists: ViewHists,
+    /// Optional flight recorder shared with the owning [`crate::Votm`].
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl View {
@@ -32,6 +37,7 @@ impl View {
         n_threads: u32,
         controller_config: &ControllerConfig,
         escalate_after: Option<u32>,
+        recorder: Option<Arc<FlightRecorder>>,
     ) -> Self {
         let (initial_quota, controller) = match quota_mode {
             QuotaMode::Fixed(q) => (q, None),
@@ -50,6 +56,8 @@ impl View {
             controller,
             quota_mode,
             escalate_after,
+            hists: ViewHists::new(),
+            recorder,
         }
     }
 
@@ -75,6 +83,27 @@ impl View {
 
     pub(crate) fn controller(&self) -> Option<&RacController> {
         self.controller.as_ref()
+    }
+
+    /// The view's latency histograms (commit, abort-to-retry, gate wait).
+    /// Always on; recording is a relaxed `fetch_add`.
+    pub fn hists(&self) -> &ViewHists {
+        &self.hists
+    }
+
+    /// The flight recorder this view's transactions trace into, if one was
+    /// configured via [`crate::VotmConfig::recorder`].
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// A recorder handle bound to `tid`'s ring — the dead no-op handle when
+    /// no recorder is configured.
+    pub(crate) fn recorder_handle(&self, tid: usize) -> RecorderHandle {
+        match &self.recorder {
+            Some(rec) => rec.handle(tid),
+            None => RecorderHandle::dead(),
+        }
     }
 
     /// True when this view bypasses admission control entirely (the paper's
@@ -150,6 +179,7 @@ impl View {
             quota,
             tm: self.tm.stats().snapshot(),
             gate: self.gate.gate_stats(),
+            hists: self.hists.snapshot(),
         }
     }
 }
@@ -177,6 +207,10 @@ pub struct ViewStats {
     /// Admission-gate fast/slow path counters (all zero for unrestricted
     /// views, whose transactions never consult the gate).
     pub gate: GateStats,
+    /// Latency histograms: commit latency, abort-to-retry latency and gate
+    /// wait, in cycles. The commit histogram's total count always equals
+    /// `tm.commits`.
+    pub hists: ViewHistSnapshot,
 }
 
 impl ViewStats {

@@ -31,7 +31,10 @@
 
 use std::sync::Arc;
 
-use votm::{Addr, QuotaMode, TmAlgorithm, TxAbort, TxHandle, View, ViewStats, Votm, VotmConfig};
+use votm::{
+    Addr, FlightRecorder, QuotaMode, TmAlgorithm, TxAbort, TxHandle, View, ViewStats, Votm,
+    VotmConfig,
+};
 use votm_sim::{Rt, RunOutcome, SimConfig, SimExecutor};
 use votm_utils::{SplitMix64, XorShift64};
 
@@ -315,9 +318,25 @@ pub fn run_sim(
     quotas: [QuotaMode; 2],
     sim: SimConfig,
 ) -> EigenResult {
+    run_sim_recorded(config, algo, version, quotas, sim, None)
+}
+
+/// Like [`run_sim`] but traces every transaction-lifecycle event into
+/// `recorder` (one ring per simulated thread). Because recording charges no
+/// virtual cycles, the outcome — makespan, commit/abort counts, quota
+/// trajectory — is identical to the unrecorded run with the same seed.
+pub fn run_sim_recorded(
+    config: &EigenConfig,
+    algo: TmAlgorithm,
+    version: Version,
+    quotas: [QuotaMode; 2],
+    sim: SimConfig,
+    recorder: Option<Arc<FlightRecorder>>,
+) -> EigenResult {
     let sys = Votm::new(VotmConfig {
         algorithm: algo,
         n_threads: config.n_threads,
+        recorder,
         ..Default::default()
     });
     let (views, maps) = build_views(&sys, config, version, quotas);

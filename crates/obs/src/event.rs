@@ -1,0 +1,243 @@
+//! The flight-recorder event model and its fixed-width wire encoding.
+//!
+//! Events are compact `Copy` values. Inside the recorder each event is
+//! stored as four relaxed `u64` words (`[ts, meta, a, b]`) plus a sequence
+//! word, so a record is a handful of relaxed stores — no allocation, no
+//! locking, no formatting on the hot path.
+
+use crate::reason::AbortReason;
+
+/// One recorded lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Global sequence number within the recording thread's ring (counts
+    /// every event ever recorded there, including dropped ones).
+    pub seq: u64,
+    /// Caller-supplied timestamp: virtual cycles under the simulator,
+    /// `rdtsc` cycles in real mode.
+    pub ts: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event taxonomy: transaction lifecycle, gate waits, quota decisions,
+/// escalations and injected faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A transaction attempt started on `view`.
+    TxBegin {
+        /// View the transaction runs against.
+        view: u16,
+    },
+    /// The attempt committed after consuming `cycles`.
+    TxCommit {
+        /// View the transaction ran against.
+        view: u16,
+        /// Cycles charged to the committed attempt.
+        cycles: u64,
+    },
+    /// The attempt aborted for `reason` after wasting `cycles`.
+    TxAbort {
+        /// View the transaction ran against.
+        view: u16,
+        /// Structured cause of the abort.
+        reason: AbortReason,
+        /// Cycles wasted by the aborted attempt.
+        cycles: u64,
+    },
+    /// The thread started waiting at `view`'s admission gate.
+    GateWaitEnter {
+        /// View whose gate is being waited on.
+        view: u16,
+    },
+    /// The thread was admitted after waiting `waited` cycles.
+    GateWaitExit {
+        /// View whose gate admitted the thread.
+        view: u16,
+        /// Cycles spent blocked at the gate.
+        waited: u64,
+    },
+    /// The RAC controller changed `view`'s quota.
+    QuotaChange {
+        /// View whose quota changed.
+        view: u16,
+        /// Quota before the decision.
+        old_q: u16,
+        /// Quota after the decision.
+        new_q: u16,
+        /// The windowed δ(Q) sample that triggered the decision; `None`
+        /// when the window had no δ (Q ≤ 1) or the move was a probe.
+        delta: Option<f64>,
+    },
+    /// A starving transaction was escalated to exclusive admission.
+    Escalation {
+        /// View on which the escalation happened.
+        view: u16,
+    },
+    /// A deterministic fault-injection event fired.
+    Fault {
+        /// View the faulted transaction ran against.
+        view: u16,
+        /// Fault kind code (0 = delay, 1 = abort, 2 = panic).
+        code: u8,
+        /// Injected delay in cycles (zero for abort/panic faults).
+        cycles: u64,
+    },
+}
+
+const TAG_TX_BEGIN: u8 = 0;
+const TAG_TX_COMMIT: u8 = 1;
+const TAG_TX_ABORT: u8 = 2;
+const TAG_GATE_WAIT_ENTER: u8 = 3;
+const TAG_GATE_WAIT_EXIT: u8 = 4;
+const TAG_QUOTA_CHANGE: u8 = 5;
+const TAG_ESCALATION: u8 = 6;
+const TAG_FAULT: u8 = 7;
+
+impl EventKind {
+    /// Encodes the kind into the three payload words `[meta, a, b]`.
+    ///
+    /// Layout of `meta`: bits 0..8 tag, bits 8..24 view, bits 24..56
+    /// variant-specific small fields.
+    #[inline]
+    pub(crate) fn encode(self) -> [u64; 3] {
+        #[inline]
+        fn meta(tag: u8, view: u16) -> u64 {
+            u64::from(tag) | (u64::from(view) << 8)
+        }
+        match self {
+            EventKind::TxBegin { view } => [meta(TAG_TX_BEGIN, view), 0, 0],
+            EventKind::TxCommit { view, cycles } => [meta(TAG_TX_COMMIT, view), cycles, 0],
+            EventKind::TxAbort {
+                view,
+                reason,
+                cycles,
+            } => [
+                meta(TAG_TX_ABORT, view) | (u64::from(reason.index() as u8) << 24),
+                cycles,
+                0,
+            ],
+            EventKind::GateWaitEnter { view } => [meta(TAG_GATE_WAIT_ENTER, view), 0, 0],
+            EventKind::GateWaitExit { view, waited } => [meta(TAG_GATE_WAIT_EXIT, view), waited, 0],
+            EventKind::QuotaChange {
+                view,
+                old_q,
+                new_q,
+                delta,
+            } => [
+                meta(TAG_QUOTA_CHANGE, view) | (u64::from(old_q) << 24) | (u64::from(new_q) << 40),
+                delta.unwrap_or(0.0).to_bits(),
+                u64::from(delta.is_some()),
+            ],
+            EventKind::Escalation { view } => [meta(TAG_ESCALATION, view), 0, 0],
+            EventKind::Fault { view, code, cycles } => {
+                [meta(TAG_FAULT, view) | (u64::from(code) << 24), cycles, 0]
+            }
+        }
+    }
+
+    /// Decodes payload words written by [`EventKind::encode`]. Unknown tags
+    /// (possible only for torn/stale slots) decode to a zero-view `TxBegin`
+    /// rather than panicking.
+    #[inline]
+    pub(crate) fn decode(words: [u64; 3]) -> EventKind {
+        let [meta, a, b] = words;
+        let tag = (meta & 0xff) as u8;
+        let view = ((meta >> 8) & 0xffff) as u16;
+        match tag {
+            TAG_TX_COMMIT => EventKind::TxCommit { view, cycles: a },
+            TAG_TX_ABORT => EventKind::TxAbort {
+                view,
+                reason: AbortReason::from_u8(((meta >> 24) & 0xff) as u8),
+                cycles: a,
+            },
+            TAG_GATE_WAIT_ENTER => EventKind::GateWaitEnter { view },
+            TAG_GATE_WAIT_EXIT => EventKind::GateWaitExit { view, waited: a },
+            TAG_QUOTA_CHANGE => EventKind::QuotaChange {
+                view,
+                old_q: ((meta >> 24) & 0xffff) as u16,
+                new_q: ((meta >> 40) & 0xffff) as u16,
+                delta: (b != 0).then(|| f64::from_bits(a)),
+            },
+            TAG_ESCALATION => EventKind::Escalation { view },
+            TAG_FAULT => EventKind::Fault {
+                view,
+                code: ((meta >> 24) & 0xff) as u8,
+                cycles: a,
+            },
+            _ => EventKind::TxBegin { view },
+        }
+    }
+
+    /// The view this event belongs to.
+    pub fn view(&self) -> u16 {
+        match *self {
+            EventKind::TxBegin { view }
+            | EventKind::TxCommit { view, .. }
+            | EventKind::TxAbort { view, .. }
+            | EventKind::GateWaitEnter { view }
+            | EventKind::GateWaitExit { view, .. }
+            | EventKind::QuotaChange { view, .. }
+            | EventKind::Escalation { view }
+            | EventKind::Fault { view, .. } => view,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_roundtrips_through_the_wire_encoding() {
+        let kinds = [
+            EventKind::TxBegin { view: 7 },
+            EventKind::TxCommit {
+                view: 1,
+                cycles: u64::MAX,
+            },
+            EventKind::TxAbort {
+                view: 65535,
+                reason: AbortReason::NorecValidation,
+                cycles: 12345,
+            },
+            EventKind::GateWaitEnter { view: 0 },
+            EventKind::GateWaitExit {
+                view: 3,
+                waited: 1 << 60,
+            },
+            EventKind::QuotaChange {
+                view: 2,
+                old_q: 16,
+                new_q: 8,
+                delta: Some(0.75),
+            },
+            EventKind::QuotaChange {
+                view: 2,
+                old_q: 1,
+                new_q: 2,
+                delta: None,
+            },
+            EventKind::Escalation { view: 9 },
+            EventKind::Fault {
+                view: 4,
+                code: 2,
+                cycles: 99,
+            },
+        ];
+        for k in kinds {
+            assert_eq!(EventKind::decode(k.encode()), k, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn quota_change_zero_delta_is_distinct_from_none() {
+        let some = EventKind::QuotaChange {
+            view: 0,
+            old_q: 2,
+            new_q: 1,
+            delta: Some(0.0),
+        };
+        assert_eq!(EventKind::decode(some.encode()), some);
+    }
+}

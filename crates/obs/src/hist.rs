@@ -1,0 +1,212 @@
+//! Log-bucketed latency histograms (HdrHistogram-style, power-of-two
+//! buckets).
+//!
+//! A record is one relaxed `fetch_add` into the bucket holding the value's
+//! bit length, so concurrent recording never contends beyond the counter
+//! word itself. Snapshots are plain arrays: mergeable, comparable and cheap
+//! to export. Resolution is the power-of-two bracket — coarse, but exactly
+//! what tail-shape questions (p50 vs p99 vs p999 commit latency) need, and
+//! bounded at 65 words per histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket count: bucket 0 holds zeros, bucket `i ∈ 1..=64` holds values
+/// with bit length `i`, i.e. `2^(i-1) ..= 2^i - 1`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Index of the bucket `value` falls into.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Smallest value in bucket `i`.
+#[inline]
+pub fn bucket_lower(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Largest value in bucket `i`.
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Lock-free log-bucketed histogram of `u64` samples (cycles).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one sample. One relaxed `fetch_add`.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Plain-array copy of a [`LatencyHistogram`]: mergeable and queryable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_lower`]/[`bucket_upper`]).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Adds every bucket of `other` into `self` (histogram union).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += *o;
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`q ∈ [0, 1]`), 0 for an empty histogram. `quantile(1.0)` bounds the
+    /// maximum recorded sample from above.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(HIST_BUCKETS - 1)
+    }
+}
+
+/// The per-view histogram triple the paper's diagnosis needs: where do a
+/// view's cycles go — committing, retrying after aborts, or gated?
+#[derive(Debug, Default)]
+pub struct ViewHists {
+    /// Latency of committed attempts (cycles).
+    pub commit: LatencyHistogram,
+    /// Abort-to-retry latency: cycles from an abort to the next attempt's
+    /// successful begin (backoff + re-admission).
+    pub abort_to_retry: LatencyHistogram,
+    /// Cycles spent blocked at the admission gate per admission.
+    pub gate_wait: LatencyHistogram,
+}
+
+impl ViewHists {
+    /// Empty histograms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all three histograms.
+    pub fn snapshot(&self) -> ViewHistSnapshot {
+        ViewHistSnapshot {
+            commit: self.commit.snapshot(),
+            abort_to_retry: self.abort_to_retry.snapshot(),
+            gate_wait: self.gate_wait.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time copy of a view's [`ViewHists`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ViewHistSnapshot {
+    /// Commit-latency histogram.
+    pub commit: HistogramSnapshot,
+    /// Abort-to-retry latency histogram.
+    pub abort_to_retry: HistogramSnapshot,
+    /// Gate-wait histogram.
+    pub gate_wait: HistogramSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_brackets_every_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..HIST_BUCKETS {
+            assert_eq!(bucket_index(bucket_lower(i)), i);
+            assert_eq!(bucket_index(bucket_upper(i)), i);
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_distribution() {
+        let h = LatencyHistogram::new();
+        for v in [1u64, 2, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 6);
+        assert_eq!(s.quantile(0.0), 1); // rank 1 → bucket of value 1
+        assert_eq!(s.quantile(0.5), 3); // rank 3 → bucket [2,3]
+        assert_eq!(s.quantile(1.0), 1023); // bucket of 1000
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record(5);
+        b.record(5);
+        b.record(7000);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.buckets[bucket_index(5)], 2);
+        assert_eq!(s.buckets[bucket_index(7000)], 1);
+    }
+}

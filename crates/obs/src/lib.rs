@@ -1,0 +1,36 @@
+//! Always-on, low-overhead observability for the VOTM stack.
+//!
+//! The paper's argument is built on *measuring where cycles go* — δ(Q)
+//! (Eq. 5) is a ratio of aborted to successful cycles — but aggregate
+//! end-of-run counters cannot show *when* a quota halved, *why* a
+//! transaction aborted, or the shape of a commit-latency tail. This crate
+//! provides the missing layer:
+//!
+//! * [`AbortReason`] — a structured taxonomy replacing untyped abort bumps.
+//! * [`FlightRecorder`] / [`RecorderHandle`] — per-thread, fixed-capacity,
+//!   lock-free event rings recording the transaction lifecycle (begin,
+//!   commit, abort-with-reason, gate-wait spans, quota changes with the
+//!   δ(Q) sample that triggered them, escalations, fault injections).
+//! * [`LatencyHistogram`] — log-bucketed (power-of-two), mergeable,
+//!   lock-free histograms for commit latency, abort-to-retry latency and
+//!   gate wait.
+//! * [`export`] — a JSON snapshot schema and a Chrome `trace_event` emitter
+//!   so a run opens directly in `chrome://tracing` / Perfetto.
+//!
+//! The crate is deliberately clock-agnostic: every record call takes a
+//! caller-supplied timestamp. The simulator passes deterministic virtual
+//! cycles, real runs pass `votm_utils::cycles::rdtsc()`, and exported
+//! traces are therefore byte-identical across identically-seeded sim runs.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod hist;
+pub mod reason;
+pub mod recorder;
+
+pub use event::{Event, EventKind};
+pub use hist::{HistogramSnapshot, LatencyHistogram, ViewHistSnapshot, ViewHists, HIST_BUCKETS};
+pub use reason::AbortReason;
+pub use recorder::{FlightRecorder, RecorderHandle, ThreadTrace};

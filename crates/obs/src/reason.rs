@@ -1,0 +1,97 @@
+//! Structured abort-reason taxonomy.
+//!
+//! Every aborted attempt is attributed to exactly one reason, replacing the
+//! untyped `record_abort` bumps the stats layer used to take. The variants
+//! mirror the failure modes of the two STM families in the reproduction
+//! (value-validation NOrec, ownership-record Orec) plus the harness-level
+//! causes (busy-streak overflow, explicit user abort, injected fault).
+
+/// Why one transaction attempt aborted.
+///
+/// The discriminants are stable and dense (`0..COUNT`) so the value doubles
+/// as an index into per-reason counter arrays and encodes into one byte in
+/// flight-recorder events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AbortReason {
+    /// The transaction body returned an error (user-requested abort), or the
+    /// abort could not be attributed more precisely.
+    Explicit = 0,
+    /// An ownership-record conflict: a read or commit-time validation found
+    /// an orec locked by another transaction or advanced past the snapshot.
+    OrecConflict = 1,
+    /// NOrec value-based revalidation failed: a location read earlier no
+    /// longer holds the value that was seen.
+    NorecValidation = 2,
+    /// The busy-retry budget was exhausted spinning on a write lock or an
+    /// unstable global clock; the attempt was converted into an abort.
+    WriteLockBusy = 3,
+    /// A deterministic fault-injection plan forced this attempt to abort.
+    FaultInjected = 4,
+}
+
+impl AbortReason {
+    /// Number of variants; the length of per-reason counter arrays.
+    pub const COUNT: usize = 5;
+
+    /// All variants, in discriminant order.
+    pub const ALL: [AbortReason; Self::COUNT] = [
+        AbortReason::Explicit,
+        AbortReason::OrecConflict,
+        AbortReason::NorecValidation,
+        AbortReason::WriteLockBusy,
+        AbortReason::FaultInjected,
+    ];
+
+    /// Dense index of this reason (`0..COUNT`).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`AbortReason::index`]; out-of-range codes collapse to
+    /// [`AbortReason::Explicit`] so decoding stale ring slots cannot panic.
+    #[inline]
+    pub fn from_u8(code: u8) -> AbortReason {
+        match code {
+            1 => AbortReason::OrecConflict,
+            2 => AbortReason::NorecValidation,
+            3 => AbortReason::WriteLockBusy,
+            4 => AbortReason::FaultInjected,
+            _ => AbortReason::Explicit,
+        }
+    }
+
+    /// Short stable name used in exported JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            AbortReason::Explicit => "explicit",
+            AbortReason::OrecConflict => "orec_conflict",
+            AbortReason::NorecValidation => "norec_validation",
+            AbortReason::WriteLockBusy => "write_lock_busy",
+            AbortReason::FaultInjected => "fault_injected",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrips_through_from_u8() {
+        for r in AbortReason::ALL {
+            assert_eq!(AbortReason::from_u8(r.index() as u8), r);
+        }
+        assert_eq!(AbortReason::from_u8(250), AbortReason::Explicit);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for a in AbortReason::ALL {
+            for b in AbortReason::ALL {
+                assert_eq!(a == b, a.name() == b.name());
+            }
+        }
+    }
+}

@@ -72,6 +72,20 @@ struct BadQuota {
     next_cooldown: u32,
 }
 
+/// One applied quota adjustment, with the evidence behind it — what the
+/// observability layer records onto the quota-decision timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuotaDecision {
+    /// Quota before the adjustment.
+    pub old_q: u32,
+    /// Quota after the adjustment (already applied to the gate).
+    pub new_q: u32,
+    /// The windowed δ(Q) sample that triggered it. `None` for the upward
+    /// probe out of lock mode (δ is undefined at Q = 1); may be
+    /// `f64::INFINITY` for a zero-commit window.
+    pub delta: Option<f64>,
+}
+
 /// Windowed δ(Q) estimator + quota policy for one view.
 #[derive(Debug)]
 pub struct RacController {
@@ -97,6 +111,17 @@ impl RacController {
     /// abort). Cheap unless a window boundary is crossed. Returns the new
     /// quota when an adjustment was made.
     pub fn on_tx_end(&self, gate: &AdmissionGate, stats: &TmStats) -> Option<u32> {
+        self.on_tx_end_decision(gate, stats).map(|d| d.new_q)
+    }
+
+    /// Like [`RacController::on_tx_end`] but returns the full
+    /// [`QuotaDecision`] — old and new quota plus the δ(Q) sample — so the
+    /// caller can put the decision on a trace timeline.
+    pub fn on_tx_end_decision(
+        &self,
+        gate: &AdmissionGate,
+        stats: &TmStats,
+    ) -> Option<QuotaDecision> {
         let mut st = self.state.lock();
         st.attempts_into_window += 1;
         if st.attempts_into_window < self.config.window_attempts {
@@ -139,7 +164,11 @@ impl RacController {
                 });
                 marked_bad = true;
                 gate.set_quota(target);
-                Some(target)
+                Some(QuotaDecision {
+                    old_q: q,
+                    new_q: target,
+                    delta: Some(d),
+                })
             }
             Some(d) if d < self.config.delta_low && q < n => {
                 let target = (q * 2).min(n);
@@ -150,7 +179,11 @@ impl RacController {
                     None // recently proven bad; hold position
                 } else {
                     gate.set_quota(target);
-                    Some(target)
+                    Some(QuotaDecision {
+                        old_q: q,
+                        new_q: target,
+                        delta: Some(d),
+                    })
                 }
             }
             None if q == 1 => {
@@ -164,7 +197,11 @@ impl RacController {
                         let target = 2.min(n);
                         if target > 1 {
                             gate.set_quota(target);
-                            Some(target)
+                            Some(QuotaDecision {
+                                old_q: q,
+                                new_q: target,
+                                delta: None,
+                            })
                         } else {
                             None
                         }
@@ -230,7 +267,11 @@ mod tests {
             stats.record_commit(0, commit_cycles / commits.max(1));
         }
         for _ in 0..aborts {
-            stats.record_abort(0, abort_cycles / aborts.max(1));
+            stats.record_abort(
+                0,
+                abort_cycles / aborts.max(1),
+                votm_stm::AbortReason::OrecConflict,
+            );
         }
         let mut last = None;
         for _ in 0..ctrl.config().window_attempts {
@@ -327,7 +368,7 @@ mod tests {
         let gate = AdmissionGate::new(16, 16);
         let stats = TmStats::new();
         let ctrl = RacController::new(cfg(1000));
-        stats.record_abort(0, 1_000_000);
+        stats.record_abort(0, 1_000_000, votm_stm::AbortReason::OrecConflict);
         stats.record_commit(0, 10);
         for _ in 0..999 {
             assert_eq!(ctrl.on_tx_end(&gate, &stats), None);

@@ -26,7 +26,7 @@
 pub mod controller;
 pub mod gate;
 
-pub use controller::{ControllerConfig, RacController};
+pub use controller::{ControllerConfig, QuotaDecision, RacController};
 pub use gate::{AdmissionGate, AdmissionMode, GateGuard, GateStats};
 
 /// How a view's quota is managed (third argument of `create_view`: a value

@@ -10,6 +10,8 @@
 //! mode) presenting one polled read/write/commit interface to the layers
 //! above.
 
+use votm_obs::AbortReason;
+
 use crate::direct::DirectCtx;
 use crate::heap::{Addr, WordHeap};
 use crate::norec::{NOrecGlobal, NOrecTx};
@@ -237,6 +239,19 @@ impl TxCtx {
         matches!(self.mode, Mode::Direct(_))
     }
 
+    /// The structured cause of the most recent `Err(Conflict)` this context
+    /// returned — the algorithm's own attribution (orec conflict, NOrec
+    /// revalidation failure). Only meaningful between that error and the
+    /// next `begin`; direct contexts never conflict and report `Explicit`.
+    pub fn conflict_reason(&self) -> AbortReason {
+        match &self.mode {
+            Mode::NOrec(tx) => tx.conflict_reason(),
+            Mode::Orec(tx) => tx.conflict_reason(),
+            Mode::Lazy(tx) => tx.conflict_reason(),
+            Mode::Direct(_) => AbortReason::Explicit,
+        }
+    }
+
     /// True while an attempt is live (begun and neither committed nor
     /// aborted). Direct contexts report `false`: lock-mode sections hold no
     /// transactional state to roll back.
@@ -292,9 +307,15 @@ pub fn run_sync<T>(
             // Busy: the body must re-run from its start anyway (it may have
             // made decisions from reads a retry would redo), so both cases
             // are a restart.
-            Err(OpError::Busy) | Err(OpError::Conflict) => {
+            Err(err @ (OpError::Busy | OpError::Conflict)) => {
+                let reason = if err == OpError::Conflict {
+                    ctx.conflict_reason()
+                } else {
+                    AbortReason::WriteLockBusy
+                };
                 ctx.abort(inst);
-                inst.stats.record_abort(thread_index, ctx.take_work());
+                inst.stats
+                    .record_abort(thread_index, ctx.take_work(), reason);
                 backoff.snooze();
                 continue 'attempt;
             }
@@ -315,8 +336,10 @@ pub fn run_sync<T>(
                     backoff.snooze();
                 }
                 Err(OpError::Conflict) => {
+                    let reason = ctx.conflict_reason();
                     ctx.abort(inst);
-                    inst.stats.record_abort(thread_index, ctx.take_work());
+                    inst.stats
+                        .record_abort(thread_index, ctx.take_work(), reason);
                     backoff.snooze();
                     continue 'attempt;
                 }

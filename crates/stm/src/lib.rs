@@ -50,6 +50,9 @@ pub mod writeset;
 pub use heap::{Addr, WordHeap};
 pub use instance::{TmAlgorithm, TmInstance, TxCtx};
 pub use stats::{StatsSnapshot, TmStats};
+// Re-exported so stats consumers don't need a separate votm-obs dependency
+// just to name abort reasons.
+pub use votm_obs::AbortReason;
 
 /// Why a transactional operation could not complete.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

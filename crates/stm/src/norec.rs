@@ -22,6 +22,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use votm_obs::AbortReason;
 use votm_utils::{CachePadded, InlineVec};
 
 use crate::cost;
@@ -101,6 +102,9 @@ pub struct NOrecTx {
     active: bool,
     /// Set between a successful `commit_begin` and `commit_finish`.
     commit_seq: Option<u64>,
+    /// Why the most recent `Err(Conflict)` happened (see
+    /// [`NOrecTx::conflict_reason`]).
+    last_conflict: AbortReason,
 }
 
 impl Default for NOrecTx {
@@ -119,7 +123,14 @@ impl NOrecTx {
             work: 0,
             active: false,
             commit_seq: None,
+            last_conflict: AbortReason::Explicit,
         }
+    }
+
+    /// The structured cause of the most recent `Err(Conflict)` this context
+    /// returned. Only meaningful between that error and the next `begin`.
+    pub fn conflict_reason(&self) -> AbortReason {
+        self.last_conflict
     }
 
     /// Starts an attempt. `Busy` while a committer holds the sequence lock.
@@ -176,6 +187,7 @@ impl NOrecTx {
             }
             self.work += cost::VALIDATE_WORD;
             if heap.load(addr) != seen {
+                self.last_conflict = AbortReason::NorecValidation;
                 return Err(OpError::Conflict);
             }
         }

@@ -16,6 +16,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use votm_obs::AbortReason;
 use votm_utils::{hash_u64, CachePadded, InlineVec};
 
 use crate::cost;
@@ -152,6 +153,9 @@ pub struct OrecTx {
     active: bool,
     /// Commit timestamp between `commit_begin` and `commit_finish`.
     commit_version: Option<u64>,
+    /// Why the most recent `Err(Conflict)` happened (see
+    /// [`OrecTx::conflict_reason`]).
+    last_conflict: AbortReason,
 }
 
 impl OrecTx {
@@ -166,7 +170,14 @@ impl OrecTx {
             work: 0,
             active: false,
             commit_version: None,
+            last_conflict: AbortReason::Explicit,
         }
+    }
+
+    /// The structured cause of the most recent `Err(Conflict)` this context
+    /// returned. Only meaningful between that error and the next `begin`.
+    pub fn conflict_reason(&self) -> AbortReason {
+        self.last_conflict
     }
 
     /// Starts an attempt (never Busy: there is no global lock to wait on).
@@ -192,10 +203,12 @@ impl OrecTx {
             let ov = global.orec(idx as usize).load(Ordering::Acquire);
             if is_locked(ov) {
                 if owner_of(ov) != self.owner {
+                    self.last_conflict = AbortReason::OrecConflict;
                     return Err(OpError::Conflict);
                 }
             } else if version_of(ov) > self.start {
                 // Re-written since we read it: the value we hold is stale.
+                self.last_conflict = AbortReason::OrecConflict;
                 return Err(OpError::Conflict);
             }
         }
@@ -255,6 +268,7 @@ impl OrecTx {
                 return Ok(());
             }
             // Write-write conflict detected at encounter time.
+            self.last_conflict = AbortReason::OrecConflict;
             return Err(OpError::Conflict);
         }
         if version_of(ov) > self.start {
@@ -299,9 +313,11 @@ impl OrecTx {
                 let ov = global.orec(idx as usize).load(Ordering::Acquire);
                 if is_locked(ov) {
                     if owner_of(ov) != self.owner {
+                        self.last_conflict = AbortReason::OrecConflict;
                         return Err(OpError::Conflict);
                     }
                 } else if version_of(ov) > self.start {
+                    self.last_conflict = AbortReason::OrecConflict;
                     return Err(OpError::Conflict);
                 }
             }

@@ -17,6 +17,7 @@
 
 use std::sync::atomic::Ordering;
 
+use votm_obs::AbortReason;
 use votm_utils::InlineVec;
 
 use crate::cost;
@@ -40,6 +41,9 @@ pub struct OrecLazyTx {
     work: u64,
     active: bool,
     commit_version: Option<u64>,
+    /// Why the most recent `Err(Conflict)` happened (see
+    /// [`OrecLazyTx::conflict_reason`]).
+    last_conflict: AbortReason,
 }
 
 impl OrecLazyTx {
@@ -54,7 +58,14 @@ impl OrecLazyTx {
             work: 0,
             active: false,
             commit_version: None,
+            last_conflict: AbortReason::Explicit,
         }
+    }
+
+    /// The structured cause of the most recent `Err(Conflict)` this context
+    /// returned. Only meaningful between that error and the next `begin`.
+    pub fn conflict_reason(&self) -> AbortReason {
+        self.last_conflict
     }
 
     /// Starts an attempt.
@@ -78,6 +89,7 @@ impl OrecLazyTx {
         for idx in self.reads.iter() {
             let ov = global.orec_at(idx as usize).load(Ordering::Acquire);
             if is_locked(ov) || version_of(ov) > self.start {
+                self.last_conflict = AbortReason::OrecConflict;
                 return Err(OpError::Conflict);
             }
         }
@@ -144,6 +156,7 @@ impl OrecLazyTx {
                 // Another committer holds it: abort (TL2 policy — bounded
                 // commit windows mean the winner finishes, so no livelock).
                 self.release_locks(global);
+                self.last_conflict = AbortReason::OrecConflict;
                 return Err(OpError::Conflict);
             }
             if version_of(ov) > self.start {
@@ -187,6 +200,7 @@ impl OrecLazyTx {
             }
             if conflict {
                 self.release_locks(global);
+                self.last_conflict = AbortReason::OrecConflict;
                 return Err(OpError::Conflict);
             }
         }

@@ -11,6 +11,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use votm_obs::AbortReason;
 use votm_utils::CachePadded;
 
 /// Number of counter stripes. A power of two so thread indices fold with a
@@ -23,6 +24,7 @@ pub const STAT_STRIPES: usize = 16;
 struct Stripe {
     commits: AtomicU64,
     aborts: AtomicU64,
+    aborts_by_reason: [AtomicU64; AbortReason::COUNT],
     cycles_aborted: AtomicU64,
     cycles_successful: AtomicU64,
     busy_retries: AtomicU64,
@@ -74,11 +76,13 @@ impl TmStats {
         s.cycles_successful.fetch_add(cycles, Ordering::Relaxed);
     }
 
-    /// Records one aborted attempt that wasted `cycles`.
+    /// Records one aborted attempt that wasted `cycles`, attributed to its
+    /// structured [`AbortReason`].
     #[inline]
-    pub fn record_abort(&self, tid: usize, cycles: u64) {
+    pub fn record_abort(&self, tid: usize, cycles: u64, reason: AbortReason) {
         let s = self.stripe(tid);
         s.aborts.fetch_add(1, Ordering::Relaxed);
+        s.aborts_by_reason[reason.index()].fetch_add(1, Ordering::Relaxed);
         s.cycles_aborted.fetch_add(cycles, Ordering::Relaxed);
     }
 
@@ -123,6 +127,13 @@ impl TmStats {
         for s in &self.stripes {
             out.commits += s.commits.load(Ordering::Relaxed);
             out.aborts += s.aborts.load(Ordering::Relaxed);
+            for (acc, c) in out
+                .aborts_by_reason
+                .iter_mut()
+                .zip(s.aborts_by_reason.iter())
+            {
+                *acc += c.load(Ordering::Relaxed);
+            }
             out.cycles_aborted += s.cycles_aborted.load(Ordering::Relaxed);
             out.cycles_successful += s.cycles_successful.load(Ordering::Relaxed);
             out.busy_retries += s.busy_retries.load(Ordering::Relaxed);
@@ -143,6 +154,9 @@ pub struct StatsSnapshot {
     pub commits: u64,
     /// Aborted attempts ("#abort").
     pub aborts: u64,
+    /// `aborts` broken down by [`AbortReason`], indexed by
+    /// [`AbortReason::index`]. The components always sum to `aborts`.
+    pub aborts_by_reason: [u64; AbortReason::COUNT],
     /// Cycles spent in ultimately-aborted attempts.
     pub cycles_aborted: u64,
     /// Cycles spent in committed attempts.
@@ -170,12 +184,20 @@ impl StatsSnapshot {
         Some(self.cycles_aborted as f64 / (self.cycles_successful as f64 * f64::from(quota - 1)))
     }
 
+    /// Aborts attributed to `reason`.
+    pub fn aborts_for(&self, reason: AbortReason) -> u64 {
+        self.aborts_by_reason[reason.index()]
+    }
+
     /// Difference `self − earlier`, for windowed estimation. High-water
     /// marks (`max_abort_streak`) are carried over, not subtracted.
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             commits: self.commits - earlier.commits,
             aborts: self.aborts - earlier.aborts,
+            aborts_by_reason: std::array::from_fn(|i| {
+                self.aborts_by_reason[i] - earlier.aborts_by_reason[i]
+            }),
             cycles_aborted: self.cycles_aborted - earlier.cycles_aborted,
             cycles_successful: self.cycles_successful - earlier.cycles_successful,
             busy_retries: self.busy_retries - earlier.busy_retries,
@@ -195,7 +217,7 @@ mod tests {
         let s = TmStats::new();
         s.record_commit(0, 100);
         s.record_commit(0, 50);
-        s.record_abort(0, 30);
+        s.record_abort(0, 30, AbortReason::NorecValidation);
         let snap = s.snapshot();
         assert_eq!(snap.commits, 2);
         assert_eq!(snap.aborts, 1);
@@ -211,8 +233,8 @@ mod tests {
         for tid in 0..STAT_STRIPES * 3 {
             s.record_commit(tid, 10);
         }
-        s.record_abort(7, 5);
-        s.record_abort(7 + STAT_STRIPES, 5);
+        s.record_abort(7, 5, AbortReason::OrecConflict);
+        s.record_abort(7 + STAT_STRIPES, 5, AbortReason::Explicit);
         s.record_busy(31);
         s.record_gate_wait(64, 40);
         let snap = s.snapshot();
@@ -262,7 +284,7 @@ mod tests {
         s.record_commit(0, 10);
         let w0 = s.snapshot();
         s.record_commit(1, 20);
-        s.record_abort(2, 5);
+        s.record_abort(2, 5, AbortReason::WriteLockBusy);
         let w1 = s.snapshot();
         let d = w1.since(&w0);
         assert_eq!(d.commits, 1);

@@ -1,0 +1,184 @@
+//! End-to-end checks of the observability layer: a seeded simulator run
+//! must export a Chrome trace and a snapshot document that (a) are byte-
+//! identical across identically-seeded runs, (b) carry at least one quota
+//! decision with its δ(Q) evidence, (c) agree exactly with the per-view
+//! statistics counters, and (d) cost nothing in virtual time — recording
+//! must not perturb the simulated schedule.
+
+use std::sync::Arc;
+
+use votm::{FlightRecorder, QuotaMode, TmAlgorithm};
+use votm_bench::{capture_trace, Settings};
+use votm_eigenbench::{run_sim, run_sim_recorded, EigenConfig, Version};
+use votm_obs::{AbortReason, EventKind};
+use votm_sim::SimConfig;
+
+fn trace_settings() -> Settings {
+    Settings {
+        eigen_scale: 0.0005,
+        ..Default::default()
+    }
+}
+
+fn small_config() -> EigenConfig {
+    let mut c = EigenConfig::paper_table2(0.0005);
+    c.n_threads = 8;
+    c
+}
+
+#[test]
+fn same_seed_runs_export_byte_identical_json() {
+    let s = trace_settings();
+    let a = capture_trace(&s, TmAlgorithm::OrecEagerRedo);
+    let b = capture_trace(&s, TmAlgorithm::OrecEagerRedo);
+    assert_eq!(
+        a.chrome_trace, b.chrome_trace,
+        "chrome trace must be deterministic for a fixed seed"
+    );
+    assert_eq!(
+        a.snapshot, b.snapshot,
+        "snapshot export must be deterministic for a fixed seed"
+    );
+    // A different seed produces a different schedule, hence a different
+    // trace — determinism is not degenerate constancy.
+    let mut s2 = s;
+    s2.seed += 1;
+    let c = capture_trace(&s2, TmAlgorithm::OrecEagerRedo);
+    assert_ne!(a.chrome_trace, c.chrome_trace);
+}
+
+#[test]
+fn exported_trace_carries_quota_decisions_and_structured_aborts() {
+    let s = trace_settings();
+    let cap = capture_trace(&s, TmAlgorithm::OrecEagerRedo);
+    // The adaptive controller must have moved at least once on the
+    // high-contention view, and the decision must carry its δ(Q) sample.
+    assert!(
+        cap.quota_changes >= 1,
+        "adaptive run produced no quota decisions"
+    );
+    assert!(cap.chrome_trace.contains("\"name\":\"quota-change\""));
+    assert!(
+        cap.snapshot.contains("\"quota_timeline\":[{\"ts\":"),
+        "snapshot must serialise the quota timeline"
+    );
+    assert!(
+        cap.snapshot.contains("\"delta\":0.")
+            || cap.snapshot.contains("\"delta\":1.")
+            || cap.snapshot.contains("\"delta\":\"inf\""),
+        "at least one quota decision must carry a delta sample"
+    );
+    // Structured abort reasons reached both exports.
+    let total_aborts: u64 = cap.views.iter().map(|v| v.tm.aborts).sum();
+    assert!(total_aborts > 0, "contended run must abort");
+    assert!(cap.chrome_trace.contains("\"reason\":\"orec_conflict\""));
+    assert!(cap.snapshot.contains("\"orec_conflict\":"));
+    for v in &cap.views {
+        assert_eq!(
+            v.tm.aborts_by_reason.iter().sum::<u64>(),
+            v.tm.aborts,
+            "per-reason abort counts must sum to the abort total"
+        );
+    }
+}
+
+#[test]
+fn commit_histogram_count_matches_commit_counter() {
+    let s = trace_settings();
+    let cap = capture_trace(&s, TmAlgorithm::NOrec);
+    for v in &cap.views {
+        assert_eq!(
+            v.hists.commit.count(),
+            v.tm.commits,
+            "view {}: every commit must land in the latency histogram",
+            v.view_id
+        );
+        assert_eq!(
+            v.hists.abort_to_retry.count(),
+            v.tm.aborts,
+            "view {}: every abort is followed by exactly one retry begin",
+            v.view_id
+        );
+    }
+}
+
+#[test]
+fn recording_does_not_perturb_virtual_time_or_counters() {
+    let config = small_config();
+    let quotas = [QuotaMode::Adaptive, QuotaMode::Adaptive];
+    let plain = run_sim(
+        &config,
+        TmAlgorithm::OrecEagerRedo,
+        Version::MultiView,
+        quotas,
+        SimConfig::default(),
+    );
+    let rec = Arc::new(FlightRecorder::with_default_capacity(
+        config.n_threads as usize,
+    ));
+    let recorded = run_sim_recorded(
+        &config,
+        TmAlgorithm::OrecEagerRedo,
+        Version::MultiView,
+        quotas,
+        SimConfig::default(),
+        Some(Arc::clone(&rec)),
+    );
+    assert_eq!(
+        plain.outcome.vtime, recorded.outcome.vtime,
+        "recording must charge no virtual cycles"
+    );
+    for (p, r) in plain.views.iter().zip(recorded.views.iter()) {
+        assert_eq!(p.tm, r.tm, "view {}: counters must not shift", p.view_id);
+        assert_eq!(p.quota, r.quota);
+    }
+    // And the rings actually saw the run.
+    let threads = rec.snapshot();
+    let begins: u64 = threads
+        .iter()
+        .flat_map(|t| t.events.iter())
+        .filter(|e| matches!(e.kind, EventKind::TxBegin { .. }))
+        .count() as u64;
+    assert!(begins > 0, "live recorder saw no transaction begins");
+}
+
+#[test]
+fn fault_injection_shows_up_as_fault_events_and_reasons() {
+    use votm_sim::FaultPlan;
+    let config = small_config();
+    let rec = Arc::new(FlightRecorder::with_default_capacity(
+        config.n_threads as usize,
+    ));
+    let sim = SimConfig {
+        fault_plan: Some(FaultPlan {
+            seed: 0xFA11,
+            abort_percent: 1,
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    let res = run_sim_recorded(
+        &config,
+        TmAlgorithm::OrecEagerRedo,
+        Version::MultiView,
+        [QuotaMode::Adaptive, QuotaMode::Adaptive],
+        sim,
+        Some(Arc::clone(&rec)),
+    );
+    let injected: u64 = res
+        .views
+        .iter()
+        .map(|v| v.tm.aborts_by_reason[AbortReason::FaultInjected.index()])
+        .sum();
+    assert!(injected > 0, "fault plan produced no injected aborts");
+    let fault_events = rec
+        .snapshot()
+        .iter()
+        .flat_map(|t| t.events.clone())
+        .filter(|e| matches!(e.kind, EventKind::Fault { code: 1, .. }))
+        .count() as u64;
+    assert!(
+        fault_events > 0,
+        "injected aborts must appear as fault events on the trace"
+    );
+}
