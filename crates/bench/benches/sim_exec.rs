@@ -1,0 +1,121 @@
+//! Executor microbenchmarks: the cost of simulation itself.
+//!
+//! These isolate the scheduler hot paths the bench-gate rows exercise
+//! indirectly — short-charge re-enqueues, notify ping-pong, and a 16-task
+//! contention storm of tied activations — and compare the timer wheel
+//! against the retained reference-heap scheduler. Run with
+//! `cargo bench --bench sim_exec`; CI runs one sample per bench as a
+//! perf-harness smoke test.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use votm_bench::harness::bench;
+use votm_sim::{Notify, Rt, RunStatus, SchedulerKind, SimConfig, SimExecutor};
+
+fn config(scheduler: SchedulerKind, coalesce: bool) -> SimConfig {
+    SimConfig {
+        seed: 0x5eed,
+        scheduler,
+        coalesce,
+        ..Default::default()
+    }
+}
+
+/// Straight-line charge storm on one task: the pure enqueue/dequeue path,
+/// and the best case for charge-coalescing.
+fn enqueue_dequeue(scheduler: SchedulerKind, coalesce: bool, steps: u64) -> u64 {
+    let mut ex = SimExecutor::new(config(scheduler, coalesce));
+    ex.spawn(move |rt: Rt| async move {
+        for i in 0..steps {
+            rt.charge(1 + (i % 60)).await;
+        }
+    });
+    let out = ex.run();
+    assert_eq!(out.status, RunStatus::Completed);
+    out.steps
+}
+
+/// Two tasks alternately waking each other through a `Notify` pair: the
+/// waker/wait registration path.
+fn ping_pong(scheduler: SchedulerKind, rounds: u64) -> u64 {
+    let ping = Arc::new(Notify::new());
+    let pong = Arc::new(Notify::new());
+    let mut ex = SimExecutor::new(config(scheduler, true));
+    {
+        let (ping, pong) = (Arc::clone(&ping), Arc::clone(&pong));
+        ex.spawn(move |rt: Rt| async move {
+            for _ in 0..rounds {
+                rt.charge(5).await;
+                ping.notify_all();
+                let e = pong.epoch();
+                rt.wait(&pong, e).await;
+            }
+        });
+    }
+    {
+        let (ping, pong) = (Arc::clone(&ping), Arc::clone(&pong));
+        ex.spawn(move |rt: Rt| async move {
+            for _ in 0..rounds {
+                let e = ping.epoch();
+                rt.wait(&ping, e).await;
+                rt.charge(5).await;
+                pong.notify_all();
+            }
+        });
+    }
+    let out = ex.run();
+    assert_eq!(out.status, RunStatus::Completed);
+    out.steps
+}
+
+/// Sixteen tasks re-enqueueing at identical virtual times: maximal tie
+/// pressure on the queue, the shape of a busy-retry storm.
+fn contention_storm(scheduler: SchedulerKind, coalesce: bool, rounds: u64) -> u64 {
+    let mut ex = SimExecutor::new(config(scheduler, coalesce));
+    for _ in 0..16 {
+        ex.spawn(move |rt: Rt| async move {
+            for _ in 0..rounds {
+                rt.charge(12).await; // everyone lands on the same slots
+            }
+        });
+    }
+    let out = ex.run();
+    assert_eq!(out.status, RunStatus::Completed);
+    out.steps
+}
+
+fn main() {
+    let total = Arc::new(AtomicU64::new(0));
+    let t = &total;
+
+    for (label, kind) in [
+        ("wheel", SchedulerKind::TimerWheel),
+        ("ref-heap", SchedulerKind::ReferenceHeap),
+    ] {
+        bench(&format!("sim_exec/enqueue_dequeue/{label}"), || {
+            t.fetch_add(enqueue_dequeue(kind, true, 2_000), Ordering::Relaxed)
+        });
+        bench(&format!("sim_exec/ping_pong/{label}"), || {
+            t.fetch_add(ping_pong(kind, 500), Ordering::Relaxed)
+        });
+        bench(&format!("sim_exec/contention_storm_16/{label}"), || {
+            t.fetch_add(contention_storm(kind, true, 200), Ordering::Relaxed)
+        });
+    }
+    bench("sim_exec/enqueue_dequeue/wheel-nocoalesce", || {
+        t.fetch_add(
+            enqueue_dequeue(SchedulerKind::TimerWheel, false, 2_000),
+            Ordering::Relaxed,
+        )
+    });
+    bench("sim_exec/contention_storm_16/wheel-nocoalesce", || {
+        t.fetch_add(
+            contention_storm(SchedulerKind::TimerWheel, false, 200),
+            Ordering::Relaxed,
+        )
+    });
+    // Keep the accumulated step counts observable so the whole run can't be
+    // optimised away.
+    println!("total steps: {}", total.load(Ordering::Relaxed));
+}

@@ -19,7 +19,7 @@ use votm_bench::{fmt, Settings};
 struct Args {
     tables: Vec<u32>,
     settings: Settings,
-    /// `--json`: run the throughput gate and write `BENCH_3.json` instead of
+    /// `--json`: run the throughput gate and write `BENCH_4.json` instead of
     /// printing markdown tables.
     json: bool,
     /// `--trace PATH`: run one recorded multi-view adaptive Eigenbench sim
@@ -89,7 +89,7 @@ fn parse_args() -> Args {
 const GATE_EIGEN_SCALE: f64 = 0.001;
 
 /// Output artifact of `--json`: the PR-numbered benchmark trajectory file.
-const GATE_ARTIFACT: &str = "BENCH_3.json";
+const GATE_ARTIFACT: &str = "BENCH_4.json";
 
 fn run_json_gate(mut settings: Settings, eigen_scale_set: bool) {
     if !eigen_scale_set {
@@ -100,21 +100,24 @@ fn run_json_gate(mut settings: Settings, eigen_scale_set: bool) {
     let json = votm_bench::gate_rows_to_json(&settings, &rows);
     std::fs::write(GATE_ARTIFACT, &json)
         .unwrap_or_else(|e| panic!("cannot write {GATE_ARTIFACT}: {e}"));
+    let wall_total: f64 = rows.iter().map(|r| r.wall_s).sum();
     eprintln!(
-        "wrote {GATE_ARTIFACT}: {} rows in {:.1}s wall time",
+        "wrote {GATE_ARTIFACT}: {} rows in {:.1}s wall time \
+         ({wall_total:.2}s summed row wall_s)",
         rows.len(),
         t0.elapsed().as_secs_f64()
     );
     for r in &rows {
         eprintln!(
             "  {:>14} {:>11} N={:<2} -> {:>12.1} txns/vsec (abort rate {:.3}, \
-             gate fast-path {:.3})",
+             gate fast-path {:.3}, wall {:.2}s)",
             r.algo,
             r.version,
             r.n_threads,
             r.txns_per_vsec,
             r.abort_rate,
-            r.gate_fast_path_hit_rate
+            r.gate_fast_path_hit_rate,
+            r.wall_s
         );
     }
 }
@@ -162,6 +165,7 @@ fn main() {
         "# VOTM table reproduction (eigen-scale {}, intruder-scale {:.6}, N={}, seed {}, cap {}x)\n",
         s.eigen_scale, s.intruder_scale, s.n_threads, s.seed, s.cap_factor
     );
+    let mut wall_total = 0.0f64;
     for table in &args.tables {
         let t0 = std::time::Instant::now();
         let output = match table {
@@ -251,9 +255,9 @@ fn main() {
             other => panic!("no such table: {other} (expected 3..=12)"),
         };
         println!("{output}");
-        println!(
-            "_(generated in {:.1}s wall time)_\n",
-            t0.elapsed().as_secs_f64()
-        );
+        let wall = t0.elapsed().as_secs_f64();
+        wall_total += wall;
+        println!("_(generated in {wall:.1}s wall time)_\n");
     }
+    println!("_(total: {wall_total:.1}s wall time across all tables)_");
 }

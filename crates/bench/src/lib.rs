@@ -489,6 +489,12 @@ pub struct GateRow {
     pub commit_p50_cycles: u64,
     /// 99th-percentile commit latency in cycles (bucket upper bound).
     pub commit_p99_cycles: u64,
+    /// Executor steps (future polls) the row's simulations took, summed
+    /// over the seed sweep. Virtual-time-deterministic.
+    pub sim_steps: u64,
+    /// Same-task charge polls the executor coalesced past the event queue
+    /// (summed over seeds). Report-only scheduler telemetry, like `wall_s`.
+    pub coalesced_polls: u64,
 }
 
 /// The thread counts the throughput gate sweeps.
@@ -522,6 +528,7 @@ pub fn throughput_gate(settings: &Settings) -> Vec<GateRow> {
                 let (mut commits, mut aborts, mut vtime) = (0u64, 0u64, 0u64);
                 let (mut fast, mut slow) = (0u64, 0u64);
                 let (mut busy, mut gate_wait) = (0u64, 0u64);
+                let (mut sim_steps, mut coalesced) = (0u64, 0u64);
                 let mut commit_hist = HistogramSnapshot::default();
                 for seed_off in 0..GATE_SEEDS {
                     let mut s = *settings;
@@ -547,6 +554,8 @@ pub fn throughput_gate(settings: &Settings) -> Vec<GateRow> {
                     slow += res.views.iter().map(|v| v.gate.slow_acquires).sum::<u64>();
                     busy += res.views.iter().map(|v| v.tm.busy_retries).sum::<u64>();
                     gate_wait += res.views.iter().map(|v| v.tm.gate_wait_cycles).sum::<u64>();
+                    sim_steps += res.outcome.steps;
+                    coalesced += res.outcome.sched.coalesced;
                     for v in &res.views {
                         commit_hist.merge(&v.hists.commit);
                     }
@@ -585,6 +594,8 @@ pub fn throughput_gate(settings: &Settings) -> Vec<GateRow> {
                     gate_wait_cycles: gate_wait,
                     commit_p50_cycles: commit_hist.quantile(0.50),
                     commit_p99_cycles: commit_hist.quantile(0.99),
+                    sim_steps,
+                    coalesced_polls: coalesced,
                 });
             }
         }
@@ -614,15 +625,23 @@ pub struct TraceCapture {
 /// threads, events and timelines canonically, and floats print with fixed
 /// precision.
 pub fn capture_trace(settings: &Settings, algo: TmAlgorithm) -> TraceCapture {
+    capture_trace_sim(settings, algo, settings.sim(None))
+}
+
+/// [`capture_trace`] with an explicit simulator configuration, so the
+/// differential determinism suite can export the same seeded run under the
+/// timer wheel, the reference heap, and with coalescing toggled, and assert
+/// the JSON documents are byte-identical.
+pub fn capture_trace_sim(settings: &Settings, algo: TmAlgorithm, sim: SimConfig) -> TraceCapture {
     let recorder = Arc::new(FlightRecorder::with_default_capacity(
         settings.n_threads as usize,
     ));
-    let res = eigen_run_recorded(
-        settings,
+    let res = votm_eigenbench::run_sim_recorded(
+        &settings.eigen_config(),
         algo,
         votm_eigenbench::Version::MultiView,
         [QuotaMode::Adaptive, QuotaMode::Adaptive],
-        None,
+        sim,
         Some(Arc::clone(&recorder)),
     );
     let threads = recorder.snapshot();
@@ -701,7 +720,8 @@ pub fn gate_rows_to_json(settings: &Settings, rows: &[GateRow]) -> String {
              \"vtime\": {}, \"txns_per_vsec\": {}, \"wall_s\": {}, \
              \"gate_fast_path_hit_rate\": {}, \"fast_acquires\": {}, \
              \"slow_acquires\": {}, \"busy_retries\": {}, \"gate_wait_cycles\": {}, \
-             \"commit_p50_cycles\": {}, \"commit_p99_cycles\": {}}}{}\n",
+             \"commit_p50_cycles\": {}, \"commit_p99_cycles\": {}, \
+             \"sim_steps\": {}, \"coalesced_polls\": {}}}{}\n",
             json_str(r.algo),
             json_str(r.version),
             r.n_views,
@@ -725,10 +745,20 @@ pub fn gate_rows_to_json(settings: &Settings, rows: &[GateRow]) -> String {
             r.gate_wait_cycles,
             r.commit_p50_cycles,
             r.commit_p99_cycles,
+            r.sim_steps,
+            r.coalesced_polls,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
-    out.push_str("  ]\n}\n");
+    // Aggregate host cost of producing the artifact: the wall-clock
+    // regression harness gates on this sum staying well below the previous
+    // PR's. Informational per-row, load-bearing in aggregate.
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"wall_s_total\": {}\n",
+        json_f64(rows.iter().map(|r| r.wall_s).sum()),
+    ));
+    out.push_str("}\n");
     out
 }
 

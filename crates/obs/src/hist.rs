@@ -1,44 +1,59 @@
-//! Log-bucketed latency histograms (HdrHistogram-style, power-of-two
-//! buckets).
+//! Log-bucketed latency histograms (HdrHistogram-style: power-of-two
+//! brackets refined by 4 linear sub-buckets each).
 //!
-//! A record is one relaxed `fetch_add` into the bucket holding the value's
-//! bit length, so concurrent recording never contends beyond the counter
-//! word itself. Snapshots are plain arrays: mergeable, comparable and cheap
-//! to export. Resolution is the power-of-two bracket — coarse, but exactly
-//! what tail-shape questions (p50 vs p99 vs p999 commit latency) need, and
-//! bounded at 65 words per histogram.
+//! A record is one relaxed `fetch_add` into the bucket derived from the
+//! value's bit pattern, so concurrent recording never contends beyond the
+//! counter word itself. Snapshots are plain arrays: mergeable, comparable
+//! and cheap to export.
+//!
+//! Resolution: pure power-of-two buckets proved too coarse — every BENCH_3
+//! NOrec row reported `commit_p50 == commit_p99 == 4095` because the whole
+//! commit distribution fit one octave. Splitting each octave into 4 linear
+//! sub-buckets (guaranteed relative error ≤ 12.5% instead of ≤ 50%)
+//! separates the median from the tail while keeping the histogram a fixed
+//! 252 words.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Bucket count: bucket 0 holds zeros, bucket `i ∈ 1..=64` holds values
-/// with bit length `i`, i.e. `2^(i-1) ..= 2^i - 1`.
-pub const HIST_BUCKETS: usize = 65;
+/// Bucket count. Values `0..=7` get exact buckets `0..=7`; every larger
+/// octave `[2^(b-1), 2^b)` (bit length `b >= 4`) is split into 4 linear
+/// sub-buckets keyed by the two bits after the leading one, giving
+/// `8 + (64 - 3) * 4 = 252` buckets with bucket 251 ending at `u64::MAX`.
+pub const HIST_BUCKETS: usize = 252;
 
 /// Index of the bucket `value` falls into.
 #[inline]
 pub fn bucket_index(value: u64) -> usize {
-    (64 - value.leading_zeros()) as usize
+    if value < 8 {
+        return value as usize;
+    }
+    let bits = (64 - value.leading_zeros()) as usize; // >= 4
+    let sub = ((value >> (bits - 3)) & 3) as usize;
+    8 + (bits - 4) * 4 + sub
 }
 
 /// Smallest value in bucket `i`.
 #[inline]
 pub fn bucket_lower(i: usize) -> u64 {
-    if i == 0 {
-        0
+    if i < 8 {
+        i as u64
     } else {
-        1u64 << (i - 1)
+        let g = (i - 8) / 4; // octave index: bit length g + 4
+        let sub = ((i - 8) % 4) as u64;
+        (4 + sub) << (g + 1)
     }
 }
 
 /// Largest value in bucket `i`.
 #[inline]
 pub fn bucket_upper(i: usize) -> u64 {
-    if i == 0 {
-        0
-    } else if i >= 64 {
-        u64::MAX
+    if i < 8 {
+        i as u64
     } else {
-        (1u64 << i) - 1
+        let g = (i - 8) / 4;
+        // Width minus one first: the top bucket's upper is exactly u64::MAX
+        // and `lower + width` would overflow before the subtraction.
+        bucket_lower(i) + ((1u64 << (g + 1)) - 1)
     }
 }
 
@@ -170,16 +185,27 @@ mod tests {
 
     #[test]
     fn bucket_index_brackets_every_bit_length() {
-        assert_eq!(bucket_index(0), 0);
-        assert_eq!(bucket_index(1), 1);
-        assert_eq!(bucket_index(2), 2);
-        assert_eq!(bucket_index(3), 2);
-        assert_eq!(bucket_index(4), 3);
-        assert_eq!(bucket_index(u64::MAX), 64);
+        // Exact region.
+        for v in 0..8u64 {
+            assert_eq!(bucket_index(v), v as usize);
+        }
+        // First split octave [8, 16): sub-buckets of width 2.
+        assert_eq!(bucket_index(8), 8);
+        assert_eq!(bucket_index(9), 8);
+        assert_eq!(bucket_index(10), 9);
+        assert_eq!(bucket_index(15), 11);
+        assert_eq!(bucket_index(16), 12);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        // Buckets tile the u64 range: each round-trips its own bounds and
+        // abuts its neighbours without gap or overlap.
         for i in 0..HIST_BUCKETS {
             assert_eq!(bucket_index(bucket_lower(i)), i);
             assert_eq!(bucket_index(bucket_upper(i)), i);
+            if i > 0 {
+                assert_eq!(bucket_upper(i - 1) + 1, bucket_lower(i));
+            }
         }
+        assert_eq!(bucket_upper(HIST_BUCKETS - 1), u64::MAX);
     }
 
     #[test]
@@ -190,10 +216,27 @@ mod tests {
         }
         let s = h.snapshot();
         assert_eq!(s.count(), 6);
-        assert_eq!(s.quantile(0.0), 1); // rank 1 → bucket of value 1
-        assert_eq!(s.quantile(0.5), 3); // rank 3 → bucket [2,3]
-        assert_eq!(s.quantile(1.0), 1023); // bucket of 1000
+        assert_eq!(s.quantile(0.0), 1); // rank 1 → exact bucket of value 1
+        assert_eq!(s.quantile(0.5), 2); // rank 3 → exact bucket of value 2
+        assert_eq!(s.quantile(1.0), 1023); // 1000 → sub-bucket [896, 1023]
         assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn sub_buckets_separate_median_from_tail_within_one_octave() {
+        // 3000 and 4000 share a power-of-two octave under the old scheme
+        // ([2048, 4095]), which collapsed p50 and p99 to the same bound.
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(3000);
+        }
+        for _ in 0..10 {
+            h.record(4000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 3071); // 3000 → sub-bucket [2560, 3071]
+        assert_eq!(s.quantile(0.99), 4095); // 4000 → sub-bucket [3584, 4095]
+        assert!(s.quantile(0.5) < s.quantile(0.99));
     }
 
     #[test]

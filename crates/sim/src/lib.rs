@@ -12,7 +12,7 @@
 //!
 //! Two executors share one task API ([`Rt`]):
 //!
-//! * [`SimExecutor`] — single OS thread, binary-heap scheduler keyed on
+//! * [`SimExecutor`] — single OS thread, timer-wheel scheduler keyed on
 //!   virtual time, seeded deterministic tie-breaking, livelock watchdog.
 //! * [`run_parallel`] — real OS threads with a park/unpark `block_on`; used
 //!   by tests to validate the STM's atomics under genuine preemption.
@@ -33,7 +33,9 @@ pub use block_on::block_on;
 pub use fault::{FaultEvent, FaultPlan, FaultRecord, FaultStats, PanicPolicy};
 pub use notify::Notify;
 pub use real::{run_parallel, RealHandle};
-pub use sim_exec::{RunOutcome, RunStatus, SimConfig, SimExecutor, SimHandle, TaskStall};
+pub use sim_exec::{
+    RunOutcome, RunStatus, SchedStats, SchedulerKind, SimConfig, SimExecutor, SimHandle, TaskStall,
+};
 
 use std::future::Future;
 use std::pin::Pin;

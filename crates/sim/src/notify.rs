@@ -31,6 +31,10 @@ use votm_utils::Mutex;
 struct Inner {
     epoch: u64,
     waiters: Vec<Waker>,
+    /// Empty buffer swapped in by `notify_all` so draining the waiter list
+    /// retains both vecs' capacity — notify/wait churn (the admission gate's
+    /// steady state) must not allocate.
+    spare: Vec<Waker>,
 }
 
 /// Epoch-counting wait/wake event. See module docs for the usage pattern.
@@ -46,6 +50,7 @@ impl Notify {
             inner: Mutex::new(Inner {
                 epoch: 0,
                 waiters: Vec::new(),
+                spare: Vec::new(),
             }),
         }
     }
@@ -57,15 +62,21 @@ impl Notify {
 
     /// Bumps the epoch and wakes every waiter.
     pub fn notify_all(&self) {
-        let waiters = {
+        let mut to_wake = {
             let mut inner = self.inner.lock();
             inner.epoch += 1;
-            std::mem::take(&mut inner.waiters)
+            let empty = std::mem::take(&mut inner.spare);
+            std::mem::replace(&mut inner.waiters, empty)
         };
-        // Wake outside the lock: a sim waker immediately locks the executor,
-        // and the executor may call back into this Notify.
-        for w in waiters {
+        // Wake outside the lock: a sim waker immediately re-enters the
+        // executor, and the executor may call back into this Notify.
+        for w in to_wake.drain(..) {
             w.wake();
+        }
+        // Hand the drained buffer back for the next round (capacity kept).
+        let mut inner = self.inner.lock();
+        if inner.spare.capacity() < to_wake.capacity() {
+            inner.spare = to_wake;
         }
     }
 

@@ -1,28 +1,70 @@
 //! The deterministic virtual-time executor.
 //!
-//! A binary heap orders pending task activations by `(virtual time,
-//! random tie-break, sequence number)`. Each activation polls one task
-//! future; the future runs synchronously until its next suspension point
-//! (a [`crate::Rt::charge`], [`crate::Rt::work`] or [`crate::Notify`] wait),
-//! so shared-memory operations from different logical threads interleave at
-//! exactly those points, in virtual-time order, with a deterministic but
-//! seeded-random resolution of ties.
+//! Pending task activations are ordered by `(virtual time, random tie-break,
+//! sequence number)`. Each activation polls one task future; the future runs
+//! synchronously until its next suspension point (a [`crate::Rt::charge`],
+//! [`crate::Rt::work`] or [`crate::Notify`] wait), so shared-memory
+//! operations from different logical threads interleave at exactly those
+//! points, in virtual-time order, with a deterministic but seeded-random
+//! resolution of ties.
+//!
+//! # Hot-path architecture
+//!
+//! The event queue is a hierarchical timer wheel
+//! ([`votm_utils::TimerWheel`]): short `charge()` re-enqueues — the busy-retry
+//! traffic that dominates contended STM runs — are O(1) ring operations
+//! instead of O(log n) heap sifts. A retained reference-heap scheduler
+//! ([`SchedulerKind::ReferenceHeap`]) preserves the original `BinaryHeap`
+//! semantics for differential testing: both schedulers pop the exact same
+//! `(vtime, tiebreak, seq)` order, pinned by the `differential` test suite.
+//!
+//! The run loop owns its state directly (no `Mutex`): [`SimHandle`] is
+//! `!Send`, so every handle call happens on the executor's thread, and the
+//! only cross-thread entry point — a real-thread `Notify::notify_all` waking
+//! a sim task — goes through a small mailbox (mutex-protected `Vec` plus an
+//! atomic dirty flag) drained at the top of each loop iteration.
+//!
+//! Steady-state stepping does not allocate: wakers are created once per task
+//! at spawn, futures are polled in place, the wheel recycles entry nodes
+//! through a slab, and consecutive same-task `charge()` polls are coalesced —
+//! when the just-polled task's next activation is itself the global minimum,
+//! the executor resumes it directly without a queue round-trip.
 //!
 //! Livelock is a first-class outcome: the paper's OrecEagerRedo experiments
 //! livelock at high quota, so runs carry a virtual-time cap and report
 //! [`RunStatus::Livelock`] when they exceed it.
 
+use std::cell::{Cell, UnsafeCell};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::future::Future;
+use std::marker::PhantomData;
 use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
+use std::thread::ThreadId;
 
 use votm_utils::Mutex;
+use votm_utils::TimerWheel;
 use votm_utils::XorShift64;
 
 use crate::fault::{FaultEvent, FaultPlan, FaultRecord, FaultStats, PanicPolicy};
+
+/// Which event-queue implementation orders activations.
+///
+/// Both yield the exact same `(vtime, tiebreak, seq)` activation order; the
+/// reference heap exists so differential tests can pin the timer wheel
+/// against the original implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Hierarchical timer wheel: O(1) near-future pushes (default).
+    #[default]
+    TimerWheel,
+    /// The original `BinaryHeap` scheduler, retained as the determinism
+    /// baseline.
+    ReferenceHeap,
+}
 
 /// Configuration for one simulator run.
 #[derive(Debug, Clone)]
@@ -40,6 +82,13 @@ pub struct SimConfig {
     pub fault_plan: Option<FaultPlan>,
     /// What to do when a task's poll panics (injected or organic).
     pub panic_policy: PanicPolicy,
+    /// Event-queue implementation (differential-testing hook).
+    pub scheduler: SchedulerKind,
+    /// Coalesce consecutive same-task `charge()` polls: when the just-polled
+    /// task's self-scheduled activation is the global minimum, resume it
+    /// directly instead of round-tripping the queue. Activation order is
+    /// provably unchanged; disable only to widen differential coverage.
+    pub coalesce: bool,
 }
 
 impl Default for SimConfig {
@@ -50,6 +99,8 @@ impl Default for SimConfig {
             max_steps: u64::MAX,
             fault_plan: None,
             panic_policy: PanicPolicy::Propagate,
+            scheduler: SchedulerKind::TimerWheel,
+            coalesce: true,
         }
     }
 }
@@ -89,6 +140,30 @@ pub struct TaskStall {
     pub detail: Option<String>,
 }
 
+/// Scheduler-internals counters for one run. Virtual-time results never
+/// depend on these; they exist to track the cost of simulation itself
+/// (surfaced in bench-gate artifacts, *not* in obs snapshot exports, which
+/// must stay identical across scheduler kinds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Task activations that skipped the queue because the just-polled
+    /// task's own re-enqueue was the global minimum.
+    pub coalesced: u64,
+    /// Entries pushed into the timer wheel's near-future ring (0 under the
+    /// reference heap).
+    pub ring_pushes: u64,
+    /// Entries pushed into the far-future overflow heap (0 under the
+    /// reference heap).
+    pub overflow_pushes: u64,
+    /// Overflow entries migrated into the ring as the window advanced.
+    pub migrations: u64,
+    /// Queue entries discarded because their task had already finished
+    /// (a wake raced completion).
+    pub stale_skips: u64,
+    /// Wakes that arrived from other OS threads via the mailbox.
+    pub cross_thread_wakes: u64,
+}
+
 /// Result of [`SimExecutor::run`].
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
@@ -110,6 +185,8 @@ pub struct RunOutcome {
     /// One entry per still-live task when the run did not complete
     /// (livelock/deadlock/step-budget); empty on [`RunStatus::Completed`].
     pub stalls: Vec<TaskStall>,
+    /// Scheduler-internals counters (see [`SchedStats`]).
+    pub sched: SchedStats,
 }
 
 /// Task futures need not be `Send`: the simulator is single-threaded, and
@@ -119,7 +196,7 @@ type TaskFuture = Pin<Box<dyn Future<Output = ()>>>;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TaskState {
-    /// Has an entry in the run queue.
+    /// Has an entry in the run queue (or is the held-back pending-self).
     Scheduled,
     /// Currently being polled by the executor.
     Running,
@@ -143,8 +220,79 @@ struct TaskSlot {
     fault_draws: u64,
 }
 
+/// A self-scheduled activation held back from the queue by the coalescing
+/// optimisation. Its tie-break was drawn (and its sequence number taken) at
+/// exactly the same point the queue push would have happened, so activation
+/// order is bit-identical whether or not it ever touches the queue.
+#[derive(Debug, Clone, Copy)]
+struct PendingSelf {
+    at: u64,
+    tiebreak: u64,
+    seq: u64,
+    task: u32,
+}
+
+/// Event queue: the timer wheel, or the original binary heap retained as
+/// the differential-testing baseline. Both pop ascending
+/// `(at, tiebreak, seq)`.
+// The wheel's inline ring (~17 KiB) dwarfs the heap variant, but exactly one
+// EventQueue exists per executor and it sits on the hottest path in the
+// repo — boxing it would buy nothing and cost an indirection per step.
+#[allow(clippy::large_enum_variant)]
+enum EventQueue {
+    Wheel(TimerWheel),
+    Heap(BinaryHeap<Reverse<(u64, u64, u64, u32)>>),
+}
+
+impl EventQueue {
+    fn new(kind: SchedulerKind) -> Self {
+        match kind {
+            SchedulerKind::TimerWheel => Self::Wheel(TimerWheel::new()),
+            SchedulerKind::ReferenceHeap => Self::Heap(BinaryHeap::new()),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, at: u64, tiebreak: u64, seq: u64, task: u32) {
+        match self {
+            Self::Wheel(w) => w.push(at, tiebreak, seq, task),
+            Self::Heap(h) => h.push(Reverse((at, tiebreak, seq, task))),
+        }
+    }
+
+    #[inline]
+    fn pop_min(&mut self) -> Option<(u64, u64, u64, u32)> {
+        match self {
+            Self::Wheel(w) => w.pop_min(),
+            Self::Heap(h) => h.pop().map(|Reverse(k)| k),
+        }
+    }
+
+    /// Advance the wheel window past a coalesced activation that never
+    /// entered the queue (no-op for the heap).
+    #[inline]
+    fn advance_to(&mut self, at: u64) {
+        if let Self::Wheel(w) = self {
+            w.advance_to(at);
+        }
+    }
+
+    fn fold_stats(&self, sched: &mut SchedStats) {
+        if let Self::Wheel(w) = self {
+            let s = w.stats();
+            sched.ring_pushes = s.ring_pushes;
+            sched.overflow_pushes = s.overflow_pushes;
+            sched.migrations = s.migrations;
+        }
+    }
+}
+
 struct Inner {
-    queue: BinaryHeap<Reverse<(u64, u64, u64, usize)>>, // (vtime, tiebreak, seq, task)
+    queue: EventQueue,
+    /// Held-back self-schedule from the poll that just returned (see
+    /// [`PendingSelf`]); always consumed before the next poll starts.
+    pending_self: Option<PendingSelf>,
+    coalesce: bool,
     tasks: Vec<TaskSlot>,
     now: u64,
     seq: u64,
@@ -153,11 +301,14 @@ struct Inner {
     plan: Option<FaultPlan>,
     faults: FaultStats,
     fault_log: Vec<FaultRecord>,
+    sched: SchedStats,
+    /// Reusable drain buffer for the cross-thread mailbox.
+    mailbox_scratch: Vec<u32>,
 }
 
 impl Inner {
-    fn schedule(&mut self, task: usize, at: u64) {
-        let slot = &mut self.tasks[task];
+    fn schedule(&mut self, task: u32, at: u64) {
+        let slot = &mut self.tasks[task as usize];
         match slot.state {
             TaskState::Scheduled | TaskState::Done => return,
             TaskState::Running => {
@@ -170,26 +321,42 @@ impl Inner {
         slot.state = TaskState::Scheduled;
         let tiebreak = self.rng.next_u64();
         self.seq += 1;
-        self.queue
-            .push(Reverse((at.max(self.now), tiebreak, self.seq, task)));
+        self.queue.push(at.max(self.now), tiebreak, self.seq, task);
     }
 
-    fn push_entry(&mut self, task: usize, at: u64) {
-        // Used for self-scheduling from `charge`: the task is Running and is
-        // about to return Pending with a queue entry already in place.
-        self.tasks[task].state = TaskState::Scheduled;
+    /// Self-scheduling from `charge`: the task is Running and about to
+    /// return Pending. The tie-break is drawn and the sequence number taken
+    /// *here*, unconditionally — the coalescing path below only defers the
+    /// queue push, never the draw, so the RNG stream is identical with
+    /// coalescing on or off (and identical to the pre-wheel executor).
+    fn self_schedule(&mut self, task: u32, at: u64) {
+        self.tasks[task as usize].state = TaskState::Scheduled;
         let tiebreak = self.rng.next_u64();
         self.seq += 1;
-        self.queue
-            .push(Reverse((at.max(self.now), tiebreak, self.seq, task)));
+        let at = at.max(self.now);
+        if self.coalesce {
+            if let Some(p) = self.pending_self.take() {
+                // Second self-schedule within one poll (join-style
+                // combinators): flush the first into the queue.
+                self.queue.push(p.at, p.tiebreak, p.seq, p.task);
+            }
+            self.pending_self = Some(PendingSelf {
+                at,
+                tiebreak,
+                seq: self.seq,
+                task,
+            });
+        } else {
+            self.queue.push(at, tiebreak, self.seq, task);
+        }
     }
 
     /// One fault draw for `task` (priority panic → abort → delay). Every
     /// call consumes exactly the same amount of per-task randomness
     /// regardless of outcome, keeping draw sequences schedule-independent.
-    fn draw_fault(&mut self, task: usize) -> Option<FaultEvent> {
+    fn draw_fault(&mut self, task: u32) -> Option<FaultEvent> {
         let plan = self.plan?;
-        let slot = &mut self.tasks[task];
+        let slot = &mut self.tasks[task as usize];
         let rng = slot.fault_rng.as_mut()?;
         let draw = slot.fault_draws;
         slot.fault_draws += 1;
@@ -212,26 +379,99 @@ impl Inner {
         } else {
             return None;
         };
-        self.fault_log.push(FaultRecord { task, draw, event });
+        self.fault_log.push(FaultRecord {
+            task: task as usize,
+            draw,
+            event,
+        });
         Some(event)
     }
 }
 
-pub(crate) struct Shared {
-    inner: Mutex<Inner>,
+thread_local! {
+    /// Cached id of the current OS thread; `thread::current()` clones an
+    /// `Arc` on every call, which is too hot for the waker fast path.
+    static THREAD_ID: Cell<Option<ThreadId>> = const { Cell::new(None) };
 }
 
+#[inline]
+fn current_thread_id() -> ThreadId {
+    THREAD_ID.with(|c| match c.get() {
+        Some(id) => id,
+        None => {
+            let id = std::thread::current().id();
+            c.set(Some(id));
+            id
+        }
+    })
+}
+
+/// Cross-thread wake mailbox: the only executor entry point that may be hit
+/// from a foreign OS thread (a real-mode thread calling
+/// [`crate::Notify::notify_all`] on an event a sim task waits on).
+struct Mailbox {
+    /// Fast-path hint checked each loop iteration; mutations happen under
+    /// `queue`'s lock, so the flag never claims emptiness while a wake is
+    /// buffered.
+    dirty: AtomicBool,
+    queue: Mutex<Vec<u32>>,
+}
+
+/// Executor state shared with wakers.
+///
+/// The state proper lives in an `UnsafeCell` accessed without locking. The
+/// safety discipline: `state` is only ever touched from the thread that
+/// created the executor (`owner`). That holds because (a) `SimExecutor` is
+/// `!Send` (it owns `!Send` task futures), (b) `SimHandle` is `!Send` by
+/// construction, and (c) wakers — the only `Send` entry point — check the
+/// current thread id and divert foreign-thread wakes into the mailbox.
+pub(crate) struct Shared {
+    state: UnsafeCell<Inner>,
+    owner: ThreadId,
+    mailbox: Mailbox,
+}
+
+// SAFETY: `Inner` is only accessed on `owner` (see the struct docs); the
+// mailbox is internally synchronised. All of `Inner`'s fields are `Send`,
+// so dropping a `Shared` on a foreign thread (via the last waker clone) is
+// sound.
+unsafe impl Send for Shared {}
+// SAFETY: as above — `&Shared` only exposes owner-thread state access plus
+// the synchronised mailbox.
+unsafe impl Sync for Shared {}
+
 impl Shared {
-    pub(crate) fn wake_task(&self, task: usize) {
-        let mut inner = self.inner.lock();
-        let at = inner.now;
-        inner.schedule(task, at);
+    /// Exclusive access to the executor state.
+    ///
+    /// # Safety
+    /// Caller must be on the owner thread and must not overlap the returned
+    /// borrow with another one (all call sites use short, non-reentrant
+    /// scopes; user code — task polls, stall probes — runs with no borrow
+    /// live).
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn state(&self) -> &mut Inner {
+        unsafe { &mut *self.state.get() }
+    }
+
+    pub(crate) fn wake_task(&self, task: u32) {
+        if current_thread_id() == self.owner {
+            // SAFETY: owner thread; wakes fire from task polls, notify_all
+            // or user code outside `run`, none of which hold a state borrow.
+            let inner = unsafe { self.state() };
+            let at = inner.now;
+            inner.schedule(task, at);
+        } else {
+            let mut q = self.mailbox.queue.lock();
+            q.push(task);
+            self.mailbox.dirty.store(true, Ordering::Release);
+        }
     }
 }
 
 struct SimWaker {
     shared: Arc<Shared>,
-    task: usize,
+    task: u32,
 }
 
 impl Wake for SimWaker {
@@ -245,37 +485,48 @@ impl Wake for SimWaker {
 }
 
 /// Per-task handle embedded in [`crate::Rt::Sim`].
+///
+/// `!Send` by construction: handles call straight into the lock-free
+/// executor state, which is only sound from the executor's own thread. Task
+/// futures never cross threads (the executor is single-threaded and real
+/// mode builds its futures on each worker thread), so this costs nothing.
 #[derive(Clone)]
 pub struct SimHandle {
     shared: Arc<Shared>,
-    task: usize,
+    task: u32,
+    _not_send: PhantomData<*const ()>,
 }
 
 impl SimHandle {
     /// Current virtual time.
     #[inline]
     pub fn now(&self) -> u64 {
-        self.shared.inner.lock().now
+        // SAFETY: `!Send` pins us to the owner thread; the borrow ends
+        // before this call returns.
+        unsafe { self.shared.state() }.now
     }
 
     /// Logical thread index (== spawn order).
     pub fn thread_index(&self) -> usize {
-        self.task
+        self.task as usize
     }
 
     /// Schedules this task to resume `cost` virtual cycles from now. Called
     /// by [`crate::Step`]'s first poll; the accompanying `Pending` hands
     /// control back to the executor.
     pub(crate) fn schedule_self_after(&self, cost: u64) {
-        let mut inner = self.shared.inner.lock();
+        // SAFETY: owner thread (handle is `!Send`); called from inside a
+        // task poll, where the executor holds no state borrow.
+        let inner = unsafe { self.shared.state() };
         let at = inner.now.saturating_add(cost);
-        inner.push_entry(self.task, at);
+        inner.self_schedule(self.task, at);
     }
 
     /// Draws the next injected fault for this task, if any (see
     /// [`crate::fault`]).
     pub(crate) fn take_fault(&self) -> Option<FaultEvent> {
-        self.shared.inner.lock().draw_fault(self.task)
+        // SAFETY: as in `schedule_self_after`.
+        unsafe { self.shared.state() }.draw_fault(self.task)
     }
 }
 
@@ -297,8 +548,12 @@ impl SimHandle {
 pub struct SimExecutor {
     shared: Arc<Shared>,
     /// Futures live outside `shared` so wakers (which must be `Send+Sync`)
-    /// never touch them.
+    /// never touch them. Each future is polled in place; the slot is only
+    /// cleared when the task finishes.
     futures: Vec<Option<TaskFuture>>,
+    /// One waker per task, created at spawn and reused across every poll —
+    /// steady-state stepping must not allocate.
+    wakers: Vec<Waker>,
     config: SimConfig,
     spawned: usize,
     /// Optional context hook for stall diagnostics: called once per
@@ -311,8 +566,10 @@ impl SimExecutor {
     pub fn new(config: SimConfig) -> Self {
         Self {
             shared: Arc::new(Shared {
-                inner: Mutex::new(Inner {
-                    queue: BinaryHeap::new(),
+                state: UnsafeCell::new(Inner {
+                    queue: EventQueue::new(config.scheduler),
+                    pending_self: None,
+                    coalesce: config.coalesce,
                     tasks: Vec::new(),
                     now: 0,
                     seq: 0,
@@ -321,9 +578,17 @@ impl SimExecutor {
                     plan: config.fault_plan,
                     faults: FaultStats::default(),
                     fault_log: Vec::new(),
+                    sched: SchedStats::default(),
+                    mailbox_scratch: Vec::new(),
                 }),
+                owner: current_thread_id(),
+                mailbox: Mailbox {
+                    dirty: AtomicBool::new(false),
+                    queue: Mutex::new(Vec::new()),
+                },
             }),
             futures: Vec::new(),
+            wakers: Vec::new(),
             config,
             spawned: 0,
             stall_probe: None,
@@ -347,19 +612,26 @@ impl SimExecutor {
         F: FnOnce(crate::Rt) -> Fut,
         Fut: Future<Output = ()> + 'static,
     {
-        let task = self.spawned;
+        assert!(self.spawned < u32::MAX as usize, "task id space exhausted");
+        let task = self.spawned as u32;
         self.spawned += 1;
         let handle = SimHandle {
             shared: Arc::clone(&self.shared),
             task,
+            _not_send: PhantomData,
         };
         self.futures.push(Some(Box::pin(f(crate::Rt::Sim(handle)))));
-        let mut inner = self.shared.inner.lock();
+        self.wakers.push(Waker::from(Arc::new(SimWaker {
+            shared: Arc::clone(&self.shared),
+            task,
+        })));
         let fault_rng = self
             .config
             .fault_plan
             .as_ref()
-            .map(|p| p.rng_for_task(task));
+            .map(|p| p.rng_for_task(task as usize));
+        // SAFETY: owner thread; no other state borrow is live here.
+        let inner = unsafe { self.shared.state() };
         inner.tasks.push(TaskSlot {
             state: TaskState::Waiting, // schedule() below flips it
             wake_pending: false,
@@ -371,34 +643,149 @@ impl SimExecutor {
         inner.schedule(task, 0);
     }
 
+    /// Moves buffered cross-thread wakes into the scheduler at the current
+    /// virtual time. Buffers ping-pong so the steady state never allocates.
+    fn drain_mailbox(shared: &Shared, inner: &mut Inner) {
+        let mut scratch = std::mem::take(&mut inner.mailbox_scratch);
+        {
+            let mut q = shared.mailbox.queue.lock();
+            std::mem::swap(&mut *q, &mut scratch);
+            shared.mailbox.dirty.store(false, Ordering::Release);
+        }
+        inner.sched.cross_thread_wakes += scratch.len() as u64;
+        for &task in &scratch {
+            let at = inner.now;
+            inner.schedule(task, at);
+        }
+        scratch.clear();
+        inner.mailbox_scratch = scratch;
+    }
+
+    /// Marks `task` running at `vtime` and returns it.
+    fn activate(inner: &mut Inner, task: u32, vtime: u64) -> u32 {
+        inner.now = inner.now.max(vtime);
+        let now = inner.now;
+        let slot = &mut inner.tasks[task as usize];
+        slot.state = TaskState::Running;
+        slot.wake_pending = false;
+        slot.last_progress = now;
+        task
+    }
+
+    /// Selects the next activation: the held-back pending-self if it beats
+    /// the queue minimum (the coalescing fast path), else the queue minimum.
+    /// Either way the choice is exactly the global `(vtime, tiebreak, seq)`
+    /// minimum, so activation order matches a queue-only executor
+    /// bit-for-bit.
+    ///
+    /// Shape: pop the queue minimum once, compare against the pending-self,
+    /// and re-push the loser — one ordered-queue scan plus one O(1) push per
+    /// step, instead of peek-then-pop's two scans.
+    fn pick_next(inner: &mut Inner, cap: Option<u64>) -> Result<u32, RunStatus> {
+        if let Some(p) = inner.pending_self {
+            if inner.tasks[p.task as usize].state != TaskState::Scheduled {
+                // The task died mid-poll (injected panic under
+                // PanicPolicy::Isolate); its activation is void.
+                inner.pending_self = None;
+            }
+        }
+        loop {
+            let (vtime, task) = match inner.queue.pop_min() {
+                Some((at, tb, sq, task)) => {
+                    // Entries for finished tasks can linger if a wake raced
+                    // completion; skip them.
+                    if inner.tasks[task as usize].state != TaskState::Scheduled {
+                        inner.sched.stale_skips += 1;
+                        continue;
+                    }
+                    match inner.pending_self.take() {
+                        Some(p) if (p.at, p.tiebreak, p.seq) < (at, tb, sq) => {
+                            // Coalesce: the just-polled task goes again; the
+                            // popped entry returns unchanged (the window has
+                            // not moved, so it still fits its ring slot).
+                            inner.sched.coalesced += 1;
+                            inner.queue.push(at, tb, sq, task);
+                            (p.at, p.task)
+                        }
+                        Some(p) => {
+                            inner.queue.push(p.at, p.tiebreak, p.seq, p.task);
+                            (at, task)
+                        }
+                        None => (at, task),
+                    }
+                }
+                None => match inner.pending_self.take() {
+                    Some(p) => {
+                        inner.sched.coalesced += 1;
+                        (p.at, p.task)
+                    }
+                    None => {
+                        return Err(if inner.live == 0 {
+                            RunStatus::Completed
+                        } else {
+                            RunStatus::Deadlock
+                        });
+                    }
+                },
+            };
+            if cap.is_some_and(|c| vtime > c) {
+                return Err(RunStatus::Livelock);
+            }
+            let task = Self::activate(inner, task, vtime);
+            inner.queue.advance_to(inner.now);
+            return Ok(task);
+        }
+    }
+
     /// Builds the final outcome, attaching per-task stall diagnostics when
     /// the run did not complete.
     fn build_outcome(&self, status: RunStatus, steps: u64) -> RunOutcome {
-        let mut inner = self.shared.inner.lock();
-        let stalls = if status == RunStatus::Completed {
-            Vec::new()
-        } else {
-            inner
-                .tasks
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| s.state != TaskState::Done)
-                .map(|(task, s)| TaskStall {
-                    task,
-                    last_progress: s.last_progress,
-                    waiting: s.state == TaskState::Waiting,
-                    detail: self.stall_probe.as_ref().and_then(|p| p(task)),
-                })
-                .collect()
+        // Collect raw data first, then run the stall probe with no state
+        // borrow live: the probe is arbitrary user code that may call back
+        // into handles (e.g. `rt.now()`) or Notify.
+        let (vtime, tasks_remaining, faults, fault_log, sched, raw_stalls) = {
+            // SAFETY: owner thread; scoped borrow.
+            let inner = unsafe { self.shared.state() };
+            let raw: Vec<(usize, u64, bool)> = if status == RunStatus::Completed {
+                Vec::new()
+            } else {
+                inner
+                    .tasks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.state != TaskState::Done)
+                    .map(|(task, s)| (task, s.last_progress, s.state == TaskState::Waiting))
+                    .collect()
+            };
+            let mut sched = inner.sched;
+            inner.queue.fold_stats(&mut sched);
+            (
+                inner.now,
+                inner.live,
+                inner.faults,
+                std::mem::take(&mut inner.fault_log),
+                sched,
+                raw,
+            )
         };
+        let stalls = raw_stalls
+            .into_iter()
+            .map(|(task, last_progress, waiting)| TaskStall {
+                task,
+                last_progress,
+                waiting,
+                detail: self.stall_probe.as_ref().and_then(|p| p(task)),
+            })
+            .collect();
         RunOutcome {
             status,
-            vtime: inner.now,
-            tasks_remaining: inner.live,
+            vtime,
+            tasks_remaining,
             steps,
-            faults: inner.faults,
-            fault_log: std::mem::take(&mut inner.fault_log),
+            faults,
+            fault_log,
             stalls,
+            sched,
         }
     }
 
@@ -415,58 +802,29 @@ impl SimExecutor {
                 return self.build_outcome(RunStatus::StepBudgetExhausted, steps);
             }
 
-            // Pop the next activation without holding the lock across the poll.
-            let popped = {
-                let mut inner = self.shared.inner.lock();
-                let entry = loop {
-                    match inner.queue.pop() {
-                        Some(Reverse(e)) => {
-                            // Entries for finished tasks can linger if a wake
-                            // raced completion; skip them.
-                            if inner.tasks[e.3].state == TaskState::Scheduled {
-                                break Some(e);
-                            }
-                        }
-                        None => break None,
-                    }
-                };
-                match entry {
-                    None => {
-                        let status = if inner.live == 0 {
-                            RunStatus::Completed
-                        } else {
-                            RunStatus::Deadlock
-                        };
-                        Err(status)
-                    }
-                    Some((vtime, _tie, _seq, task)) => {
-                        if self.config.vtime_cap.is_some_and(|cap| vtime > cap) {
-                            Err(RunStatus::Livelock)
-                        } else {
-                            inner.now = inner.now.max(vtime);
-                            let now = inner.now;
-                            let slot = &mut inner.tasks[task];
-                            slot.state = TaskState::Running;
-                            slot.wake_pending = false;
-                            slot.last_progress = now;
-                            Ok(task)
-                        }
-                    }
+            let picked = {
+                // SAFETY: owner thread; this borrow ends before the poll.
+                let inner = unsafe { self.shared.state() };
+                if self.shared.mailbox.dirty.load(Ordering::Acquire) {
+                    Self::drain_mailbox(&self.shared, inner);
                 }
+                Self::pick_next(inner, self.config.vtime_cap)
             };
-            let task = match popped {
-                Ok(task) => task,
+            let task = match picked {
+                Ok(task) => task as usize,
+                Err(RunStatus::Deadlock) if self.shared.mailbox.dirty.load(Ordering::Acquire) => {
+                    // A cross-thread wake landed after the drain; it can
+                    // still unblock us, so re-run the selection.
+                    continue;
+                }
                 Err(status) => return self.build_outcome(status, steps),
             };
 
             steps += 1;
-            let waker = Waker::from(Arc::new(SimWaker {
-                shared: Arc::clone(&self.shared),
-                task,
-            }));
-            let mut cx = Context::from_waker(&waker);
-            let mut fut = self.futures[task]
-                .take()
+            let waker = &self.wakers[task];
+            let mut cx = Context::from_waker(waker);
+            let fut = self.futures[task]
+                .as_mut()
                 .expect("scheduled task has a future");
             let poll = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 fut.as_mut().poll(&mut cx)
@@ -475,12 +833,15 @@ impl SimExecutor {
             let poll = match poll {
                 Ok(poll) => poll,
                 Err(payload) => {
-                    // The unwind already ran the task future's drop guards
-                    // (gate release, transaction rollback); account for the
-                    // death, then propagate or isolate per policy.
-                    drop(fut);
+                    // Drop the future first — the unwind already ran its
+                    // drop guards (gate release, transaction rollback), but
+                    // dropping the storage may still wake other tasks, so it
+                    // must happen with no state borrow live. Then account
+                    // for the death and propagate or isolate per policy.
+                    self.futures[task] = None;
                     {
-                        let mut inner = self.shared.inner.lock();
+                        // SAFETY: owner thread; scoped borrow.
+                        let inner = unsafe { self.shared.state() };
                         inner.tasks[task].state = TaskState::Done;
                         inner.live -= 1;
                         inner.faults.tasks_killed_by_panic += 1;
@@ -492,15 +853,20 @@ impl SimExecutor {
                 }
             };
 
-            let mut inner = self.shared.inner.lock();
-            let slot = &mut inner.tasks[task];
             match poll {
                 Poll::Ready(()) => {
-                    slot.state = TaskState::Done;
+                    // Drop the finished future with no state borrow live
+                    // (its drop may wake other tasks).
+                    self.futures[task] = None;
+                    // SAFETY: owner thread; scoped borrow.
+                    let inner = unsafe { self.shared.state() };
+                    inner.tasks[task].state = TaskState::Done;
                     inner.live -= 1;
                 }
                 Poll::Pending => {
-                    self.futures[task] = Some(fut);
+                    // SAFETY: owner thread; scoped borrow.
+                    let inner = unsafe { self.shared.state() };
+                    let slot = &mut inner.tasks[task];
                     match slot.state {
                         TaskState::Scheduled => {} // self-scheduled via charge()
                         TaskState::Running => {
@@ -508,7 +874,7 @@ impl SimExecutor {
                                 slot.state = TaskState::Waiting;
                                 slot.wake_pending = false;
                                 let at = inner.now;
-                                inner.schedule(task, at);
+                                inner.schedule(task as u32, at);
                             } else {
                                 slot.state = TaskState::Waiting;
                             }
@@ -527,7 +893,7 @@ impl SimExecutor {
 mod tests {
     use super::*;
     use crate::{Notify, Rt};
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
     #[test]
     fn empty_run_completes_at_time_zero() {
@@ -594,33 +960,158 @@ mod tests {
         assert_eq!(log[2], (25, 1));
     }
 
+    fn seeded_trace(config: SimConfig, n_tasks: usize, steps: u64) -> Vec<(u64, usize)> {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut ex = SimExecutor::new(config);
+        for i in 0..n_tasks {
+            let log = Arc::clone(&log);
+            ex.spawn(move |rt: Rt| async move {
+                for _ in 0..steps {
+                    rt.charge(10).await; // all ties — order set by seed
+                    log.lock().push((rt.now(), i));
+                }
+            });
+        }
+        ex.run();
+        let v = log.lock().clone();
+        v
+    }
+
     #[test]
     fn deterministic_given_seed() {
-        fn trace(seed: u64) -> Vec<(u64, usize)> {
-            let log = Arc::new(Mutex::new(Vec::new()));
-            let mut ex = SimExecutor::new(SimConfig {
-                seed,
-                ..Default::default()
-            });
-            for i in 0..4usize {
-                let log = Arc::clone(&log);
-                ex.spawn(move |rt: Rt| async move {
-                    for _ in 0..8 {
-                        rt.charge(10).await; // all ties — order set by seed
-                        log.lock().push((rt.now(), i));
-                    }
-                });
-            }
-            ex.run();
-            let v = log.lock().clone();
-            v
-        }
+        let trace = |seed: u64| {
+            seeded_trace(
+                SimConfig {
+                    seed,
+                    ..Default::default()
+                },
+                4,
+                8,
+            )
+        };
         assert_eq!(trace(7), trace(7));
         assert_ne!(
             trace(7),
             trace(8),
             "different seeds should break ties differently"
         );
+    }
+
+    #[test]
+    fn wheel_heap_and_coalescing_agree_on_schedule() {
+        // The tie-heavy workload exercises tie-break ordering hardest; all
+        // four scheduler configurations must produce the identical trace.
+        // (The broad fuzzed version lives in tests/differential.rs.)
+        for seed in [1u64, 7, 1234, 0xdead_beef] {
+            let traces: Vec<_> = [
+                (SchedulerKind::TimerWheel, true),
+                (SchedulerKind::TimerWheel, false),
+                (SchedulerKind::ReferenceHeap, true),
+                (SchedulerKind::ReferenceHeap, false),
+            ]
+            .into_iter()
+            .map(|(scheduler, coalesce)| {
+                seeded_trace(
+                    SimConfig {
+                        seed,
+                        scheduler,
+                        coalesce,
+                        ..Default::default()
+                    },
+                    5,
+                    12,
+                )
+            })
+            .collect();
+            assert_eq!(
+                traces[0], traces[1],
+                "seed {seed}: coalescing changed order"
+            );
+            assert_eq!(traces[0], traces[2], "seed {seed}: wheel != heap");
+            assert_eq!(traces[0], traces[3], "seed {seed}: wheel != heap(off)");
+        }
+    }
+
+    #[test]
+    fn sched_stats_count_coalesced_steps() {
+        // A single task charging in a straight line is the best case for
+        // coalescing: every re-enqueue after warm-up is the global minimum.
+        let mut ex = SimExecutor::new(SimConfig::default());
+        ex.spawn(|rt: Rt| async move {
+            for _ in 0..100 {
+                rt.charge(3).await;
+            }
+        });
+        let out = ex.run();
+        assert_eq!(out.status, RunStatus::Completed);
+        assert!(
+            out.sched.coalesced >= 99,
+            "straight-line charges should coalesce: {:?}",
+            out.sched
+        );
+        let mut ex = SimExecutor::new(SimConfig {
+            coalesce: false,
+            ..Default::default()
+        });
+        ex.spawn(|rt: Rt| async move {
+            for _ in 0..100 {
+                rt.charge(3).await;
+            }
+        });
+        assert_eq!(ex.run().sched.coalesced, 0);
+    }
+
+    #[test]
+    fn far_future_charges_route_through_overflow() {
+        let mut ex = SimExecutor::new(SimConfig::default());
+        for _ in 0..2 {
+            ex.spawn(|rt: Rt| async move {
+                for _ in 0..5 {
+                    rt.charge(1_000_000).await; // far beyond the ring window
+                }
+            });
+        }
+        let out = ex.run();
+        assert_eq!(out.status, RunStatus::Completed);
+        assert_eq!(out.vtime, 5_000_000);
+        assert!(out.sched.overflow_pushes > 0, "{:?}", out.sched);
+    }
+
+    #[test]
+    fn cross_thread_wake_via_mailbox() {
+        // A real OS thread notifies a sim task: the wake must route through
+        // the mailbox and unblock the waiter while the loop is live.
+        let notify = Arc::new(Notify::new());
+        let woken = Arc::new(AtomicBool::new(false));
+        let mut ex = SimExecutor::new(SimConfig::default());
+        {
+            let n = Arc::clone(&notify);
+            let woken = Arc::clone(&woken);
+            ex.spawn(move |rt: Rt| async move {
+                let epoch = n.epoch();
+                rt.wait(&n, epoch).await;
+                woken.store(true, Ordering::SeqCst);
+            });
+        }
+        {
+            // Keeps the run loop spinning until the wake lands; without a
+            // live task the executor would (correctly) declare deadlock.
+            let woken = Arc::clone(&woken);
+            ex.spawn(move |rt: Rt| async move {
+                while !woken.load(Ordering::SeqCst) {
+                    rt.charge(10).await;
+                }
+            });
+        }
+        let n = Arc::clone(&notify);
+        let notifier = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            n.notify_all();
+        });
+        let out = ex.run();
+        notifier.join().unwrap();
+        assert_eq!(out.status, RunStatus::Completed);
+        assert!(woken.load(Ordering::SeqCst));
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! unused. `CycleSource` abstracts over the two so the RAC controller is
 //! agnostic.
 
-/// Reads the timestamp counter on x86-64; falls back to a monotonic
-/// nanosecond clock elsewhere (nanoseconds are a fine stand-in because δ(Q)
-/// is a unit-free ratio).
+/// Reads the timestamp counter on x86-64, the generic-timer virtual counter
+/// (`cntvct_el0`) on aarch64, and falls back to a monotonic nanosecond clock
+/// elsewhere (nanoseconds are a fine stand-in because δ(Q) is a unit-free
+/// ratio — only counter *deltas* are ever compared).
 #[inline]
 pub fn rdtsc() -> u64 {
     #[cfg(target_arch = "x86_64")]
@@ -17,7 +18,22 @@ pub fn rdtsc() -> u64 {
     unsafe {
         core::arch::x86_64::_rdtsc()
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(target_arch = "aarch64")]
+    {
+        let v: u64;
+        // SAFETY: `cntvct_el0` is the architected virtual counter; EL0 reads
+        // are enabled by every mainstream OS (Linux sets CNTKCTL_EL1.EL0VCTEN)
+        // and the read has no side effects.
+        unsafe {
+            core::arch::asm!(
+                "mrs {v}, cntvct_el0",
+                v = out(reg) v,
+                options(nomem, nostack, preserves_flags),
+            );
+        }
+        v
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
     {
         use std::time::Instant;
         static START: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
@@ -62,6 +78,18 @@ mod tests {
         std::hint::black_box(x);
         let b = rdtsc();
         assert!(b > a, "rdtsc did not advance: {a} -> {b}");
+    }
+
+    #[test]
+    fn rdtsc_never_runs_backwards() {
+        // The aarch64 generic timer can tick at tens of MHz, so consecutive
+        // reads may tie — but the counter must never decrease.
+        let mut prev = rdtsc();
+        for _ in 0..10_000 {
+            let cur = rdtsc();
+            assert!(cur >= prev, "counter went backwards: {prev} -> {cur}");
+            prev = cur;
+        }
     }
 
     #[test]

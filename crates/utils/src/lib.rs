@@ -14,6 +14,7 @@ pub mod inline;
 pub mod pad;
 pub mod rng;
 pub mod sync;
+pub mod wheel;
 
 pub use backoff::{Backoff, JitterBackoff};
 pub use cycles::{rdtsc, CycleSource};
@@ -22,3 +23,4 @@ pub use inline::InlineVec;
 pub use pad::CachePadded;
 pub use rng::{SplitMix64, XorShift64};
 pub use sync::{Mutex, MutexGuard};
+pub use wheel::{TimerWheel, WheelStats, WHEEL_SLOTS};
