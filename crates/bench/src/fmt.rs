@@ -3,7 +3,7 @@
 
 use votm_sim::RunStatus;
 
-use crate::{AdaptiveRow, SweepRow};
+use crate::{AdaptiveRow, GateRow, SweepRow};
 
 /// Formats a count the way the paper does: `3.2m`, `5.26G`, `49.8T`.
 pub fn count(x: u64) -> String {
@@ -194,6 +194,53 @@ pub fn adaptive_table(title: &str, rows: &[AdaptiveRow]) -> String {
         ]);
     }
     out.push_str(&markdown(&lines));
+    out
+}
+
+/// Renders the per-policy contention-management comparison from the gate's
+/// rows (the `policy_table.md` CI artifact). Only single-view rows at the
+/// largest gated N are comparable across policies, so the table keeps the
+/// matching backoff rows and all policy rows.
+pub fn policy_table(rows: &[GateRow]) -> String {
+    let n = rows.iter().map(|r| r.n_threads).max().unwrap_or(0);
+    let mut out = format!(
+        "### Contention-management policy comparison — single-view Eigenbench, N={n}, \
+         adaptive quota\n\n"
+    );
+    let mut lines = vec![vec![
+        "algo".to_string(),
+        "policy".to_string(),
+        "status".to_string(),
+        "txns/vsec".to_string(),
+        "abort rate".to_string(),
+        "#tx".to_string(),
+        "#abort".to_string(),
+        "commit p50/p99 (cyc)".to_string(),
+    ]];
+    for r in rows {
+        if r.version != "single-view" || r.n_threads != n {
+            continue;
+        }
+        lines.push(vec![
+            r.algo.to_string(),
+            r.policy.to_string(),
+            format!("{:?}", r.status),
+            format!("{:.1}", r.txns_per_vsec),
+            format!("{:.3}", r.abort_rate),
+            count(r.commits),
+            count(r.aborts),
+            format!(
+                "{}/{}",
+                count(r.commit_p50_cycles),
+                count(r.commit_p99_cycles)
+            ),
+        ]);
+    }
+    out.push_str(&markdown(&lines));
+    out.push_str(
+        "\nBackoff rows aggregate the gate's seed sweep; policy rows are single-seed \
+         comparison runs (see BENCH_5.json for the raw fields).\n",
+    );
     out
 }
 

@@ -20,7 +20,7 @@ pub mod harness;
 
 use std::sync::Arc;
 
-use votm::{FlightRecorder, QuotaMode, TmAlgorithm, ViewStats};
+use votm::{CmPolicy, FlightRecorder, QuotaMode, TmAlgorithm, ViewStats};
 use votm_eigenbench::{EigenConfig, EigenResult};
 use votm_intruder::{GenConfig, Input, IntruderResult};
 use votm_obs::export::{self, ViewReport};
@@ -139,13 +139,14 @@ fn eigen_run_recorded(
     cap: Option<u64>,
     recorder: Option<Arc<FlightRecorder>>,
 ) -> EigenResult {
-    votm_eigenbench::run_sim_recorded(
+    votm_eigenbench::run_sim_cm(
         &settings.eigen_config(),
         algo,
         version,
         quotas,
         settings.sim(cap),
         recorder,
+        CmPolicy::Backoff,
     )
 }
 
@@ -451,6 +452,10 @@ pub fn thread_scaling(settings: &Settings) -> Vec<(u32, f64, f64)> {
 pub struct GateRow {
     /// STM algorithm name.
     pub algo: &'static str,
+    /// Contention-management policy the row ran under
+    /// ([`CmPolicy::name`]). `"backoff"` rows are the regression-gated
+    /// default; the other policies are comparison rows.
+    pub policy: &'static str,
     /// Eigenbench version label ("single-view" = 1 view, "multi-view" = 2).
     pub version: &'static str,
     /// Number of views the version partitions memory into.
@@ -506,10 +511,103 @@ pub const GATE_THREADS: [u32; 2] = [4, 16];
 /// to keep the trajectory metric stable across PRs.
 pub const GATE_SEEDS: u64 = 3;
 
+/// One aggregated gate configuration: `algo` × `version` × `n` threads ×
+/// `policy`, summed over `n_seeds` consecutive seeds.
+fn gate_config_row(
+    settings: &Settings,
+    algo: TmAlgorithm,
+    version: votm_eigenbench::Version,
+    n: u32,
+    n_seeds: u64,
+    policy: CmPolicy,
+) -> GateRow {
+    let t0 = std::time::Instant::now();
+    let mut status = RunStatus::Completed;
+    let mut n_views = 0u32;
+    let (mut commits, mut aborts, mut vtime) = (0u64, 0u64, 0u64);
+    let (mut fast, mut slow) = (0u64, 0u64);
+    let (mut busy, mut gate_wait) = (0u64, 0u64);
+    let (mut sim_steps, mut coalesced) = (0u64, 0u64);
+    let mut commit_hist = HistogramSnapshot::default();
+    for seed_off in 0..n_seeds {
+        let mut s = *settings;
+        s.n_threads = n;
+        s.seed = settings.seed.wrapping_add(seed_off);
+        let recorder = Arc::new(FlightRecorder::with_default_capacity(n as usize));
+        let res = votm_eigenbench::run_sim_cm(
+            &s.eigen_config(),
+            algo,
+            version,
+            [QuotaMode::Adaptive, QuotaMode::Adaptive],
+            s.sim(None),
+            Some(recorder),
+            policy,
+        );
+        if res.outcome.status != RunStatus::Completed {
+            status = res.outcome.status;
+        }
+        n_views = res.views.len() as u32;
+        commits += res.views.iter().map(|v| v.tm.commits).sum::<u64>();
+        aborts += res.views.iter().map(|v| v.tm.aborts).sum::<u64>();
+        vtime += res.outcome.vtime;
+        fast += res.views.iter().map(|v| v.gate.fast_acquires).sum::<u64>();
+        slow += res.views.iter().map(|v| v.gate.slow_acquires).sum::<u64>();
+        busy += res.views.iter().map(|v| v.tm.busy_retries).sum::<u64>();
+        gate_wait += res.views.iter().map(|v| v.tm.gate_wait_cycles).sum::<u64>();
+        sim_steps += res.outcome.steps;
+        coalesced += res.outcome.sched.coalesced;
+        for v in &res.views {
+            commit_hist.merge(&v.hists.commit);
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let attempts = commits + aborts;
+    let admissions = fast + slow;
+    GateRow {
+        algo: algo.name(),
+        policy: policy.name(),
+        version: version.name(),
+        n_views,
+        n_threads: n,
+        status,
+        commits,
+        aborts,
+        abort_rate: if attempts == 0 {
+            0.0
+        } else {
+            aborts as f64 / attempts as f64
+        },
+        vtime,
+        txns_per_vsec: if vtime == 0 {
+            0.0
+        } else {
+            commits as f64 / vsec(vtime)
+        },
+        wall_s,
+        gate_fast_path_hit_rate: if admissions == 0 {
+            1.0
+        } else {
+            fast as f64 / admissions as f64
+        },
+        fast_acquires: fast,
+        slow_acquires: slow,
+        busy_retries: busy,
+        gate_wait_cycles: gate_wait,
+        commit_p50_cycles: commit_hist.quantile(0.50),
+        commit_p99_cycles: commit_hist.quantile(0.99),
+        sim_steps,
+        coalesced_polls: coalesced,
+    }
+}
+
 /// Runs the reproducible throughput gate: every STM algorithm × Eigenbench
 /// {single-view, multi-view} × N ∈ [`GATE_THREADS`], adaptive quotas, each
-/// config aggregated over [`GATE_SEEDS`] consecutive seeds. Later PRs
-/// regress their `BENCH_<n>.json` against this trajectory.
+/// config aggregated over [`GATE_SEEDS`] consecutive seeds — all under the
+/// default backoff policy, the rows later PRs regress their
+/// `BENCH_<n>.json` against. Then one comparison row per non-default
+/// contention-management policy × algorithm (single-view, N = 16, one
+/// seed): not regression-gated, but CI checks every one *completes* — a
+/// policy that livelocks or starves the gate workload fails the build.
 ///
 /// Every run executes with a live [`FlightRecorder`] attached, so the gated
 /// numbers *include* the observability layer's recording cost — the rows
@@ -522,82 +620,31 @@ pub fn throughput_gate(settings: &Settings) -> Vec<GateRow> {
             votm_eigenbench::Version::MultiView,
         ] {
             for n in GATE_THREADS {
-                let t0 = std::time::Instant::now();
-                let mut status = RunStatus::Completed;
-                let mut n_views = 0u32;
-                let (mut commits, mut aborts, mut vtime) = (0u64, 0u64, 0u64);
-                let (mut fast, mut slow) = (0u64, 0u64);
-                let (mut busy, mut gate_wait) = (0u64, 0u64);
-                let (mut sim_steps, mut coalesced) = (0u64, 0u64);
-                let mut commit_hist = HistogramSnapshot::default();
-                for seed_off in 0..GATE_SEEDS {
-                    let mut s = *settings;
-                    s.n_threads = n;
-                    s.seed = settings.seed.wrapping_add(seed_off);
-                    let recorder = Arc::new(FlightRecorder::with_default_capacity(n as usize));
-                    let res = eigen_run_recorded(
-                        &s,
-                        algo,
-                        version,
-                        [QuotaMode::Adaptive, QuotaMode::Adaptive],
-                        None,
-                        Some(recorder),
-                    );
-                    if res.outcome.status != RunStatus::Completed {
-                        status = res.outcome.status;
-                    }
-                    n_views = res.views.len() as u32;
-                    commits += res.views.iter().map(|v| v.tm.commits).sum::<u64>();
-                    aborts += res.views.iter().map(|v| v.tm.aborts).sum::<u64>();
-                    vtime += res.outcome.vtime;
-                    fast += res.views.iter().map(|v| v.gate.fast_acquires).sum::<u64>();
-                    slow += res.views.iter().map(|v| v.gate.slow_acquires).sum::<u64>();
-                    busy += res.views.iter().map(|v| v.tm.busy_retries).sum::<u64>();
-                    gate_wait += res.views.iter().map(|v| v.tm.gate_wait_cycles).sum::<u64>();
-                    sim_steps += res.outcome.steps;
-                    coalesced += res.outcome.sched.coalesced;
-                    for v in &res.views {
-                        commit_hist.merge(&v.hists.commit);
-                    }
-                }
-                let wall_s = t0.elapsed().as_secs_f64();
-                let attempts = commits + aborts;
-                let admissions = fast + slow;
-                rows.push(GateRow {
-                    algo: algo.name(),
-                    version: version.name(),
-                    n_views,
-                    n_threads: n,
-                    status,
-                    commits,
-                    aborts,
-                    abort_rate: if attempts == 0 {
-                        0.0
-                    } else {
-                        aborts as f64 / attempts as f64
-                    },
-                    vtime,
-                    txns_per_vsec: if vtime == 0 {
-                        0.0
-                    } else {
-                        commits as f64 / vsec(vtime)
-                    },
-                    wall_s,
-                    gate_fast_path_hit_rate: if admissions == 0 {
-                        1.0
-                    } else {
-                        fast as f64 / admissions as f64
-                    },
-                    fast_acquires: fast,
-                    slow_acquires: slow,
-                    busy_retries: busy,
-                    gate_wait_cycles: gate_wait,
-                    commit_p50_cycles: commit_hist.quantile(0.50),
-                    commit_p99_cycles: commit_hist.quantile(0.99),
-                    sim_steps,
-                    coalesced_polls: coalesced,
-                });
+                rows.push(gate_config_row(
+                    settings,
+                    algo,
+                    version,
+                    n,
+                    GATE_SEEDS,
+                    CmPolicy::Backoff,
+                ));
             }
+        }
+    }
+    let n = *GATE_THREADS.last().expect("gate sweeps at least one N");
+    for policy in CmPolicy::ALL {
+        if policy == CmPolicy::Backoff {
+            continue; // already the full gated matrix above
+        }
+        for algo in TmAlgorithm::ALL {
+            rows.push(gate_config_row(
+                settings,
+                algo,
+                votm_eigenbench::Version::SingleView,
+                n,
+                1,
+                policy,
+            ));
         }
     }
     rows
@@ -633,16 +680,30 @@ pub fn capture_trace(settings: &Settings, algo: TmAlgorithm) -> TraceCapture {
 /// timer wheel, the reference heap, and with coalescing toggled, and assert
 /// the JSON documents are byte-identical.
 pub fn capture_trace_sim(settings: &Settings, algo: TmAlgorithm, sim: SimConfig) -> TraceCapture {
+    capture_trace_cm(settings, algo, sim, CmPolicy::Backoff)
+}
+
+/// [`capture_trace_sim`] under an explicit contention-management policy.
+/// Every policy is a deterministic function of the seeds, so two captures
+/// with identical arguments are byte-identical whatever the policy — the
+/// per-policy determinism suite asserts exactly that.
+pub fn capture_trace_cm(
+    settings: &Settings,
+    algo: TmAlgorithm,
+    sim: SimConfig,
+    policy: CmPolicy,
+) -> TraceCapture {
     let recorder = Arc::new(FlightRecorder::with_default_capacity(
         settings.n_threads as usize,
     ));
-    let res = votm_eigenbench::run_sim_recorded(
+    let res = votm_eigenbench::run_sim_cm(
         &settings.eigen_config(),
         algo,
         votm_eigenbench::Version::MultiView,
         [QuotaMode::Adaptive, QuotaMode::Adaptive],
         sim,
         Some(Arc::clone(&recorder)),
+        policy,
     );
     let threads = recorder.snapshot();
     let reports: Vec<ViewReport> = res
@@ -715,7 +776,7 @@ pub fn gate_rows_to_json(settings: &Settings, rows: &[GateRow]) -> String {
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"algo\": {}, \"version\": {}, \"n_views\": {}, \"n_threads\": {}, \
+            "    {{\"algo\": {}, \"policy\": {}, \"version\": {}, \"n_views\": {}, \"n_threads\": {}, \
              \"status\": {}, \"commits\": {}, \"aborts\": {}, \"abort_rate\": {}, \
              \"vtime\": {}, \"txns_per_vsec\": {}, \"wall_s\": {}, \
              \"gate_fast_path_hit_rate\": {}, \"fast_acquires\": {}, \
@@ -723,6 +784,7 @@ pub fn gate_rows_to_json(settings: &Settings, rows: &[GateRow]) -> String {
              \"commit_p50_cycles\": {}, \"commit_p99_cycles\": {}, \
              \"sim_steps\": {}, \"coalesced_polls\": {}}}{}\n",
             json_str(r.algo),
+            json_str(r.policy),
             json_str(r.version),
             r.n_views,
             r.n_threads,
@@ -862,8 +924,22 @@ mod tests {
         let mut s = tiny();
         s.eigen_scale = 0.0001;
         let rows = throughput_gate(&s);
-        // 3 algorithms × 2 versions × GATE_THREADS.len() thread counts.
-        assert_eq!(rows.len(), 3 * 2 * GATE_THREADS.len());
+        // 3 algorithms × 2 versions × GATE_THREADS.len() thread counts of
+        // the gated default, plus one comparison row per non-default
+        // policy × algorithm.
+        assert_eq!(
+            rows.len(),
+            3 * 2 * GATE_THREADS.len() + (CmPolicy::ALL.len() - 1) * 3
+        );
+        let backoff_rows = rows.iter().filter(|r| r.policy == "backoff").count();
+        assert_eq!(backoff_rows, 3 * 2 * GATE_THREADS.len());
+        for p in CmPolicy::ALL {
+            assert!(
+                rows.iter().any(|r| r.policy == p.name()),
+                "missing policy rows for {}",
+                p.name()
+            );
+        }
         for r in &rows {
             assert_eq!(r.status, RunStatus::Completed, "{r:?}");
             assert!(r.commits > 0, "{r:?}");

@@ -41,10 +41,30 @@
 //! goes through [`votm_rac::AdmissionGate::acquire_exclusive`]: the gate
 //! drains, the starving transaction runs alone in the irrevocable Q = 1
 //! lock mode (which cannot abort), and ordinary admissions resume when it
-//! leaves.
+//! leaves. The streak is a *driver-local* variable of one
+//! [`drive_transaction`] call: nothing another transaction does — commit,
+//! abort, or contention-manager kill — can reset it, so a starving
+//! transaction cannot be masked from escalation by unrelated traffic on
+//! the same view. Contention-manager kills increment it like any other
+//! abort.
+//!
+//! # Contention management
+//!
+//! Every conflict-resolution site consults the view's pluggable
+//! [`votm_rac::ContentionManager`] (see `votm_rac::cm`): `Busy` polls and
+//! `Conflict` errors from reads, writes and `commit_begin` become
+//! [`votm_rac::SiteVerdict`]s — keep waiting (optionally dooming the
+//! conflicting transaction first) or abort-self with a pre-re-admission
+//! backoff. Dooming is cooperative: the winner marks the victim's
+//! [`votm_rac::CmShared`] slot and the victim converts the mark into an
+//! `AbortReason::CmKilled` abort at its next operation boundary, so locks
+//! are always released through the victim's own abort path. Under the
+//! default passive [`votm_rac::CmPolicy::Backoff`] the driver skips all of
+//! this and reproduces the historical behaviour exactly.
 
 use votm_obs::{AbortReason, EventKind, RecorderHandle};
-use votm_rac::AdmissionMode;
+use votm_rac::cm::HARD_PATIENCE;
+use votm_rac::{AdmissionMode, CmTx, SiteVerdict};
 use votm_sim::{FaultEvent, Rt};
 use votm_stm::{cost, Addr, CommitPhase, OpError, TxCtx};
 use votm_utils::JitterBackoff;
@@ -90,7 +110,9 @@ impl std::error::Error for HeapExhausted {}
 
 /// Consecutive `Busy` retries of one read/write before the attempt aborts
 /// (bounded spinning, TinySTM-style; breaks reader/writer wait-for cycles).
-const BUSY_ABORT_LIMIT: u32 = 64;
+/// This is the passive default's patience; active contention managers
+/// substitute their own — see [`votm_rac::cm::BUSY_PATIENCE`].
+const BUSY_ABORT_LIMIT: u32 = votm_rac::cm::BUSY_PATIENCE;
 
 /// In-transaction capability: all shared-memory access inside
 /// [`View::transact`] goes through this handle.
@@ -119,14 +141,31 @@ pub struct TxHandle<'v> {
     /// Flight-recorder handle bound to this thread's ring (dead when the
     /// system has no recorder configured).
     rec: RecorderHandle,
+    /// Contention-management state of the logical transaction this attempt
+    /// belongs to; the driver reads it back after an abort so karma and the
+    /// first-attempt timestamp survive.
+    cm_tx: CmTx,
+    /// True when the view's contention manager is active *and* this attempt
+    /// is transactional: the driver publishes priorities, honours dooms and
+    /// consults site verdicts. False (passive default or lock mode) keeps
+    /// the historical hot path bit-identical.
+    cm_active: bool,
 }
 
 impl<'v> TxHandle<'v> {
-    fn new(view: &'v View, rt: Rt, mode: AdmissionMode, read_only: bool) -> Self {
+    fn new(view: &'v View, rt: Rt, mode: AdmissionMode, read_only: bool, mut cm_tx: CmTx) -> Self {
         let ctx = match mode {
             AdmissionMode::Exclusive => view.tm().direct_ctx(),
             AdmissionMode::Transactional => view.tm().tx_ctx(rt.thread_index()),
         };
+        let cm_active = view.cm().active() && !ctx.is_direct();
+        if cm_active {
+            // Publish this attempt's priority and open a fresh doom epoch
+            // (which also clears any doom aimed at the previous attempt).
+            let tid = rt.thread_index();
+            cm_tx.prio = view.cm().manager().priority(&cm_tx, tid, rt.now());
+            cm_tx.epoch = view.cm().shared().attempt_begin(tid, cm_tx.prio);
+        }
         let start = rt.now();
         let backoff = JitterBackoff::new(rt.thread_index() as u64);
         let rec = view.recorder_handle(rt.thread_index());
@@ -143,6 +182,8 @@ impl<'v> TxHandle<'v> {
             finished: false,
             abort_reason: AbortReason::Explicit,
             rec,
+            cm_tx,
+            cm_active,
         }
     }
 
@@ -254,32 +295,125 @@ impl<'v> TxHandle<'v> {
         }
     }
 
+    /// Converts a pending doom mark into a `CmKilled` abort. No-op under a
+    /// passive manager or in lock mode. This is the victim's half of the
+    /// polite-kill protocol: checked at every operation boundary so a
+    /// doomed transaction leaves within a bounded number of its own steps,
+    /// releasing its locks through the normal abort path. The kill charges
+    /// the same loser backoff as an `AbortSelf` verdict — a victim that
+    /// re-armed instantly would reach the winner's lock before it commits
+    /// and (under priorities that grow with aborts, like Karma's account)
+    /// counter-kill it, ping-ponging without progress.
+    #[inline]
+    fn cm_doom_check(&mut self) -> Result<(), TxAbort> {
+        if self.cm_active
+            && self
+                .view
+                .cm()
+                .shared()
+                .doomed_by(self.rt.thread_index(), self.cm_tx.epoch)
+                .is_some()
+        {
+            self.abort_reason = AbortReason::CmKilled;
+            self.cm_tx.loser_backoff = self.cm_tx.yield_backoff();
+            return Err(TxAbort);
+        }
+        Ok(())
+    }
+
+    /// Resolves one `Busy`/`Conflict` poll of an operation through the
+    /// view's contention manager. The caller has already charged pending
+    /// work. `Ok(())` means retry the operation (one busy wait has been
+    /// served); `Err(TxAbort)` aborts the attempt with `abort_reason` set.
+    async fn cm_site(&mut self, err: OpError, spins: &mut u32) -> Result<(), TxAbort> {
+        let busy = matches!(err, OpError::Busy);
+        if !self.cm_active {
+            // The historical behaviour, bit for bit: bounded spin on Busy,
+            // abort-self on Conflict. A wait-for cycle (two writers each
+            // spin-reading the other's locked orec) must break by
+            // aborting, like TinySTM's spin timeout.
+            if busy {
+                self.busy_wait().await;
+                *spins += 1;
+                if *spins >= BUSY_ABORT_LIMIT {
+                    self.abort_reason = AbortReason::WriteLockBusy;
+                    return Err(TxAbort);
+                }
+                return Ok(());
+            }
+            self.abort_reason = self.ctx.conflict_reason();
+            return Err(TxAbort);
+        }
+        // A doomed attempt yields before consulting its own verdict: a
+        // higher-priority transaction already asked for the road.
+        self.cm_doom_check()?;
+        let tid = self.rt.thread_index();
+        let cm = self.view.cm();
+        *spins += 1;
+        let enemy = self.ctx.conflict_enemy();
+        let verdict = if busy {
+            cm.manager()
+                .on_busy(*spins, enemy, cm.shared(), &self.cm_tx, tid)
+        } else {
+            cm.manager()
+                .on_conflict(*spins, enemy, cm.shared(), &self.cm_tx, tid)
+        };
+        match verdict {
+            SiteVerdict::Wait { kill } => {
+                if kill {
+                    if let Some(e) = enemy {
+                        if e != tid && cm.shared().try_doom(e, tid as u16) {
+                            self.rec.record(
+                                self.rt.now(),
+                                EventKind::CmKill {
+                                    view: self.vid(),
+                                    victim: e as u16,
+                                    winner: tid as u16,
+                                },
+                            );
+                        }
+                    }
+                }
+                if *spins >= HARD_PATIENCE {
+                    // Safety net: no policy verdict may turn into an
+                    // unbounded wait. Past the hard cap the attempt aborts
+                    // itself regardless of priority.
+                    self.abort_reason = if busy {
+                        AbortReason::WriteLockBusy
+                    } else {
+                        self.ctx.conflict_reason()
+                    };
+                    return Err(TxAbort);
+                }
+                self.busy_wait().await;
+                Ok(())
+            }
+            SiteVerdict::AbortSelf { backoff } => {
+                self.cm_tx.loser_backoff = backoff;
+                self.abort_reason = if busy {
+                    AbortReason::WriteLockBusy
+                } else {
+                    self.ctx.conflict_reason()
+                };
+                Err(TxAbort)
+            }
+        }
+    }
+
     /// Transactional read of one word.
     pub async fn read(&mut self, addr: Addr) -> Result<u64, TxAbort> {
-        let mut streak = 0u32;
+        let mut spins = 0u32;
         loop {
             match self.ctx.read(self.view.tm(), addr) {
                 Ok(v) => {
                     self.charge_pending().await;
+                    self.cm_doom_check()?;
                     self.fault_point().await?;
                     return Ok(v);
                 }
-                Err(OpError::Busy) => {
+                Err(e) => {
                     self.charge_pending().await;
-                    self.busy_wait().await;
-                    streak += 1;
-                    if streak >= BUSY_ABORT_LIMIT {
-                        // Bounded spin: a wait-for cycle (two writers each
-                        // spin-reading the other's locked orec) must break
-                        // by aborting, like TinySTM's spin timeout.
-                        self.abort_reason = AbortReason::WriteLockBusy;
-                        return Err(TxAbort);
-                    }
-                }
-                Err(OpError::Conflict) => {
-                    self.charge_pending().await;
-                    self.abort_reason = self.ctx.conflict_reason();
-                    return Err(TxAbort);
+                    self.cm_site(e, &mut spins).await?;
                 }
             }
         }
@@ -294,27 +428,18 @@ impl<'v> TxHandle<'v> {
             !self.read_only,
             "write inside a read-only view acquisition (acquire_Rview)"
         );
-        let mut streak = 0u32;
+        let mut spins = 0u32;
         loop {
             match self.ctx.write(self.view.tm(), addr, value) {
                 Ok(()) => {
                     self.charge_pending().await;
+                    self.cm_doom_check()?;
                     self.fault_point().await?;
                     return Ok(());
                 }
-                Err(OpError::Busy) => {
+                Err(e) => {
                     self.charge_pending().await;
-                    self.busy_wait().await;
-                    streak += 1;
-                    if streak >= BUSY_ABORT_LIMIT {
-                        self.abort_reason = AbortReason::WriteLockBusy;
-                        return Err(TxAbort);
-                    }
-                }
-                Err(OpError::Conflict) => {
-                    self.charge_pending().await;
-                    self.abort_reason = self.ctx.conflict_reason();
-                    return Err(TxAbort);
+                    self.cm_site(e, &mut spins).await?;
                 }
             }
         }
@@ -515,6 +640,11 @@ where
     let unrestricted = view.is_unrestricted();
     let rec = view.recorder_handle(rt.thread_index());
     let vid = view.id() as u16;
+    let cm = view.cm();
+    // Contention-management state of the *logical* transaction: it survives
+    // attempts, so abort-the-younger's timestamp only ages and Karma's
+    // account accumulates across aborts.
+    let mut cm_tx = CmTx::new(rt.now());
     // Consecutive aborts of *this* transaction — the starvation signal.
     let mut streak: u64 = 0;
     // When the previous attempt aborted: its end timestamp, for the
@@ -557,7 +687,7 @@ where
 
         // Declared after the guard: unwinds run transaction recovery
         // (TxHandle::drop) before admission release (GateGuard::drop).
-        let mut handle = TxHandle::new(view, rt.clone(), mode, read_only);
+        let mut handle = TxHandle::new(view, rt.clone(), mode, read_only, cm_tx);
 
         // begin (NOrec can be Busy while a committer holds the seqlock).
         loop {
@@ -583,6 +713,7 @@ where
         let committed = match outcome {
             Ok(value) => {
                 // release_view step 1: try to commit.
+                let mut commit_spins = 0u32;
                 let committed = loop {
                     match handle.ctx.commit_begin(view.tm()) {
                         Ok(CommitPhase::Done) => break true,
@@ -599,12 +730,41 @@ where
                             break true;
                         }
                         Err(OpError::Busy) => {
+                            // A failed commit_begin holds no locks, so the
+                            // CM site logic applies here too; the passive
+                            // default waits out the committer unbounded
+                            // (the seqlock holder finishes in bounded
+                            // time), exactly as before.
                             handle.charge_pending().await;
-                            handle.busy_wait().await;
+                            if handle.cm_active {
+                                if handle
+                                    .cm_site(OpError::Busy, &mut commit_spins)
+                                    .await
+                                    .is_err()
+                                {
+                                    break false;
+                                }
+                            } else {
+                                handle.busy_wait().await;
+                            }
                         }
                         Err(OpError::Conflict) => {
-                            handle.abort_reason = handle.ctx.conflict_reason();
-                            break false;
+                            if handle.cm_active {
+                                // Lazy acquisition released its locks
+                                // before returning Conflict, so a Wait
+                                // verdict may retry commit_begin whole.
+                                handle.charge_pending().await;
+                                if handle
+                                    .cm_site(OpError::Conflict, &mut commit_spins)
+                                    .await
+                                    .is_err()
+                                {
+                                    break false;
+                                }
+                            } else {
+                                handle.abort_reason = handle.ctx.conflict_reason();
+                                break false;
+                            }
                         }
                     }
                 };
@@ -628,10 +788,24 @@ where
         );
         handle.ctx.abort(view.tm());
         handle.charge_pending().await;
+        let wasted = handle.attempt_work;
         handle.finish(false);
+        cm_tx = handle.cm_tx;
         drop(handle);
         drop(gate_guard);
         last_abort_at = Some(rt.now());
+
+        if cm.active() {
+            // Bank the wasted work (Karma's account) and serve the loser's
+            // backoff penalty *after* releasing admission, so the freed
+            // gate slot can go to the conflict's winner meanwhile — the
+            // CM ↔ quota interaction.
+            cm.manager().on_aborted(&mut cm_tx, wasted);
+            let penalty = std::mem::take(&mut cm_tx.loser_backoff);
+            if penalty > 0 {
+                rt.charge(penalty).await;
+            }
+        }
 
         streak += 1;
         view.tm()

@@ -71,5 +71,5 @@ pub use view::{View, ViewStats};
 
 // Re-export the vocabulary types callers need so `votm` is self-sufficient.
 pub use votm_obs::{AbortReason, EventKind, FlightRecorder, RecorderHandle, ThreadTrace};
-pub use votm_rac::{GateStats, QuotaMode};
+pub use votm_rac::{CmPolicy, GateStats, QuotaMode};
 pub use votm_stm::{Addr, StatsSnapshot, TmAlgorithm};

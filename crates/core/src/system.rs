@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use votm_obs::FlightRecorder;
-use votm_rac::{ControllerConfig, QuotaMode};
+use votm_rac::{CmPolicy, ControllerConfig, QuotaMode};
 use votm_stm::TmAlgorithm;
 use votm_utils::Mutex;
 
@@ -34,6 +34,13 @@ pub struct VotmConfig {
     /// (the default) makes all event recording a dead-handle no-op; latency
     /// histograms stay on either way.
     pub recorder: Option<Arc<FlightRecorder>>,
+    /// Contention-management policy for every view: which of two
+    /// conflicting transactions yields, and how. The default,
+    /// [`CmPolicy::Backoff`], reproduces the historical backoff-and-retry
+    /// behaviour exactly (and costs nothing on the hot path); the other
+    /// policies trade a little bookkeeping for progress guarantees — see
+    /// `votm_rac::cm`.
+    pub contention: CmPolicy,
 }
 
 impl Default for VotmConfig {
@@ -45,6 +52,7 @@ impl Default for VotmConfig {
             reserve_factor: 1,
             escalate_after: None,
             recorder: None,
+            contention: CmPolicy::Backoff,
         }
     }
 }
@@ -105,6 +113,7 @@ impl Votm {
             &self.config.controller,
             self.config.escalate_after,
             self.config.recorder.clone(),
+            self.config.contention,
         ));
         views.push(Some(Arc::clone(&view)));
         view

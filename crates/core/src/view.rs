@@ -3,7 +3,9 @@
 use std::sync::Arc;
 
 use votm_obs::{FlightRecorder, RecorderHandle, ViewHistSnapshot, ViewHists};
-use votm_rac::{AdmissionGate, ControllerConfig, GateStats, QuotaMode, RacController};
+use votm_rac::{
+    AdmissionGate, CmInstance, CmPolicy, ControllerConfig, GateStats, QuotaMode, RacController,
+};
 use votm_sim::Rt;
 use votm_stm::{Addr, StatsSnapshot, TmAlgorithm, TmInstance};
 
@@ -24,6 +26,8 @@ pub struct View {
     hists: ViewHists,
     /// Optional flight recorder shared with the owning [`crate::Votm`].
     recorder: Option<Arc<FlightRecorder>>,
+    /// Contention-management runtime (policy + shared doom/priority slots).
+    cm: CmInstance,
 }
 
 impl View {
@@ -38,6 +42,7 @@ impl View {
         controller_config: &ControllerConfig,
         escalate_after: Option<u32>,
         recorder: Option<Arc<FlightRecorder>>,
+        contention: CmPolicy,
     ) -> Self {
         let (initial_quota, controller) = match quota_mode {
             QuotaMode::Fixed(q) => (q, None),
@@ -58,6 +63,9 @@ impl View {
             escalate_after,
             hists: ViewHists::new(),
             recorder,
+            // The windowed-greedy draw seed derives from the view id only,
+            // so identically-seeded runs replay identically.
+            cm: CmInstance::new(contention, n_threads, 0x9e37_79b9_7f4a_7c15 ^ id as u64),
         }
     }
 
@@ -83,6 +91,16 @@ impl View {
 
     pub(crate) fn controller(&self) -> Option<&RacController> {
         self.controller.as_ref()
+    }
+
+    /// The view's contention-management runtime.
+    pub(crate) fn cm(&self) -> &CmInstance {
+        &self.cm
+    }
+
+    /// Which contention-management policy this view runs.
+    pub fn cm_policy(&self) -> CmPolicy {
+        self.cm.policy()
     }
 
     /// The view's latency histograms (commit, abort-to-retry, gate wait).

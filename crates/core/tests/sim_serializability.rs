@@ -7,7 +7,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use votm::{Addr, QuotaMode, TmAlgorithm, Votm, VotmConfig};
+use votm::{Addr, CmPolicy, QuotaMode, TmAlgorithm, Votm, VotmConfig};
 use votm_sim::{RunStatus, SimConfig, SimExecutor};
 use votm_utils::Mutex;
 use votm_utils::SplitMix64;
@@ -24,9 +24,21 @@ struct TxLog {
 }
 
 fn run(algo: TmAlgorithm, quota: QuotaMode, threads: u64, tx_per_thread: usize, seed: u64) {
+    run_with_policy(algo, quota, threads, tx_per_thread, seed, CmPolicy::Backoff);
+}
+
+fn run_with_policy(
+    algo: TmAlgorithm,
+    quota: QuotaMode,
+    threads: u64,
+    tx_per_thread: usize,
+    seed: u64,
+    contention: CmPolicy,
+) {
     let sys = Votm::new(VotmConfig {
         algorithm: algo,
         n_threads: threads as u32,
+        contention,
         ..Default::default()
     });
     let view = sys.create_view(128, quota);
@@ -35,6 +47,9 @@ fn run(algo: TmAlgorithm, quota: QuotaMode, threads: u64, tx_per_thread: usize, 
     let mut seeds = SplitMix64::new(seed);
     let mut ex = SimExecutor::new(SimConfig {
         seed,
+        // A generous watchdog: a contention-management bug that livelocks
+        // must fail the assertion below, not hang the suite.
+        vtime_cap: Some(2_000_000_000),
         ..Default::default()
     });
     for _ in 0..threads {
@@ -79,7 +94,11 @@ fn run(algo: TmAlgorithm, quota: QuotaMode, threads: u64, tx_per_thread: usize, 
         });
     }
     let out = ex.run();
-    assert_eq!(out.status, RunStatus::Completed, "{algo:?} {quota:?}");
+    assert_eq!(
+        out.status,
+        RunStatus::Completed,
+        "{algo:?} {quota:?} {contention:?} seed {seed}"
+    );
 
     let mut entries = Arc::try_unwrap(log).unwrap().into_inner();
     entries.sort_by_key(|e| e.ticket);
@@ -136,5 +155,25 @@ fn sim_serializable_across_seeds() {
     for seed in 100..106 {
         run(TmAlgorithm::OrecEagerRedo, QuotaMode::Fixed(8), 8, 15, seed);
         run(TmAlgorithm::NOrec, QuotaMode::Fixed(8), 8, 15, seed);
+    }
+}
+
+/// The differential suite re-run under every contention-management policy:
+/// 36 seeds × all policies, cycling the algorithm with the seed so each
+/// policy exercises every conflict-resolution site (orec encounter locks,
+/// NOrec validation, lazy commit-time acquisition). Safety must be
+/// policy-independent — a contention manager only chooses *who yields*,
+/// never what a committed transaction observed.
+#[test]
+fn sim_serializable_under_every_policy_across_36_seeds() {
+    for seed in 0..36u64 {
+        let algo = match seed % 3 {
+            0 => TmAlgorithm::OrecEagerRedo,
+            1 => TmAlgorithm::NOrec,
+            _ => TmAlgorithm::OrecLazy,
+        };
+        for policy in CmPolicy::ALL {
+            run_with_policy(algo, QuotaMode::Fixed(4), 6, 8, 1000 + seed, policy);
+        }
     }
 }

@@ -111,6 +111,76 @@ fn without_escalation_the_same_adversary_starves_the_run() {
     }
 }
 
+/// The abort-streak accounting that drives `escalate_after` is strictly
+/// per logical transaction: commits by *other* transactions on the same
+/// view must never reset a starving transaction's streak and mask it from
+/// the watchdog. Here only task 0 draws faults (a targeted plan) while
+/// three fault-free neighbours commit continuously on the same view; the
+/// victim must still escalate after exactly K consecutive aborts. If
+/// shared state leaked into the streak, the interleaved commits would
+/// reset it and the victim would abort forever instead.
+#[test]
+fn unrelated_commits_cannot_mask_a_starving_transaction() {
+    const K: u32 = 5;
+    const NEIGHBOURS: u64 = 3;
+    const NEIGHBOUR_ITERS: u64 = 40;
+    let system = Votm::new(VotmConfig {
+        algorithm: TmAlgorithm::NOrec,
+        n_threads: 1 + NEIGHBOURS as u32,
+        escalate_after: Some(K),
+        ..Default::default()
+    });
+    let view = system.create_view(64, QuotaMode::Fixed(1 + NEIGHBOURS as u32));
+    let mut ex = SimExecutor::new(SimConfig {
+        fault_plan: Some(FaultPlan {
+            target_task: Some(0),
+            ..always_abort(11)
+        }),
+        vtime_cap: Some(10_000_000),
+        ..Default::default()
+    });
+    // Task 0: the victim — one transaction whose every transactional
+    // attempt is fault-aborted.
+    {
+        let view = Arc::clone(&view);
+        ex.spawn(move |rt| async move {
+            view.transact(&rt, async |tx| {
+                let v = tx.read(Addr(0)).await?;
+                tx.write(Addr(0), v + 1).await
+            })
+            .await;
+        });
+    }
+    // Tasks 1..: fault-free traffic on the same view, each on a private
+    // word so the only interaction with the victim is the shared stats
+    // and watchdog machinery.
+    for t in 1..=NEIGHBOURS {
+        let view = Arc::clone(&view);
+        ex.spawn(move |rt| async move {
+            let w = Addr(t as u32);
+            for _ in 0..NEIGHBOUR_ITERS {
+                view.transact(&rt, async |tx| {
+                    let v = tx.read(w).await?;
+                    tx.write(w, v + 1).await
+                })
+                .await;
+            }
+        });
+    }
+    let out = ex.run();
+    assert_eq!(out.status, RunStatus::Completed);
+    assert_eq!(view.heap().load(Addr(0)), 1, "the victim's commit landed");
+    for t in 1..=NEIGHBOURS {
+        assert_eq!(view.heap().load(Addr(t as u32)), NEIGHBOUR_ITERS);
+    }
+    let stats = view.stats().tm;
+    // Exactly one escalation, after exactly K aborts — the interleaved
+    // commits neither delayed it (masking) nor hastened it.
+    assert_eq!(stats.escalations, 1);
+    assert_eq!(stats.aborts, u64::from(K));
+    assert_eq!(stats.max_abort_streak, u64::from(K));
+}
+
 /// Deadlocked runs report which tasks stalled, when they last progressed,
 /// and — via the stall probe — a gate P/Q snapshot for each.
 #[test]

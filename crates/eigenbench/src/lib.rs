@@ -32,8 +32,8 @@
 use std::sync::Arc;
 
 use votm::{
-    Addr, FlightRecorder, QuotaMode, TmAlgorithm, TxAbort, TxHandle, View, ViewStats, Votm,
-    VotmConfig,
+    Addr, CmPolicy, FlightRecorder, QuotaMode, TmAlgorithm, TxAbort, TxHandle, View, ViewStats,
+    Votm, VotmConfig,
 };
 use votm_sim::{Rt, RunOutcome, SimConfig, SimExecutor};
 use votm_utils::{SplitMix64, XorShift64};
@@ -333,10 +333,35 @@ pub fn run_sim_recorded(
     sim: SimConfig,
     recorder: Option<Arc<FlightRecorder>>,
 ) -> EigenResult {
+    run_sim_cm(
+        config,
+        algo,
+        version,
+        quotas,
+        sim,
+        recorder,
+        CmPolicy::Backoff,
+    )
+}
+
+/// Like [`run_sim_recorded`] but additionally selects the views'
+/// contention-management policy — the per-policy throughput gate and the
+/// robustness harness compare the same workload across policies with this.
+#[allow(clippy::too_many_arguments)] // a flat parameter list mirrors run_sim_recorded
+pub fn run_sim_cm(
+    config: &EigenConfig,
+    algo: TmAlgorithm,
+    version: Version,
+    quotas: [QuotaMode; 2],
+    sim: SimConfig,
+    recorder: Option<Arc<FlightRecorder>>,
+    contention: CmPolicy,
+) -> EigenResult {
     let sys = Votm::new(VotmConfig {
         algorithm: algo,
         n_threads: config.n_threads,
         recorder,
+        contention,
         ..Default::default()
     });
     let (views, maps) = build_views(&sys, config, version, quotas);

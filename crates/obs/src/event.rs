@@ -83,6 +83,18 @@ pub enum EventKind {
         /// Injected delay in cycles (zero for abort/panic faults).
         cycles: u64,
     },
+    /// The contention manager doomed `victim`'s running attempt so that
+    /// `winner` (the recording thread) can make progress. The victim
+    /// observes the doom mark at its next operation boundary and aborts
+    /// with [`AbortReason::CmKilled`].
+    CmKill {
+        /// View on which the conflict was resolved.
+        view: u16,
+        /// Thread index of the doomed transaction.
+        victim: u16,
+        /// Thread index of the prevailing transaction.
+        winner: u16,
+    },
 }
 
 const TAG_TX_BEGIN: u8 = 0;
@@ -93,6 +105,7 @@ const TAG_GATE_WAIT_EXIT: u8 = 4;
 const TAG_QUOTA_CHANGE: u8 = 5;
 const TAG_ESCALATION: u8 = 6;
 const TAG_FAULT: u8 = 7;
+const TAG_CM_KILL: u8 = 8;
 
 impl EventKind {
     /// Encodes the kind into the three payload words `[meta, a, b]`.
@@ -133,6 +146,15 @@ impl EventKind {
             EventKind::Fault { view, code, cycles } => {
                 [meta(TAG_FAULT, view) | (u64::from(code) << 24), cycles, 0]
             }
+            EventKind::CmKill {
+                view,
+                victim,
+                winner,
+            } => [
+                meta(TAG_CM_KILL, view) | (u64::from(victim) << 24) | (u64::from(winner) << 40),
+                0,
+                0,
+            ],
         }
     }
 
@@ -165,6 +187,11 @@ impl EventKind {
                 code: ((meta >> 24) & 0xff) as u8,
                 cycles: a,
             },
+            TAG_CM_KILL => EventKind::CmKill {
+                view,
+                victim: ((meta >> 24) & 0xffff) as u16,
+                winner: ((meta >> 40) & 0xffff) as u16,
+            },
             _ => EventKind::TxBegin { view },
         }
     }
@@ -179,7 +206,8 @@ impl EventKind {
             | EventKind::GateWaitExit { view, .. }
             | EventKind::QuotaChange { view, .. }
             | EventKind::Escalation { view }
-            | EventKind::Fault { view, .. } => view,
+            | EventKind::Fault { view, .. }
+            | EventKind::CmKill { view, .. } => view,
         }
     }
 }
@@ -223,6 +251,11 @@ mod tests {
                 view: 4,
                 code: 2,
                 cycles: 99,
+            },
+            EventKind::CmKill {
+                view: 5,
+                victim: 11,
+                winner: 65535,
             },
         ];
         for k in kinds {

@@ -137,6 +137,18 @@ pub fn chrome_trace(threads: &[ThreadTrace], cycles_per_us: u64) -> String {
                         us(e.ts, cycles_per_us),
                     ));
                 }
+                EventKind::CmKill {
+                    view,
+                    victim,
+                    winner,
+                } => {
+                    ev.push(format!(
+                        "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"cm-kill\",\"cat\":\"cm\",\
+                         \"pid\":0,\"tid\":{tid},\"ts\":{},\
+                         \"args\":{{\"view\":{view},\"victim\":{victim},\"winner\":{winner}}}}}",
+                        us(e.ts, cycles_per_us),
+                    ));
+                }
             }
         }
     }
@@ -412,7 +424,7 @@ mod tests {
             quota: 4,
             commits: 10,
             aborts: 3,
-            aborts_by_reason: [1, 2, 0, 0, 0],
+            aborts_by_reason: [1, 2, 0, 0, 0, 0],
             cycles_aborted: 100,
             cycles_successful: 900,
             busy_retries: 5,

@@ -28,11 +28,15 @@ pub enum AbortReason {
     WriteLockBusy = 3,
     /// A deterministic fault-injection plan forced this attempt to abort.
     FaultInjected = 4,
+    /// The contention manager doomed this attempt in favour of a
+    /// higher-priority transaction; the victim self-aborted at its next
+    /// operation boundary.
+    CmKilled = 5,
 }
 
 impl AbortReason {
     /// Number of variants; the length of per-reason counter arrays.
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
 
     /// All variants, in discriminant order.
     pub const ALL: [AbortReason; Self::COUNT] = [
@@ -41,6 +45,7 @@ impl AbortReason {
         AbortReason::NorecValidation,
         AbortReason::WriteLockBusy,
         AbortReason::FaultInjected,
+        AbortReason::CmKilled,
     ];
 
     /// Dense index of this reason (`0..COUNT`).
@@ -58,6 +63,7 @@ impl AbortReason {
             2 => AbortReason::NorecValidation,
             3 => AbortReason::WriteLockBusy,
             4 => AbortReason::FaultInjected,
+            5 => AbortReason::CmKilled,
             _ => AbortReason::Explicit,
         }
     }
@@ -70,6 +76,7 @@ impl AbortReason {
             AbortReason::NorecValidation => "norec_validation",
             AbortReason::WriteLockBusy => "write_lock_busy",
             AbortReason::FaultInjected => "fault_injected",
+            AbortReason::CmKilled => "cm_killed",
         }
     }
 }

@@ -1,0 +1,836 @@
+//! Pluggable contention management.
+//!
+//! The paper's RAC quota is a *population* control: it bounds how many
+//! transactions contend at once, but says nothing about **which** of two
+//! conflicting transactions should yield. That decision — the contention
+//! manager — was hard-wired to backoff-and-retry. This module makes it a
+//! policy point: a [`ContentionManager`] trait consulted by the
+//! transaction driver at every conflict-resolution site (orec acquisition
+//! conflicts, NOrec validation failures, busy spins on foreign locks, and
+//! the pre-re-admission backoff at the gate), plus the shared per-view
+//! state ([`CmShared`]) the priority policies communicate through.
+//!
+//! Five policies ship:
+//!
+//! * [`CmPolicy::Backoff`] — the historical default, bit-for-bit: spin up
+//!   to [`BUSY_PATIENCE`] on `Busy`, abort-self on `Conflict`, no shared
+//!   state touched. Zero overhead; no progress guarantee beyond RAC's.
+//! * [`CmPolicy::AbortTheYounger`] — timestamp priority (pypy stmgc's
+//!   `contention.c` policy): the transaction with the older first-attempt
+//!   timestamp wins every conflict. A transaction keeps its timestamp
+//!   across aborts, so it only ever ages; the globally oldest transaction
+//!   wins every conflict it is part of and therefore commits — livelock-
+//!   free by construction, and starvation-free because every transaction
+//!   eventually *becomes* the oldest.
+//! * [`CmPolicy::Karma`] — work-accounting priority: each abort banks the
+//!   wasted cycles as karma, and accumulated karma wins conflicts. A long
+//!   transaction that keeps losing accumulates karma proportional to its
+//!   length and eventually outranks any stream of short transactions; the
+//!   bound on its abort streak is O(victim length / short length).
+//! * [`CmPolicy::WaitVsAbort`] — never kills: a transaction that hits a
+//!   foreign lock waits it out with extended patience instead of aborting
+//!   itself or dooming the holder. Deadlock-free (patience is bounded),
+//!   but starvation-prone under adversarial schedules — included as the
+//!   conservative contrast point.
+//! * [`CmPolicy::WindowedGreedy`] — randomized-interval priorities after
+//!   Sharma, Estrade & Busch: virtual time is divided into windows and
+//!   each transaction draws a pseudo-random priority per window. Within a
+//!   window the top-priority transaction wins everything (greedy), and
+//!   re-randomization across windows gives every starving transaction a
+//!   fresh chance — O(s)-competitive makespan for s shared objects.
+//!
+//! Priorities are `u64` values where **lower wins**, with the thread index
+//! as tie-breaker, so `(priority, tid)` is a total order: for any two
+//! transactions exactly one side wins, which is what rules out the
+//! mutual-kill and mutual-wait cycles of symmetric policies.
+//!
+//! Killing is *polite*: the winner dooms the victim's [`CmShared`] slot
+//! (an epoch-guarded CAS) and keeps waiting for the lock; the victim
+//! observes the mark at its next operation boundary and aborts itself with
+//! `AbortReason::CmKilled`, releasing its locks through the normal abort
+//! path. STM metadata is never mutated behind the victim's back.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use votm_utils::{hash_u64, CachePadded};
+
+/// Busy-spin patience of the default backoff policy before converting the
+/// spin into an abort (the historical `BUSY_ABORT_LIMIT`).
+pub const BUSY_PATIENCE: u32 = 64;
+
+/// Extended patience of the wait-vs-abort policy on `Busy` sites.
+pub const WAIT_PATIENCE: u32 = 512;
+
+/// Hard per-operation cap on *any* wait the driver honours, winner or not.
+/// A safety net: no policy decision can convert a lost wakeup or a
+/// pathological wait chain into a hang — past this many spins the
+/// transaction aborts itself regardless of priority.
+pub const HARD_PATIENCE: u32 = 4096;
+
+/// log2 of the windowed-greedy window length in cycles (2^17 ≈ 131k cycles
+/// ≈ 52 µs at the simulator's 2.5 GHz cost model) — several times a long
+/// transaction, so a window winner can finish inside its window.
+pub const GREEDY_WINDOW_BITS: u32 = 17;
+
+/// Base of the loser's exponential pre-re-admission backoff, in cycles.
+pub const LOSER_BACKOFF_BASE: u64 = 256;
+
+/// The shipped contention-management policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CmPolicy {
+    /// Backoff-and-retry: the historical hard-wired behaviour.
+    #[default]
+    Backoff,
+    /// Older first-attempt timestamp wins (livelock- and starvation-free).
+    AbortTheYounger,
+    /// Accumulated wasted work wins (long transactions earn priority).
+    Karma,
+    /// Wait out foreign locks with extended patience; never kill.
+    WaitVsAbort,
+    /// Per-window randomized priorities (Sharma et al., O(s)-competitive).
+    WindowedGreedy,
+}
+
+impl CmPolicy {
+    /// All policies, in a stable order (the default first).
+    pub const ALL: [CmPolicy; 5] = [
+        CmPolicy::Backoff,
+        CmPolicy::AbortTheYounger,
+        CmPolicy::Karma,
+        CmPolicy::WaitVsAbort,
+        CmPolicy::WindowedGreedy,
+    ];
+
+    /// Short stable name used in reports, JSON rows and CLI arguments.
+    pub fn name(self) -> &'static str {
+        match self {
+            CmPolicy::Backoff => "backoff",
+            CmPolicy::AbortTheYounger => "abort-younger",
+            CmPolicy::Karma => "karma",
+            CmPolicy::WaitVsAbort => "wait-vs-abort",
+            CmPolicy::WindowedGreedy => "windowed-greedy",
+        }
+    }
+
+    /// Inverse of [`CmPolicy::name`].
+    pub fn from_name(name: &str) -> Option<CmPolicy> {
+        CmPolicy::ALL.iter().copied().find(|p| p.name() == name)
+    }
+}
+
+/// Per-transaction contention-management state, owned by the transaction
+/// driver and persisted **across attempts** of one logical transaction
+/// (that persistence is what makes abort-the-younger's timestamp and
+/// Karma's account survive aborts). Cheap `Copy` so the driver can thread
+/// it through per-attempt handles.
+#[derive(Debug, Clone, Copy)]
+pub struct CmTx {
+    /// Priority published for the current attempt (lower wins).
+    pub prio: u64,
+    /// Cycles wasted in aborted attempts of this transaction so far.
+    pub karma: u64,
+    /// Timestamp of the transaction's *first* attempt.
+    pub tx_start: u64,
+    /// Aborted attempts so far (drives the loser backoff exponent).
+    pub attempts: u32,
+    /// The [`CmShared`] slot epoch of the current attempt.
+    pub epoch: u32,
+    /// Backoff (cycles) to charge before the next re-admission, set when a
+    /// site verdict was `AbortSelf` with a non-zero penalty.
+    pub loser_backoff: u64,
+}
+
+impl CmTx {
+    /// State for a logical transaction starting at `now`.
+    pub fn new(now: u64) -> Self {
+        Self {
+            prio: 0,
+            karma: 0,
+            tx_start: now,
+            attempts: 0,
+            epoch: 0,
+            loser_backoff: 0,
+        }
+    }
+
+    /// The backoff a yielding loser owes before re-admission: exponential
+    /// in its aborted attempts, capped. Used both for `AbortSelf` verdicts
+    /// and for `CmKilled` aborts — a killed transaction that re-armed
+    /// immediately would counter-kill the winner before it commits (under
+    /// Karma the kill itself banks enough karma to outrank the killer),
+    /// ping-ponging forever. The cap exceeds a typical short transaction,
+    /// so the winner's window to commit is real.
+    pub fn yield_backoff(&self) -> u64 {
+        LOSER_BACKOFF_BASE << self.attempts.min(4)
+    }
+}
+
+/// What the contention manager tells the driver to do at a `Busy` or
+/// `Conflict` site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteVerdict {
+    /// Stay at the operation: busy-wait once and retry it. With
+    /// `kill: true` the driver first dooms the conflicting transaction's
+    /// [`CmShared`] slot so the road clears.
+    Wait {
+        /// Doom the enemy before waiting.
+        kill: bool,
+    },
+    /// Abort this attempt; the driver charges `backoff` virtual cycles
+    /// before re-admission so the winner can finish.
+    AbortSelf {
+        /// Pre-re-admission penalty in cycles (0 = none).
+        backoff: u64,
+    },
+}
+
+const DOOM_BIT: u64 = 1 << 32;
+
+/// One thread's contention slot: the epoch/doom word and the published
+/// priority, alone on their cache line.
+#[derive(Debug, Default)]
+struct CmSlot {
+    /// Bits 0..32: attempt epoch (bumped by the owner at attempt begin,
+    /// which also clears any doom). Bit 32: doomed. Bits 33..49: winner's
+    /// thread index, valid while doomed.
+    state: AtomicU64,
+    /// The owner's published priority for the current attempt.
+    prio: AtomicU64,
+}
+
+/// Shared per-view contention state: one [`CmSlot`] per thread. The slots
+/// are the only channel the priority policies communicate through — STM
+/// metadata stays untouched.
+#[derive(Debug)]
+pub struct CmShared {
+    slots: Box<[CachePadded<CmSlot>]>,
+}
+
+impl CmShared {
+    /// Slots for `n_threads` participants (at least one).
+    pub fn new(n_threads: u32) -> Self {
+        let n = n_threads.max(1) as usize;
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || CachePadded::new(CmSlot::default()));
+        Self {
+            slots: v.into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, tid: usize) -> &CmSlot {
+        &self.slots[tid % self.slots.len()]
+    }
+
+    /// Starts a new attempt for `tid`: bumps the slot epoch (atomically
+    /// clearing any doom aimed at the previous attempt) and publishes
+    /// `prio`. Returns the new epoch.
+    pub fn attempt_begin(&self, tid: usize, prio: u64) -> u32 {
+        let s = self.slot(tid);
+        s.prio.store(prio, Ordering::Release);
+        let cur = s.state.load(Ordering::Relaxed);
+        let epoch = (cur as u32).wrapping_add(1);
+        s.state.store(u64::from(epoch), Ordering::Release);
+        epoch
+    }
+
+    /// `Some(winner)` if `tid`'s attempt with `epoch` has been doomed.
+    #[inline]
+    pub fn doomed_by(&self, tid: usize, epoch: u32) -> Option<u16> {
+        let w = self.slot(tid).state.load(Ordering::Acquire);
+        (w as u32 == epoch && w & DOOM_BIT != 0).then_some(((w >> 33) & 0xffff) as u16)
+    }
+
+    /// Attempts to doom `victim`'s *current* attempt on behalf of
+    /// `winner`. Epoch-guarded: if the victim moved on to a new attempt
+    /// between our load and the CAS, the doom does not land. Returns true
+    /// only on the doomed-bit transition, so the caller can record exactly
+    /// one kill event per doomed attempt.
+    pub fn try_doom(&self, victim: usize, winner: u16) -> bool {
+        let s = self.slot(victim);
+        let cur = s.state.load(Ordering::Acquire);
+        if cur & DOOM_BIT != 0 {
+            return false; // already doomed by someone
+        }
+        let next = cur | DOOM_BIT | (u64::from(winner) << 33);
+        s.state
+            .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// The priority `tid` published for its current attempt.
+    #[inline]
+    pub fn prio_of(&self, tid: usize) -> u64 {
+        self.slot(tid).prio.load(Ordering::Acquire)
+    }
+}
+
+/// Does `(my_prio, my_tid)` beat `(their_prio, their_tid)`? Lower wins;
+/// the thread index breaks ties, making the order total — for any two
+/// transactions exactly one side wins, so symmetric kill/wait cycles are
+/// impossible.
+#[inline]
+pub fn beats(my_prio: u64, my_tid: usize, their_prio: u64, their_tid: usize) -> bool {
+    (my_prio, my_tid) < (their_prio, their_tid)
+}
+
+/// The policy point: consulted by the transaction driver at every
+/// conflict-resolution site. Implementations must be deterministic
+/// functions of their arguments (plus construction-time seeds) — the
+/// same-seed replay guarantee of the simulator extends through them.
+pub trait ContentionManager: Send + Sync + std::fmt::Debug {
+    /// Which shipped policy this manager implements.
+    fn policy(&self) -> CmPolicy;
+
+    /// True when the manager needs no priority publication and no doom
+    /// checks; the driver then skips all CM work on the hot path.
+    fn is_passive(&self) -> bool {
+        false
+    }
+
+    /// The priority to publish for an attempt beginning at `now` (lower
+    /// wins; see [`beats`]).
+    fn priority(&self, tx: &CmTx, tid: usize, now: u64) -> u64;
+
+    /// Verdict for the `spins`-th consecutive `Busy` poll of one
+    /// operation (spinning on `enemy`'s lock when the identity is known).
+    fn on_busy(
+        &self,
+        spins: u32,
+        enemy: Option<usize>,
+        shared: &CmShared,
+        tx: &CmTx,
+        tid: usize,
+    ) -> SiteVerdict;
+
+    /// Verdict for an `Err(Conflict)` from the STM. `AbortSelf` follows
+    /// the STM contract (the attempt restarts); `Wait` is only sound when
+    /// the conflict is an encounter-time foreign lock (`enemy` is
+    /// `Some`), where the operation is retryable once the holder leaves.
+    fn on_conflict(
+        &self,
+        spins: u32,
+        enemy: Option<usize>,
+        shared: &CmShared,
+        tx: &CmTx,
+        tid: usize,
+    ) -> SiteVerdict;
+
+    /// The attempt aborted after wasting `wasted` cycles: bank karma and
+    /// count the attempt. Called for every abort, whatever the cause.
+    fn on_aborted(&self, tx: &mut CmTx, wasted: u64) {
+        tx.karma = tx.karma.saturating_add(wasted);
+        tx.attempts = tx.attempts.saturating_add(1);
+    }
+}
+
+/// Exponential loser backoff: 256 cycles doubling with each lost attempt,
+/// capped at 4096 — enough for a short winner to finish, small against
+/// the gate-wait latencies RAC already imposes.
+fn loser_backoff(tx: &CmTx) -> u64 {
+    tx.yield_backoff()
+}
+
+/// Shared site logic of the three priority policies (abort-the-younger,
+/// Karma, windowed-greedy): win ⇒ doom the enemy and wait it out; lose ⇒
+/// yield (keep spinning briefly on `Busy`, abort with backoff otherwise).
+fn priority_site(
+    busy: bool,
+    spins: u32,
+    enemy: Option<usize>,
+    shared: &CmShared,
+    tx: &CmTx,
+    tid: usize,
+) -> SiteVerdict {
+    if let Some(e) = enemy {
+        if e != tid && beats(tx.prio, tid, shared.prio_of(e), e) {
+            return SiteVerdict::Wait { kill: true };
+        }
+        if busy && spins < BUSY_PATIENCE {
+            return SiteVerdict::Wait { kill: false };
+        }
+        return SiteVerdict::AbortSelf {
+            backoff: loser_backoff(tx),
+        };
+    }
+    // Anonymous conflict (version advance, lost CAS, NOrec validation):
+    // nobody to outrank; fall back to the default shape.
+    if busy && spins < BUSY_PATIENCE {
+        SiteVerdict::Wait { kill: false }
+    } else {
+        SiteVerdict::AbortSelf { backoff: 0 }
+    }
+}
+
+/// The historical default: bounded spin on `Busy`, abort-self on
+/// `Conflict`, no shared state. Passive — the driver reproduces the
+/// pre-CM hot path exactly under this manager.
+#[derive(Debug, Default)]
+pub struct BackoffCm;
+
+impl ContentionManager for BackoffCm {
+    fn policy(&self) -> CmPolicy {
+        CmPolicy::Backoff
+    }
+
+    fn is_passive(&self) -> bool {
+        true
+    }
+
+    fn priority(&self, _tx: &CmTx, _tid: usize, _now: u64) -> u64 {
+        0
+    }
+
+    fn on_busy(
+        &self,
+        spins: u32,
+        _enemy: Option<usize>,
+        _shared: &CmShared,
+        _tx: &CmTx,
+        _tid: usize,
+    ) -> SiteVerdict {
+        if spins < BUSY_PATIENCE {
+            SiteVerdict::Wait { kill: false }
+        } else {
+            SiteVerdict::AbortSelf { backoff: 0 }
+        }
+    }
+
+    fn on_conflict(
+        &self,
+        _spins: u32,
+        _enemy: Option<usize>,
+        _shared: &CmShared,
+        _tx: &CmTx,
+        _tid: usize,
+    ) -> SiteVerdict {
+        SiteVerdict::AbortSelf { backoff: 0 }
+    }
+}
+
+/// Timestamp priority: the first-attempt timestamp *is* the priority, and
+/// it never changes, so a transaction only ages. Livelock-free: the
+/// oldest transaction in any conflict set wins all its conflicts and
+/// commits. Starvation-free: every transaction eventually becomes oldest.
+#[derive(Debug, Default)]
+pub struct AbortTheYoungerCm;
+
+impl ContentionManager for AbortTheYoungerCm {
+    fn policy(&self) -> CmPolicy {
+        CmPolicy::AbortTheYounger
+    }
+
+    fn priority(&self, tx: &CmTx, _tid: usize, _now: u64) -> u64 {
+        tx.tx_start
+    }
+
+    fn on_busy(
+        &self,
+        spins: u32,
+        enemy: Option<usize>,
+        shared: &CmShared,
+        tx: &CmTx,
+        tid: usize,
+    ) -> SiteVerdict {
+        priority_site(true, spins, enemy, shared, tx, tid)
+    }
+
+    fn on_conflict(
+        &self,
+        spins: u32,
+        enemy: Option<usize>,
+        shared: &CmShared,
+        tx: &CmTx,
+        tid: usize,
+    ) -> SiteVerdict {
+        priority_site(false, spins, enemy, shared, tx, tid)
+    }
+}
+
+/// Work-accounting priority: every aborted attempt banks its wasted
+/// cycles, and the bigger account wins. A repeatedly-victimised long
+/// transaction accumulates karma proportional to its own length per loss,
+/// so after O(len_victim / len_short) losses it outranks any short
+/// transaction — the abort streak is bounded by the work ratio. The
+/// account resets on commit (the state is per logical transaction).
+#[derive(Debug, Default)]
+pub struct KarmaCm;
+
+impl ContentionManager for KarmaCm {
+    fn policy(&self) -> CmPolicy {
+        CmPolicy::Karma
+    }
+
+    fn priority(&self, tx: &CmTx, _tid: usize, _now: u64) -> u64 {
+        // Lower wins: invert the account.
+        u64::MAX - tx.karma
+    }
+
+    fn on_busy(
+        &self,
+        spins: u32,
+        enemy: Option<usize>,
+        shared: &CmShared,
+        tx: &CmTx,
+        tid: usize,
+    ) -> SiteVerdict {
+        priority_site(true, spins, enemy, shared, tx, tid)
+    }
+
+    fn on_conflict(
+        &self,
+        spins: u32,
+        enemy: Option<usize>,
+        shared: &CmShared,
+        tx: &CmTx,
+        tid: usize,
+    ) -> SiteVerdict {
+        priority_site(false, spins, enemy, shared, tx, tid)
+    }
+}
+
+/// Never kill, never panic-abort early: wait out foreign lock holders
+/// with extended patience ([`WAIT_PATIENCE`] on `Busy`, a short bounded
+/// wait on retryable conflicts). Deadlock-free because all patience is
+/// bounded; makes no starvation promise — it is the conservative contrast
+/// point for the priority policies.
+#[derive(Debug, Default)]
+pub struct WaitVsAbortCm;
+
+/// How long wait-vs-abort re-polls a *conflict* site (an encounter-time
+/// foreign lock) before giving up and aborting itself.
+const CONFLICT_WAIT: u32 = 16;
+
+impl ContentionManager for WaitVsAbortCm {
+    fn policy(&self) -> CmPolicy {
+        CmPolicy::WaitVsAbort
+    }
+
+    fn priority(&self, _tx: &CmTx, _tid: usize, _now: u64) -> u64 {
+        // Published but never used to kill; lowest priority for everyone.
+        u64::MAX
+    }
+
+    fn on_busy(
+        &self,
+        spins: u32,
+        enemy: Option<usize>,
+        _shared: &CmShared,
+        _tx: &CmTx,
+        _tid: usize,
+    ) -> SiteVerdict {
+        let patience = if enemy.is_some() {
+            WAIT_PATIENCE
+        } else {
+            BUSY_PATIENCE
+        };
+        if spins < patience {
+            SiteVerdict::Wait { kill: false }
+        } else {
+            SiteVerdict::AbortSelf { backoff: 0 }
+        }
+    }
+
+    fn on_conflict(
+        &self,
+        spins: u32,
+        enemy: Option<usize>,
+        _shared: &CmShared,
+        _tx: &CmTx,
+        _tid: usize,
+    ) -> SiteVerdict {
+        if enemy.is_some() && spins < CONFLICT_WAIT {
+            // The writer waits briefly for the holder instead of killing
+            // it or immediately killing itself.
+            SiteVerdict::Wait { kill: false }
+        } else {
+            SiteVerdict::AbortSelf { backoff: 0 }
+        }
+    }
+}
+
+/// Randomized-interval priorities (Sharma, Estrade & Busch): virtual time
+/// is cut into windows of 2^[`GREEDY_WINDOW_BITS`] cycles and each
+/// transaction hashes `(seed, window, tid)` into its priority for that
+/// window. Within a window the winner is greedy (kills everyone); across
+/// windows the draw re-randomizes, so a loser's expected wait is O(#rivals)
+/// windows — the O(s)-competitive schedule of the paper.
+#[derive(Debug)]
+pub struct WindowedGreedyCm {
+    seed: u64,
+    window_bits: u32,
+}
+
+impl WindowedGreedyCm {
+    /// Manager with the given draw seed and the default window length.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            window_bits: GREEDY_WINDOW_BITS,
+        }
+    }
+
+    #[inline]
+    fn draw(&self, tid: usize, now: u64) -> u64 {
+        let window = now >> self.window_bits;
+        hash_u64(
+            self.seed
+                ^ window.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ (tid as u64).wrapping_mul(0xd1b5_4a32_d192_ed03),
+        )
+    }
+}
+
+impl ContentionManager for WindowedGreedyCm {
+    fn policy(&self) -> CmPolicy {
+        CmPolicy::WindowedGreedy
+    }
+
+    fn priority(&self, _tx: &CmTx, tid: usize, now: u64) -> u64 {
+        self.draw(tid, now)
+    }
+
+    fn on_busy(
+        &self,
+        spins: u32,
+        enemy: Option<usize>,
+        shared: &CmShared,
+        tx: &CmTx,
+        tid: usize,
+    ) -> SiteVerdict {
+        priority_site(true, spins, enemy, shared, tx, tid)
+    }
+
+    fn on_conflict(
+        &self,
+        spins: u32,
+        enemy: Option<usize>,
+        shared: &CmShared,
+        tx: &CmTx,
+        tid: usize,
+    ) -> SiteVerdict {
+        priority_site(false, spins, enemy, shared, tx, tid)
+    }
+}
+
+/// One view's contention-management runtime: the policy object plus the
+/// shared slots. Built by the view constructor from `VotmConfig`.
+#[derive(Debug)]
+pub struct CmInstance {
+    mgr: Box<dyn ContentionManager>,
+    shared: CmShared,
+    active: bool,
+}
+
+impl CmInstance {
+    /// Builds `policy` for a view with `n_threads` participants. `seed`
+    /// feeds the windowed-greedy draw (derive it deterministically, e.g.
+    /// from the view id, to preserve same-seed replay).
+    pub fn new(policy: CmPolicy, n_threads: u32, seed: u64) -> Self {
+        let mgr: Box<dyn ContentionManager> = match policy {
+            CmPolicy::Backoff => Box::new(BackoffCm),
+            CmPolicy::AbortTheYounger => Box::new(AbortTheYoungerCm),
+            CmPolicy::Karma => Box::new(KarmaCm),
+            CmPolicy::WaitVsAbort => Box::new(WaitVsAbortCm),
+            CmPolicy::WindowedGreedy => Box::new(WindowedGreedyCm::new(seed)),
+        };
+        let active = !mgr.is_passive();
+        Self {
+            mgr,
+            shared: CmShared::new(n_threads),
+            active,
+        }
+    }
+
+    /// The policy object.
+    #[inline]
+    pub fn manager(&self) -> &dyn ContentionManager {
+        self.mgr.as_ref()
+    }
+
+    /// The shared slots.
+    #[inline]
+    pub fn shared(&self) -> &CmShared {
+        &self.shared
+    }
+
+    /// False for passive managers (the driver skips all CM work).
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Which policy is installed.
+    #[inline]
+    pub fn policy(&self) -> CmPolicy {
+        self.mgr.policy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_reproduces_the_historical_busy_limit() {
+        let cm = BackoffCm;
+        let shared = CmShared::new(4);
+        let tx = CmTx::new(0);
+        for spins in 1..BUSY_PATIENCE {
+            assert_eq!(
+                cm.on_busy(spins, Some(1), &shared, &tx, 0),
+                SiteVerdict::Wait { kill: false }
+            );
+        }
+        assert_eq!(
+            cm.on_busy(BUSY_PATIENCE, Some(1), &shared, &tx, 0),
+            SiteVerdict::AbortSelf { backoff: 0 }
+        );
+        assert_eq!(
+            cm.on_conflict(1, Some(1), &shared, &tx, 0),
+            SiteVerdict::AbortSelf { backoff: 0 }
+        );
+        assert!(cm.is_passive());
+    }
+
+    #[test]
+    fn priority_order_is_total_exactly_one_side_wins() {
+        for (pa, pb) in [(1u64, 2u64), (2, 1), (7, 7)] {
+            let a_wins = beats(pa, 0, pb, 1);
+            let b_wins = beats(pb, 1, pa, 0);
+            assert_ne!(a_wins, b_wins, "({pa},{pb}): exactly one side must win");
+        }
+    }
+
+    #[test]
+    fn doom_is_epoch_guarded_and_cleared_by_attempt_begin() {
+        let shared = CmShared::new(4);
+        let e1 = shared.attempt_begin(2, 10);
+        assert_eq!(shared.doomed_by(2, e1), None);
+        assert!(shared.try_doom(2, 0));
+        assert!(!shared.try_doom(2, 1), "second doom must not re-fire");
+        assert_eq!(shared.doomed_by(2, e1), Some(0));
+        // A new attempt clears the mark and invalidates the old epoch.
+        let e2 = shared.attempt_begin(2, 11);
+        assert_ne!(e1, e2);
+        assert_eq!(shared.doomed_by(2, e2), None);
+        assert_eq!(shared.doomed_by(2, e1), None, "stale epoch must not doom");
+    }
+
+    #[test]
+    fn abort_the_younger_lets_the_older_kill_and_the_younger_yield() {
+        let cm = AbortTheYoungerCm;
+        let shared = CmShared::new(2);
+        let old = CmTx {
+            prio: 100,
+            ..CmTx::new(100)
+        };
+        let young = CmTx {
+            prio: 900,
+            ..CmTx::new(900)
+        };
+        shared.attempt_begin(0, old.prio);
+        shared.attempt_begin(1, young.prio);
+        assert_eq!(
+            cm.on_conflict(1, Some(1), &shared, &old, 0),
+            SiteVerdict::Wait { kill: true }
+        );
+        match cm.on_conflict(1, Some(0), &shared, &young, 1) {
+            SiteVerdict::AbortSelf { backoff } => assert_eq!(backoff, LOSER_BACKOFF_BASE),
+            v => panic!("younger must yield, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn karma_banks_wasted_work_and_outranks_fresh_transactions() {
+        let cm = KarmaCm;
+        let mut long = CmTx::new(0);
+        cm.on_aborted(&mut long, 10_000);
+        cm.on_aborted(&mut long, 10_000);
+        assert_eq!(long.karma, 20_000);
+        assert_eq!(long.attempts, 2);
+        let fresh = CmTx::new(50);
+        assert!(beats(
+            cm.priority(&long, 0, 123),
+            0,
+            cm.priority(&fresh, 1, 123),
+            1
+        ));
+    }
+
+    #[test]
+    fn loser_backoff_grows_then_caps() {
+        let mut tx = CmTx::new(0);
+        let mut prev = 0;
+        for _ in 0..8 {
+            let b = loser_backoff(&tx);
+            assert!(b >= prev);
+            assert!(b <= LOSER_BACKOFF_BASE << 4);
+            prev = b;
+            tx.attempts += 1;
+        }
+        assert_eq!(loser_backoff(&tx), LOSER_BACKOFF_BASE << 4);
+    }
+
+    #[test]
+    fn wait_vs_abort_waits_longer_and_never_kills() {
+        let cm = WaitVsAbortCm;
+        let shared = CmShared::new(2);
+        let tx = CmTx::new(0);
+        assert_eq!(
+            cm.on_busy(BUSY_PATIENCE + 1, Some(1), &shared, &tx, 0),
+            SiteVerdict::Wait { kill: false },
+            "must outwait the default patience on a known holder"
+        );
+        assert_eq!(
+            cm.on_busy(WAIT_PATIENCE, Some(1), &shared, &tx, 0),
+            SiteVerdict::AbortSelf { backoff: 0 }
+        );
+        assert_eq!(
+            cm.on_conflict(1, Some(1), &shared, &tx, 0),
+            SiteVerdict::Wait { kill: false }
+        );
+        assert_eq!(
+            cm.on_conflict(CONFLICT_WAIT, Some(1), &shared, &tx, 0),
+            SiteVerdict::AbortSelf { backoff: 0 }
+        );
+    }
+
+    #[test]
+    fn windowed_greedy_redraws_across_windows() {
+        let cm = WindowedGreedyCm::new(0xABCD);
+        let tx = CmTx::new(0);
+        let w = 1u64 << GREEDY_WINDOW_BITS;
+        // Same window ⇒ same draw; the draw is a pure function.
+        assert_eq!(cm.priority(&tx, 3, 10), cm.priority(&tx, 3, w - 1));
+        // Across many windows the relative order of two threads flips at
+        // least once — the re-randomization that prevents starvation.
+        let mut saw_a_wins = false;
+        let mut saw_b_wins = false;
+        for k in 0..64u64 {
+            let now = k * w;
+            let pa = cm.priority(&tx, 0, now);
+            let pb = cm.priority(&tx, 1, now);
+            if beats(pa, 0, pb, 1) {
+                saw_a_wins = true;
+            } else {
+                saw_b_wins = true;
+            }
+        }
+        assert!(
+            saw_a_wins && saw_b_wins,
+            "order never flipped in 64 windows"
+        );
+    }
+
+    #[test]
+    fn instance_builds_every_policy() {
+        for p in CmPolicy::ALL {
+            let inst = CmInstance::new(p, 8, 42);
+            assert_eq!(inst.policy(), p);
+            assert_eq!(inst.active(), p != CmPolicy::Backoff);
+            assert_eq!(CmPolicy::from_name(p.name()), Some(p));
+        }
+        assert_eq!(CmPolicy::from_name("nope"), None);
+    }
+}

@@ -50,6 +50,11 @@ pub struct FaultPlan {
     /// Hard cap on injected panics across the whole run (so chaos runs
     /// with `panic_percent > 0` still make progress).
     pub max_panics: u64,
+    /// Restrict the plan to one task: `Some(t)` delivers faults only at
+    /// task `t`'s fault points; every other task runs fault-free. `None`
+    /// (the default) targets all tasks. Adversarial scenarios use this to
+    /// aim delays at a single victim transaction.
+    pub target_task: Option<usize>,
 }
 
 impl Default for FaultPlan {
@@ -61,16 +66,21 @@ impl Default for FaultPlan {
             delay_percent: 0,
             max_delay: 100,
             max_panics: u64::MAX,
+            target_task: None,
         }
     }
 }
 
 impl FaultPlan {
     /// The per-task fault PRNG: derived from the plan seed and the task id
-    /// only, so each task's draw sequence is schedule-independent.
-    pub(crate) fn rng_for_task(&self, task: usize) -> XorShift64 {
+    /// only, so each task's draw sequence is schedule-independent. `None`
+    /// when the plan targets a different task.
+    pub(crate) fn rng_for_task(&self, task: usize) -> Option<XorShift64> {
+        if self.target_task.is_some_and(|t| t != task) {
+            return None;
+        }
         let mut sm = SplitMix64::new(self.seed ^ (task as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        sm.derive()
+        Some(sm.derive())
     }
 }
 
@@ -115,4 +125,31 @@ pub enum PanicPolicy {
     /// remaining tasks. Chaos runs use this to prove the *other* tasks
     /// survive a crashed sibling.
     Isolate,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targeted_plan_faults_only_the_victim() {
+        let broad = FaultPlan {
+            seed: 7,
+            delay_percent: 50,
+            ..Default::default()
+        };
+        let aimed = FaultPlan {
+            target_task: Some(2),
+            ..broad
+        };
+        assert!(aimed.rng_for_task(0).is_none());
+        assert!(aimed.rng_for_task(1).is_none());
+        // The victim's draw sequence is unchanged by the targeting, so a
+        // broad plan narrowed to one task replays that task identically.
+        let mut a = aimed.rng_for_task(2).expect("victim draws faults");
+        let mut b = broad.rng_for_task(2).expect("broad plan covers task 2");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
 }

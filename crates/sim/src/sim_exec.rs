@@ -629,7 +629,7 @@ impl SimExecutor {
             .config
             .fault_plan
             .as_ref()
-            .map(|p| p.rng_for_task(task as usize));
+            .and_then(|p| p.rng_for_task(task as usize));
         // SAFETY: owner thread; no other state borrow is live here.
         let inner = unsafe { self.shared.state() };
         inner.tasks.push(TaskSlot {

@@ -252,6 +252,21 @@ impl TxCtx {
         }
     }
 
+    /// Thread index of the lock holder behind the most recent `Err(Busy)`
+    /// or `Err(Conflict)`, when the algorithm's metadata names one (orec
+    /// lock words carry the owner's identity). `None` for NOrec — value
+    /// validation never learns who overwrote the snapshot — for anonymous
+    /// conflicts (version advance, lost CAS races) and for direct mode.
+    /// Only meaningful between that error and the next operation; this is
+    /// the identity the contention manager's priority policies act on.
+    pub fn conflict_enemy(&self) -> Option<usize> {
+        match &self.mode {
+            Mode::NOrec(_) | Mode::Direct(_) => None,
+            Mode::Orec(tx) => tx.conflict_enemy(),
+            Mode::Lazy(tx) => tx.conflict_enemy(),
+        }
+    }
+
     /// True while an attempt is live (begun and neither committed nor
     /// aborted). Direct contexts report `false`: lock-mode sections hold no
     /// transactional state to roll back.

@@ -156,6 +156,10 @@ pub struct OrecTx {
     /// Why the most recent `Err(Conflict)` happened (see
     /// [`OrecTx::conflict_reason`]).
     last_conflict: AbortReason,
+    /// Thread index of the lock holder behind the most recent
+    /// `Err(Busy)`/`Err(Conflict)`, when the orec encoding names one (see
+    /// [`OrecTx::conflict_enemy`]).
+    last_enemy: Option<usize>,
 }
 
 impl OrecTx {
@@ -171,6 +175,7 @@ impl OrecTx {
             active: false,
             commit_version: None,
             last_conflict: AbortReason::Explicit,
+            last_enemy: None,
         }
     }
 
@@ -178,6 +183,20 @@ impl OrecTx {
     /// returned. Only meaningful between that error and the next `begin`.
     pub fn conflict_reason(&self) -> AbortReason {
         self.last_conflict
+    }
+
+    /// Thread index of the transaction that held the orec behind the most
+    /// recent `Err(Busy)` or `Err(Conflict)`, when the lock word named one.
+    /// `None` for anonymous conflicts (version advance, lost CAS races).
+    /// Only meaningful between that error and the next operation.
+    pub fn conflict_enemy(&self) -> Option<usize> {
+        self.last_enemy
+    }
+
+    /// Converts a locked orec word into the holder's 0-based thread index.
+    #[inline]
+    fn enemy_of(ov: u64) -> Option<usize> {
+        Some(owner_of(ov) as usize - 1)
     }
 
     /// Starts an attempt (never Busy: there is no global lock to wait on).
@@ -190,6 +209,7 @@ impl OrecTx {
         self.work += cost::BEGIN;
         self.active = true;
         self.commit_version = None;
+        self.last_enemy = None;
         Ok(())
     }
 
@@ -204,11 +224,13 @@ impl OrecTx {
             if is_locked(ov) {
                 if owner_of(ov) != self.owner {
                     self.last_conflict = AbortReason::OrecConflict;
+                    self.last_enemy = Self::enemy_of(ov);
                     return Err(OpError::Conflict);
                 }
             } else if version_of(ov) > self.start {
                 // Re-written since we read it: the value we hold is stale.
                 self.last_conflict = AbortReason::OrecConflict;
+                self.last_enemy = None;
                 return Err(OpError::Conflict);
             }
         }
@@ -238,6 +260,7 @@ impl OrecTx {
             // until the lock is released rather than aborting — only
             // write-write conflicts abort at encounter time. `Busy` is the
             // polled equivalent of that spin.
+            self.last_enemy = Self::enemy_of(pre);
             return Err(OpError::Busy);
         }
         if version_of(pre) > self.start {
@@ -249,6 +272,11 @@ impl OrecTx {
         if post != pre {
             // Changed under us (locked or re-versioned): transient — the
             // caller may retry this read, which will re-examine the orec.
+            self.last_enemy = if is_locked(post) {
+                Self::enemy_of(post)
+            } else {
+                None
+            };
             return Err(OpError::Busy);
         }
         self.reads.push(idx as u32);
@@ -269,6 +297,7 @@ impl OrecTx {
             }
             // Write-write conflict detected at encounter time.
             self.last_conflict = AbortReason::OrecConflict;
+            self.last_enemy = Self::enemy_of(ov);
             return Err(OpError::Conflict);
         }
         if version_of(ov) > self.start {
@@ -287,7 +316,10 @@ impl OrecTx {
                 Ok(())
             }
             // Lost the race for the orec; transient, re-examine on retry.
-            Err(_) => Err(OpError::Busy),
+            Err(_) => {
+                self.last_enemy = None;
+                Err(OpError::Busy)
+            }
         }
     }
 
@@ -314,10 +346,12 @@ impl OrecTx {
                 if is_locked(ov) {
                     if owner_of(ov) != self.owner {
                         self.last_conflict = AbortReason::OrecConflict;
+                        self.last_enemy = Self::enemy_of(ov);
                         return Err(OpError::Conflict);
                     }
                 } else if version_of(ov) > self.start {
                     self.last_conflict = AbortReason::OrecConflict;
+                    self.last_enemy = None;
                     return Err(OpError::Conflict);
                 }
             }

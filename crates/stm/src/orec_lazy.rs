@@ -44,6 +44,10 @@ pub struct OrecLazyTx {
     /// Why the most recent `Err(Conflict)` happened (see
     /// [`OrecLazyTx::conflict_reason`]).
     last_conflict: AbortReason,
+    /// Lock holder behind the most recent `Err(Busy)`/`Err(Conflict)`,
+    /// when one was named by the orec word (see
+    /// [`OrecLazyTx::conflict_enemy`]).
+    last_enemy: Option<usize>,
 }
 
 impl OrecLazyTx {
@@ -59,6 +63,7 @@ impl OrecLazyTx {
             active: false,
             commit_version: None,
             last_conflict: AbortReason::Explicit,
+            last_enemy: None,
         }
     }
 
@@ -66,6 +71,18 @@ impl OrecLazyTx {
     /// returned. Only meaningful between that error and the next `begin`.
     pub fn conflict_reason(&self) -> AbortReason {
         self.last_conflict
+    }
+
+    /// Thread index of the committer that held the orec behind the most
+    /// recent `Err(Busy)`/`Err(Conflict)`, if the lock word named one.
+    pub fn conflict_enemy(&self) -> Option<usize> {
+        self.last_enemy
+    }
+
+    /// Converts a locked orec word into the holder's 0-based thread index.
+    #[inline]
+    fn enemy_of(ov: u64) -> Option<usize> {
+        Some(owner_of(ov) as usize - 1)
     }
 
     /// Starts an attempt.
@@ -78,6 +95,7 @@ impl OrecLazyTx {
         self.work += cost::BEGIN;
         self.active = true;
         self.commit_version = None;
+        self.last_enemy = None;
         Ok(())
     }
 
@@ -90,6 +108,11 @@ impl OrecLazyTx {
             let ov = global.orec_at(idx as usize).load(Ordering::Acquire);
             if is_locked(ov) || version_of(ov) > self.start {
                 self.last_conflict = AbortReason::OrecConflict;
+                self.last_enemy = if is_locked(ov) {
+                    Self::enemy_of(ov)
+                } else {
+                    None
+                };
                 return Err(OpError::Conflict);
             }
         }
@@ -109,6 +132,7 @@ impl OrecLazyTx {
         let pre = global.orec_at(idx).load(Ordering::Acquire);
         if is_locked(pre) {
             // A committer holds it; its window is short — wait it out.
+            self.last_enemy = Self::enemy_of(pre);
             return Err(OpError::Busy);
         }
         if version_of(pre) > self.start {
@@ -117,6 +141,11 @@ impl OrecLazyTx {
         let v = heap.load(addr);
         let post = global.orec_at(idx).load(Ordering::Acquire);
         if post != pre {
+            self.last_enemy = if is_locked(post) {
+                Self::enemy_of(post)
+            } else {
+                None
+            };
             return Err(OpError::Busy);
         }
         self.reads.push(idx as u32);
@@ -157,6 +186,7 @@ impl OrecLazyTx {
                 // commit windows mean the winner finishes, so no livelock).
                 self.release_locks(global);
                 self.last_conflict = AbortReason::OrecConflict;
+                self.last_enemy = Self::enemy_of(ov);
                 return Err(OpError::Conflict);
             }
             if version_of(ov) > self.start {
@@ -177,6 +207,7 @@ impl OrecLazyTx {
                 Err(_) => {
                     // Lost the race this instant; transient.
                     self.release_locks(global);
+                    self.last_enemy = None;
                     return Err(OpError::Busy);
                 }
             }
@@ -185,12 +216,14 @@ impl OrecLazyTx {
         if end != self.start + 1 {
             self.work += cost::VALIDATE_WORD * self.reads.len() as u64;
             let mut conflict = false;
+            let mut enemy = None;
             for i in 0..self.reads.len() {
                 let idx = self.reads.get(i);
                 let ov = global.orec_at(idx as usize).load(Ordering::Acquire);
                 if is_locked(ov) {
                     if owner_of(ov) != self.owner {
                         conflict = true;
+                        enemy = Self::enemy_of(ov);
                         break;
                     }
                 } else if version_of(ov) > self.start {
@@ -201,6 +234,7 @@ impl OrecLazyTx {
             if conflict {
                 self.release_locks(global);
                 self.last_conflict = AbortReason::OrecConflict;
+                self.last_enemy = enemy;
                 return Err(OpError::Conflict);
             }
         }

@@ -47,6 +47,7 @@ fn storm(algo: TmAlgorithm, sim_seed: u64, fault_seed: u64) {
             max_delay: 500,
             panic_percent: 1,
             max_panics: 3,
+            ..Default::default()
         }),
         ..Default::default()
     });

@@ -1,0 +1,65 @@
+//! Per-policy determinism: every contention-management policy is a pure
+//! function of the run's seeds, so replaying the same seeded simulation
+//! twice under any policy must export byte-identical documents — Chrome
+//! trace (every event, timestamp, and `cm_kill` record) and the
+//! `votm-obs-snapshot-v1` schema alike.
+//!
+//! This is the same-seed replay guarantee the scheduler differential
+//! (`determinism_differential.rs`) pins for the default path, extended to
+//! the whole policy surface: timestamp priorities, Karma's banked work,
+//! wait-vs-abort's patience loops, and windowed-greedy's seeded window
+//! draws all derive from virtual time and per-thread seeds, never from
+//! host entropy.
+
+use votm::{CmPolicy, TmAlgorithm};
+use votm_bench::{capture_trace_cm, capture_trace_sim, Settings};
+use votm_sim::SimConfig;
+
+fn settings() -> Settings {
+    Settings {
+        eigen_scale: 0.0003,
+        ..Default::default()
+    }
+}
+
+fn sim(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn every_policy_replays_byte_identical_exports() {
+    let settings = settings();
+    for policy in CmPolicy::ALL {
+        for seed in [1u64, 42] {
+            let a = capture_trace_cm(&settings, TmAlgorithm::OrecEagerRedo, sim(seed), policy);
+            let b = capture_trace_cm(&settings, TmAlgorithm::OrecEagerRedo, sim(seed), policy);
+            assert_eq!(
+                a.chrome_trace, b.chrome_trace,
+                "{policy:?} seed {seed}: chrome trace diverged across replays"
+            );
+            assert_eq!(
+                a.snapshot, b.snapshot,
+                "{policy:?} seed {seed}: snapshot export diverged across replays"
+            );
+            let commits: u64 = a.views.iter().map(|v| v.tm.commits).sum();
+            assert!(commits > 0, "{policy:?} seed {seed}: nothing committed");
+        }
+    }
+}
+
+/// The backoff policy is *passive*: the driver takes the exact
+/// conflict-handling path the pre-policy code did, so a backoff capture is
+/// byte-identical to the default capture — not merely deterministic.
+#[test]
+fn passive_backoff_matches_the_default_capture_exactly() {
+    let settings = settings();
+    for algo in [TmAlgorithm::NOrec, TmAlgorithm::OrecEagerRedo] {
+        let default = capture_trace_sim(&settings, algo, sim(7));
+        let backoff = capture_trace_cm(&settings, algo, sim(7), CmPolicy::Backoff);
+        assert_eq!(default.chrome_trace, backoff.chrome_trace, "{algo:?}");
+        assert_eq!(default.snapshot, backoff.snapshot, "{algo:?}");
+    }
+}
