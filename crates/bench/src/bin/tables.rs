@@ -89,11 +89,15 @@ fn parse_args() -> Args {
 const GATE_EIGEN_SCALE: f64 = 0.001;
 
 /// Output artifact of `--json`: the PR-numbered benchmark trajectory file.
-const GATE_ARTIFACT: &str = "BENCH_5.json";
+const GATE_ARTIFACT: &str = "BENCH_6.json";
 
 /// Sidecar artifact of `--json`: the per-policy comparison table
 /// (markdown), built from the gate's policy rows.
 const POLICY_ARTIFACT: &str = "policy_table.md";
+
+/// Sidecar artifact of `--json`: the per-clock-source comparison table
+/// (markdown), built from the gate's clock-variant rows.
+const CLOCK_ARTIFACT: &str = "clock_table.md";
 
 fn run_json_gate(mut settings: Settings, eigen_scale_set: bool) {
     if !eigen_scale_set {
@@ -107,23 +111,28 @@ fn run_json_gate(mut settings: Settings, eigen_scale_set: bool) {
     let policy_md = fmt::policy_table(&rows);
     std::fs::write(POLICY_ARTIFACT, &policy_md)
         .unwrap_or_else(|e| panic!("cannot write {POLICY_ARTIFACT}: {e}"));
+    let clock_md = fmt::clock_table(&rows);
+    std::fs::write(CLOCK_ARTIFACT, &clock_md)
+        .unwrap_or_else(|e| panic!("cannot write {CLOCK_ARTIFACT}: {e}"));
     let wall_total: f64 = rows.iter().map(|r| r.wall_s).sum();
     eprintln!(
-        "wrote {GATE_ARTIFACT} and {POLICY_ARTIFACT}: {} rows in {:.1}s wall time \
-         ({wall_total:.2}s summed row wall_s)",
+        "wrote {GATE_ARTIFACT}, {POLICY_ARTIFACT} and {CLOCK_ARTIFACT}: {} rows in {:.1}s \
+         wall time ({wall_total:.2}s summed row wall_s)",
         rows.len(),
         t0.elapsed().as_secs_f64()
     );
     for r in &rows {
         eprintln!(
-            "  {:>14} {:>15} {:>11} N={:<2} -> {:>12.1} txns/vsec (abort rate {:.3}, \
-             gate fast-path {:.3}, wall {:.2}s)",
+            "  {:>14} {:>15} {:>11} {:>11} N={:<2} -> {:>12.1} txns/vsec (abort rate {:.3}, \
+             busy/commit {:.2}, gate fast-path {:.3}, wall {:.2}s)",
             r.algo,
             r.policy,
+            r.clock,
             r.version,
             r.n_threads,
             r.txns_per_vsec,
             r.abort_rate,
+            r.busy_retries_per_commit,
             r.gate_fast_path_hit_rate,
             r.wall_s
         );

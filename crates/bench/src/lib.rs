@@ -20,7 +20,7 @@ pub mod harness;
 
 use std::sync::Arc;
 
-use votm::{CmPolicy, FlightRecorder, QuotaMode, TmAlgorithm, ViewStats};
+use votm::{ClockKind, CmPolicy, FlightRecorder, QuotaMode, TmAlgorithm, ViewStats};
 use votm_eigenbench::{EigenConfig, EigenResult};
 use votm_intruder::{GenConfig, Input, IntruderResult};
 use votm_obs::export::{self, ViewReport};
@@ -456,6 +456,11 @@ pub struct GateRow {
     /// ([`CmPolicy::name`]). `"backoff"` rows are the regression-gated
     /// default; the other policies are comparison rows.
     pub policy: &'static str,
+    /// Clock strategy the row's views ran ([`ClockKind::name`]). `"global"`
+    /// rows are the regression-gated default; the other kinds are the
+    /// clock-variant comparison rows measured head-to-head in
+    /// `clock_table.md`.
+    pub clock: &'static str,
     /// Eigenbench version label ("single-view" = 1 view, "multi-view" = 2).
     pub version: &'static str,
     /// Number of views the version partitions memory into.
@@ -487,6 +492,17 @@ pub struct GateRow {
     pub slow_acquires: u64,
     /// Busy-wait retries (seqlock held, lost CAS race; not aborts).
     pub busy_retries: u64,
+    /// `busy_retries / commits` (0 when idle) — how many spin retries each
+    /// committed transaction paid on average. The derived form of the
+    /// paper's global-clock bottleneck: under single-view NOrec at N = 16
+    /// this dwarfs 1, and it is the number the clock variants attack.
+    pub busy_retries_per_commit: f64,
+    /// Clock bumps actually taken (fetch-add or shard tick), summed over
+    /// views and seeds. See `votm_stm::clock::ClockStats::bumps`.
+    pub clock_bumps: u64,
+    /// Clock bumps elided or banked (epoch coalescing, GV5 reuse, SNZI
+    /// solo-skip), summed over views and seeds. Always 0 under `"global"`.
+    pub clock_bump_skips: u64,
     /// Cycles threads spent blocked at admission gates.
     pub gate_wait_cycles: u64,
     /// Median commit latency in cycles (bucket upper bound), from the
@@ -512,7 +528,8 @@ pub const GATE_THREADS: [u32; 2] = [4, 16];
 pub const GATE_SEEDS: u64 = 3;
 
 /// One aggregated gate configuration: `algo` × `version` × `n` threads ×
-/// `policy`, summed over `n_seeds` consecutive seeds.
+/// `policy` × `clock`, summed over `n_seeds` consecutive seeds.
+#[allow(clippy::too_many_arguments)] // crate-internal, two call sites
 fn gate_config_row(
     settings: &Settings,
     algo: TmAlgorithm,
@@ -520,6 +537,7 @@ fn gate_config_row(
     n: u32,
     n_seeds: u64,
     policy: CmPolicy,
+    clock: ClockKind,
 ) -> GateRow {
     let t0 = std::time::Instant::now();
     let mut status = RunStatus::Completed;
@@ -528,13 +546,14 @@ fn gate_config_row(
     let (mut fast, mut slow) = (0u64, 0u64);
     let (mut busy, mut gate_wait) = (0u64, 0u64);
     let (mut sim_steps, mut coalesced) = (0u64, 0u64);
+    let (mut bumps, mut bump_skips) = (0u64, 0u64);
     let mut commit_hist = HistogramSnapshot::default();
     for seed_off in 0..n_seeds {
         let mut s = *settings;
         s.n_threads = n;
         s.seed = settings.seed.wrapping_add(seed_off);
         let recorder = Arc::new(FlightRecorder::with_default_capacity(n as usize));
-        let res = votm_eigenbench::run_sim_cm(
+        let res = votm_eigenbench::run_sim_clock(
             &s.eigen_config(),
             algo,
             version,
@@ -542,6 +561,7 @@ fn gate_config_row(
             s.sim(None),
             Some(recorder),
             policy,
+            clock,
         );
         if res.outcome.status != RunStatus::Completed {
             status = res.outcome.status;
@@ -554,6 +574,8 @@ fn gate_config_row(
         slow += res.views.iter().map(|v| v.gate.slow_acquires).sum::<u64>();
         busy += res.views.iter().map(|v| v.tm.busy_retries).sum::<u64>();
         gate_wait += res.views.iter().map(|v| v.tm.gate_wait_cycles).sum::<u64>();
+        bumps += res.views.iter().map(|v| v.clock.bumps).sum::<u64>();
+        bump_skips += res.views.iter().map(|v| v.clock.bump_skips).sum::<u64>();
         sim_steps += res.outcome.steps;
         coalesced += res.outcome.sched.coalesced;
         for v in &res.views {
@@ -566,6 +588,7 @@ fn gate_config_row(
     GateRow {
         algo: algo.name(),
         policy: policy.name(),
+        clock: clock.name(),
         version: version.name(),
         n_views,
         n_threads: n,
@@ -592,6 +615,13 @@ fn gate_config_row(
         fast_acquires: fast,
         slow_acquires: slow,
         busy_retries: busy,
+        busy_retries_per_commit: if commits == 0 {
+            0.0
+        } else {
+            busy as f64 / commits as f64
+        },
+        clock_bumps: bumps,
+        clock_bump_skips: bump_skips,
         gate_wait_cycles: gate_wait,
         commit_p50_cycles: commit_hist.quantile(0.50),
         commit_p99_cycles: commit_hist.quantile(0.99),
@@ -608,6 +638,11 @@ fn gate_config_row(
 /// contention-management policy × algorithm (single-view, N = 16, one
 /// seed): not regression-gated, but CI checks every one *completes* — a
 /// policy that livelocks or starves the gate workload fails the build.
+/// Finally one row per non-default clock kind × algorithm (single-view,
+/// N = 16, one seed, backoff): the head-to-head clock-variant comparison
+/// `clock_table.md` formats; CI checks presence, completion and the 0.95×
+/// throughput floor, and the default-clock rows above stay bit-identical
+/// to the previous artifact because [`ClockKind::Global`] is untouched.
 ///
 /// Every run executes with a live [`FlightRecorder`] attached, so the gated
 /// numbers *include* the observability layer's recording cost — the rows
@@ -627,6 +662,7 @@ pub fn throughput_gate(settings: &Settings) -> Vec<GateRow> {
                     n,
                     GATE_SEEDS,
                     CmPolicy::Backoff,
+                    ClockKind::Global,
                 ));
             }
         }
@@ -644,6 +680,23 @@ pub fn throughput_gate(settings: &Settings) -> Vec<GateRow> {
                 n,
                 1,
                 policy,
+                ClockKind::Global,
+            ));
+        }
+    }
+    for clock in ClockKind::ALL {
+        if clock == ClockKind::Global {
+            continue; // already the full gated matrix above
+        }
+        for algo in TmAlgorithm::ALL {
+            rows.push(gate_config_row(
+                settings,
+                algo,
+                votm_eigenbench::Version::SingleView,
+                n,
+                1,
+                CmPolicy::Backoff,
+                clock,
             ));
         }
     }
@@ -693,10 +746,25 @@ pub fn capture_trace_cm(
     sim: SimConfig,
     policy: CmPolicy,
 ) -> TraceCapture {
+    capture_trace_clock(settings, algo, sim, policy, ClockKind::Global)
+}
+
+/// [`capture_trace_cm`] under an explicit clock strategy. Each clock kind
+/// is still a deterministic function of the seeds — shard indices derive
+/// from addresses, epoch banking from the commit interleaving — so two
+/// captures with identical arguments are byte-identical whatever the
+/// clock; the per-clock determinism suite asserts exactly that.
+pub fn capture_trace_clock(
+    settings: &Settings,
+    algo: TmAlgorithm,
+    sim: SimConfig,
+    policy: CmPolicy,
+    clock: ClockKind,
+) -> TraceCapture {
     let recorder = Arc::new(FlightRecorder::with_default_capacity(
         settings.n_threads as usize,
     ));
-    let res = votm_eigenbench::run_sim_cm(
+    let res = votm_eigenbench::run_sim_clock(
         &settings.eigen_config(),
         algo,
         votm_eigenbench::Version::MultiView,
@@ -704,6 +772,7 @@ pub fn capture_trace_cm(
         sim,
         Some(Arc::clone(&recorder)),
         policy,
+        clock,
     );
     let threads = recorder.snapshot();
     let reports: Vec<ViewReport> = res
@@ -776,15 +845,19 @@ pub fn gate_rows_to_json(settings: &Settings, rows: &[GateRow]) -> String {
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"algo\": {}, \"policy\": {}, \"version\": {}, \"n_views\": {}, \"n_threads\": {}, \
+            "    {{\"algo\": {}, \"policy\": {}, \"clock\": {}, \"version\": {}, \
+             \"n_views\": {}, \"n_threads\": {}, \
              \"status\": {}, \"commits\": {}, \"aborts\": {}, \"abort_rate\": {}, \
              \"vtime\": {}, \"txns_per_vsec\": {}, \"wall_s\": {}, \
              \"gate_fast_path_hit_rate\": {}, \"fast_acquires\": {}, \
-             \"slow_acquires\": {}, \"busy_retries\": {}, \"gate_wait_cycles\": {}, \
+             \"slow_acquires\": {}, \"busy_retries\": {}, \
+             \"busy_retries_per_commit\": {}, \"clock_bumps\": {}, \
+             \"clock_bump_skips\": {}, \"gate_wait_cycles\": {}, \
              \"commit_p50_cycles\": {}, \"commit_p99_cycles\": {}, \
              \"sim_steps\": {}, \"coalesced_polls\": {}}}{}\n",
             json_str(r.algo),
             json_str(r.policy),
+            json_str(r.clock),
             json_str(r.version),
             r.n_views,
             r.n_threads,
@@ -804,6 +877,9 @@ pub fn gate_rows_to_json(settings: &Settings, rows: &[GateRow]) -> String {
             r.fast_acquires,
             r.slow_acquires,
             r.busy_retries,
+            json_f64(r.busy_retries_per_commit),
+            r.clock_bumps,
+            r.clock_bump_skips,
             r.gate_wait_cycles,
             r.commit_p50_cycles,
             r.commit_p99_cycles,
@@ -926,12 +1002,17 @@ mod tests {
         let rows = throughput_gate(&s);
         // 3 algorithms × 2 versions × GATE_THREADS.len() thread counts of
         // the gated default, plus one comparison row per non-default
-        // policy × algorithm.
+        // policy × algorithm, plus one per non-default clock × algorithm.
         assert_eq!(
             rows.len(),
-            3 * 2 * GATE_THREADS.len() + (CmPolicy::ALL.len() - 1) * 3
+            3 * 2 * GATE_THREADS.len()
+                + (CmPolicy::ALL.len() - 1) * 3
+                + (ClockKind::ALL.len() - 1) * 3
         );
-        let backoff_rows = rows.iter().filter(|r| r.policy == "backoff").count();
+        let backoff_rows = rows
+            .iter()
+            .filter(|r| r.policy == "backoff" && r.clock == "global")
+            .count();
         assert_eq!(backoff_rows, 3 * 2 * GATE_THREADS.len());
         for p in CmPolicy::ALL {
             assert!(
@@ -939,6 +1020,27 @@ mod tests {
                 "missing policy rows for {}",
                 p.name()
             );
+        }
+        for k in ClockKind::ALL {
+            let kind_rows: Vec<_> = rows.iter().filter(|r| r.clock == k.name()).collect();
+            assert!(!kind_rows.is_empty(), "missing clock rows for {}", k.name());
+            for r in kind_rows {
+                // Non-default clocks only appear in the single-view N=16
+                // backoff comparison block.
+                if k != ClockKind::Global {
+                    assert_eq!(r.policy, "backoff", "{r:?}");
+                    assert_eq!(r.version, "single-view", "{r:?}");
+                }
+                assert!(
+                    r.busy_retries_per_commit >= 0.0 && r.busy_retries_per_commit.is_finite(),
+                    "{r:?}"
+                );
+            }
+        }
+        // The default clock always bumps, never banks.
+        for r in rows.iter().filter(|r| r.clock == "global") {
+            assert_eq!(r.clock_bump_skips, 0, "{r:?}");
+            assert!(r.clock_bumps > 0, "{r:?}");
         }
         for r in &rows {
             assert_eq!(r.status, RunStatus::Completed, "{r:?}");

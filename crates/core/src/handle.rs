@@ -354,6 +354,11 @@ impl<'v> TxHandle<'v> {
         let verdict = if busy {
             cm.manager()
                 .on_busy(*spins, enemy, cm.shared(), &self.cm_tx, tid)
+        } else if self.ctx.conflict_reason() == AbortReason::FalseConflict {
+            // Coarse-clock false conflict: no enemy exists to doom or wait
+            // for (the conflicting commit may have finished before this
+            // attempt began), so the priority machinery doesn't apply.
+            cm.manager().on_false_conflict(&self.cm_tx)
         } else {
             cm.manager()
                 .on_conflict(*spins, enemy, cm.shared(), &self.cm_tx, tid)
@@ -666,6 +671,11 @@ where
                 // the irrevocable lock mode, which cannot abort.
                 view.tm().stats().record_escalation(rt.thread_index());
                 rec.record(wait_from, EventKind::Escalation { view: vid });
+                // Settle any banked (epoch-elided) clock bumps before the
+                // drain: direct mode bypasses clock bookkeeping, and the
+                // transactions about to be drained must observe a clock
+                // that accounts for every commit that already landed.
+                view.tm().clock_flush();
                 view.gate().acquire_exclusive(rt).await
             } else {
                 view.gate().admit(rt).await

@@ -72,4 +72,4 @@ pub use view::{View, ViewStats};
 // Re-export the vocabulary types callers need so `votm` is self-sufficient.
 pub use votm_obs::{AbortReason, EventKind, FlightRecorder, RecorderHandle, ThreadTrace};
 pub use votm_rac::{CmPolicy, GateStats, QuotaMode};
-pub use votm_stm::{Addr, StatsSnapshot, TmAlgorithm};
+pub use votm_stm::{Addr, ClockKind, ClockStats, StatsSnapshot, TmAlgorithm};

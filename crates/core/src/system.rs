@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use votm_obs::FlightRecorder;
 use votm_rac::{CmPolicy, ControllerConfig, QuotaMode};
-use votm_stm::TmAlgorithm;
+use votm_stm::{ClockKind, TmAlgorithm};
 use votm_utils::Mutex;
 
 use crate::view::{view_arc_id, View};
@@ -41,6 +41,12 @@ pub struct VotmConfig {
     /// policies trade a little bookkeeping for progress guarantees — see
     /// `votm_rac::cm`.
     pub contention: CmPolicy,
+    /// Clock strategy for every view's TM version/sequence clock. The
+    /// default, [`ClockKind::Global`], is the single fetch-add clock the
+    /// paper's RSTM plug-ins use (bit-identical behaviour); the other
+    /// kinds attack the global-clock bottleneck the paper names for
+    /// memory-intensive NOrec workloads — see `votm_stm::clock`.
+    pub clock: ClockKind,
 }
 
 impl Default for VotmConfig {
@@ -53,6 +59,7 @@ impl Default for VotmConfig {
             escalate_after: None,
             recorder: None,
             contention: CmPolicy::Backoff,
+            clock: ClockKind::Global,
         }
     }
 }
@@ -114,6 +121,7 @@ impl Votm {
             self.config.escalate_after,
             self.config.recorder.clone(),
             self.config.contention,
+            self.config.clock,
         ));
         views.push(Some(Arc::clone(&view)));
         view

@@ -7,7 +7,7 @@ use votm_rac::{
     AdmissionGate, CmInstance, CmPolicy, ControllerConfig, GateStats, QuotaMode, RacController,
 };
 use votm_sim::Rt;
-use votm_stm::{Addr, StatsSnapshot, TmAlgorithm, TmInstance};
+use votm_stm::{Addr, ClockKind, ClockStats, StatsSnapshot, TmAlgorithm, TmInstance};
 
 use crate::handle::{drive_transaction, TxAbort, TxHandle};
 
@@ -43,6 +43,7 @@ impl View {
         escalate_after: Option<u32>,
         recorder: Option<Arc<FlightRecorder>>,
         contention: CmPolicy,
+        clock: ClockKind,
     ) -> Self {
         let (initial_quota, controller) = match quota_mode {
             QuotaMode::Fixed(q) => (q, None),
@@ -56,7 +57,12 @@ impl View {
         };
         Self {
             id,
-            tm: TmInstance::with_reserve(algo, size_words, capacity_words.max(size_words)),
+            tm: TmInstance::with_reserve_clock(
+                algo,
+                size_words,
+                capacity_words.max(size_words),
+                clock,
+            ),
             gate: AdmissionGate::new(initial_quota, n_threads),
             controller,
             quota_mode,
@@ -101,6 +107,11 @@ impl View {
     /// Which contention-management policy this view runs.
     pub fn cm_policy(&self) -> CmPolicy {
         self.cm.policy()
+    }
+
+    /// Which clock strategy this view's TM instance runs.
+    pub fn clock_kind(&self) -> ClockKind {
+        self.tm.clock_kind()
     }
 
     /// The view's latency histograms (commit, abort-to-retry, gate wait).
@@ -198,6 +209,7 @@ impl View {
             tm: self.tm.stats().snapshot(),
             gate: self.gate.gate_stats(),
             hists: self.hists.snapshot(),
+            clock: self.tm.clock_stats(),
         }
     }
 }
@@ -229,6 +241,10 @@ pub struct ViewStats {
     /// wait, in cycles. The commit histogram's total count always equals
     /// `tm.commits`.
     pub hists: ViewHistSnapshot,
+    /// Clock-source counters: bumps taken, bumps elided, banked epochs
+    /// still pending a flush. All zero under [`ClockKind::Global`]'s
+    /// always-bump strategy except `bumps` itself.
+    pub clock: ClockStats,
 }
 
 impl ViewStats {

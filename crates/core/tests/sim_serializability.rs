@@ -7,7 +7,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use votm::{Addr, CmPolicy, QuotaMode, TmAlgorithm, Votm, VotmConfig};
+use votm::{Addr, ClockKind, CmPolicy, QuotaMode, TmAlgorithm, Votm, VotmConfig};
 use votm_sim::{RunStatus, SimConfig, SimExecutor};
 use votm_utils::Mutex;
 use votm_utils::SplitMix64;
@@ -35,10 +35,31 @@ fn run_with_policy(
     seed: u64,
     contention: CmPolicy,
 ) {
+    run_with_clock(
+        algo,
+        quota,
+        threads,
+        tx_per_thread,
+        seed,
+        contention,
+        ClockKind::Global,
+    );
+}
+
+fn run_with_clock(
+    algo: TmAlgorithm,
+    quota: QuotaMode,
+    threads: u64,
+    tx_per_thread: usize,
+    seed: u64,
+    contention: CmPolicy,
+    clock: ClockKind,
+) {
     let sys = Votm::new(VotmConfig {
         algorithm: algo,
         n_threads: threads as u32,
         contention,
+        clock,
         ..Default::default()
     });
     let view = sys.create_view(128, quota);
@@ -97,7 +118,7 @@ fn run_with_policy(
     assert_eq!(
         out.status,
         RunStatus::Completed,
-        "{algo:?} {quota:?} {contention:?} seed {seed}"
+        "{algo:?} {quota:?} {contention:?} {clock:?} seed {seed}"
     );
 
     let mut entries = Arc::try_unwrap(log).unwrap().into_inner();
@@ -174,6 +195,34 @@ fn sim_serializable_under_every_policy_across_36_seeds() {
         };
         for policy in CmPolicy::ALL {
             run_with_policy(algo, QuotaMode::Fixed(4), 6, 8, 1000 + seed, policy);
+        }
+    }
+}
+
+/// The differential suite re-run under every clock source: 36 seeds × all
+/// clock kinds, cycling the algorithm with the seed so each clock strategy
+/// exercises every validation site (NOrec value validation, orec version
+/// checks, lazy commit-time acquisition). Safety must be clock-independent
+/// — sharding, epoch banking, and GV5 coarsening only change *when the
+/// clock advances*, never what a committed transaction observed.
+#[test]
+fn sim_serializable_under_every_clock_across_36_seeds() {
+    for seed in 0..36u64 {
+        let algo = match seed % 3 {
+            0 => TmAlgorithm::OrecEagerRedo,
+            1 => TmAlgorithm::NOrec,
+            _ => TmAlgorithm::OrecLazy,
+        };
+        for clock in ClockKind::ALL {
+            run_with_clock(
+                algo,
+                QuotaMode::Fixed(4),
+                6,
+                8,
+                1000 + seed,
+                CmPolicy::Backoff,
+                clock,
+            );
         }
     }
 }

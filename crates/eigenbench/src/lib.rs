@@ -32,8 +32,8 @@
 use std::sync::Arc;
 
 use votm::{
-    Addr, CmPolicy, FlightRecorder, QuotaMode, TmAlgorithm, TxAbort, TxHandle, View, ViewStats,
-    Votm, VotmConfig,
+    Addr, ClockKind, CmPolicy, FlightRecorder, QuotaMode, TmAlgorithm, TxAbort, TxHandle, View,
+    ViewStats, Votm, VotmConfig,
 };
 use votm_sim::{Rt, RunOutcome, SimConfig, SimExecutor};
 use votm_utils::{SplitMix64, XorShift64};
@@ -357,11 +357,38 @@ pub fn run_sim_cm(
     recorder: Option<Arc<FlightRecorder>>,
     contention: CmPolicy,
 ) -> EigenResult {
+    run_sim_clock(
+        config,
+        algo,
+        version,
+        quotas,
+        sim,
+        recorder,
+        contention,
+        ClockKind::Global,
+    )
+}
+
+/// Like [`run_sim_cm`] but additionally selects the views' TM clock
+/// strategy — the clock-variant gate compares the same workload across
+/// [`ClockKind`]s with this.
+#[allow(clippy::too_many_arguments)] // a flat parameter list mirrors run_sim_cm
+pub fn run_sim_clock(
+    config: &EigenConfig,
+    algo: TmAlgorithm,
+    version: Version,
+    quotas: [QuotaMode; 2],
+    sim: SimConfig,
+    recorder: Option<Arc<FlightRecorder>>,
+    contention: CmPolicy,
+    clock: ClockKind,
+) -> EigenResult {
     let sys = Votm::new(VotmConfig {
         algorithm: algo,
         n_threads: config.n_threads,
         recorder,
         contention,
+        clock,
         ..Default::default()
     });
     let (views, maps) = build_views(&sys, config, version, quotas);

@@ -424,7 +424,7 @@ mod tests {
             quota: 4,
             commits: 10,
             aborts: 3,
-            aborts_by_reason: [1, 2, 0, 0, 0, 0],
+            aborts_by_reason: [1, 2, 0, 0, 0, 0, 0],
             cycles_aborted: 100,
             cycles_successful: 900,
             busy_retries: 5,

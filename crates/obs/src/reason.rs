@@ -32,11 +32,18 @@ pub enum AbortReason {
     /// higher-priority transaction; the victim self-aborted at its next
     /// operation boundary.
     CmKilled = 5,
+    /// A coarse-granularity clock (GV5 after Huang et al.) could not
+    /// distinguish a write committed *before* this transaction began from a
+    /// genuine conflict, because both share the snapshot's timestamp epoch.
+    /// The abort is conservative; the retry proceeds after a rescue clock
+    /// bump. The labelling is the clock's best guess — a real same-epoch
+    /// conflict is indistinguishable and lands here too.
+    FalseConflict = 6,
 }
 
 impl AbortReason {
     /// Number of variants; the length of per-reason counter arrays.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// All variants, in discriminant order.
     pub const ALL: [AbortReason; Self::COUNT] = [
@@ -46,6 +53,7 @@ impl AbortReason {
         AbortReason::WriteLockBusy,
         AbortReason::FaultInjected,
         AbortReason::CmKilled,
+        AbortReason::FalseConflict,
     ];
 
     /// Dense index of this reason (`0..COUNT`).
@@ -64,6 +72,7 @@ impl AbortReason {
             3 => AbortReason::WriteLockBusy,
             4 => AbortReason::FaultInjected,
             5 => AbortReason::CmKilled,
+            6 => AbortReason::FalseConflict,
             _ => AbortReason::Explicit,
         }
     }
@@ -77,6 +86,7 @@ impl AbortReason {
             AbortReason::WriteLockBusy => "write_lock_busy",
             AbortReason::FaultInjected => "fault_injected",
             AbortReason::CmKilled => "cm_killed",
+            AbortReason::FalseConflict => "false_conflict",
         }
     }
 }

@@ -322,6 +322,16 @@ pub trait ContentionManager: Send + Sync + std::fmt::Debug {
         tx.karma = tx.karma.saturating_add(wasted);
         tx.attempts = tx.attempts.saturating_add(1);
     }
+
+    /// Verdict for a *false conflict* — a coarse-granularity clock abort
+    /// where no enemy transaction exists (the conflicting commit may have
+    /// finished before this attempt began). There is nobody to doom and
+    /// nobody to wait for, and the STM's rescue bump already guarantees
+    /// the retry's progress, so the default restarts immediately with no
+    /// backoff; policies may override to charge one anyway.
+    fn on_false_conflict(&self, _tx: &CmTx) -> SiteVerdict {
+        SiteVerdict::AbortSelf { backoff: 0 }
+    }
 }
 
 /// Exponential loser backoff: 256 cycles doubling with each lost attempt,

@@ -1,0 +1,393 @@
+//! Pluggable timestamp ("clock") sources for the STM algorithms.
+//!
+//! The paper names NOrec's single global seqlock as the memory-intensive
+//! bottleneck that view partitioning works around, and Huang et al. (*The
+//! Impact of Timestamp Granularity in Optimistic Concurrency Control*) show
+//! that the granularity of the timestamp alone swings OCC throughput under
+//! contention. This module makes that whole design axis switchable: every
+//! TM instance owns one [`ClockSource`] whose [`ClockKind`] selects how
+//! commit timestamps are acquired, bumped and snapshotted:
+//!
+//! * [`ClockKind::Global`] — the status-quo single counter (NOrec's
+//!   sequence lock / the orec version clock). Bit-identical to the
+//!   pre-clock-source code; CI enforces this against the benchmark
+//!   baseline.
+//! * [`ClockKind::Sharded`] — [`SHARDS`] cache-padded slots, one per
+//!   address range ([`shard_of`]). NOrec runs one sequence lock per shard
+//!   (disjoint-shard writers commit concurrently and readers skip
+//!   validating shards that never moved); the orec algorithms run one
+//!   version clock per shard over a shard-partitioned orec table.
+//! * [`ClockKind::Epoch`] — epoch-batched bumping: a committer that is
+//!   provably alone (the active-transaction count is 1) releases the clock
+//!   *unchanged* and banks the elided bump in [`ClockSource::pending`];
+//!   the batch is folded back into the timestamp at the next exclusive
+//!   drain ([`ClockSource::flush`]).
+//! * [`ClockKind::Coarse`] — coarse-granularity timestamps after Huang et
+//!   al.: orec commits reuse the current clock value (GV5-style — no
+//!   fetch-add per commit, at the price of *false conflicts* when a commit
+//!   that happened before a reader began shares the reader's epoch);
+//!   NOrec coarsens its commit write-summary ring so one Bloom slot covers
+//!   [`COARSE_COMMITS_PER_SLOT`] commits, quadrupling the filter window.
+//! * [`ClockKind::CoarseSnzi`] — coarse timestamps fronted by an
+//!   SNZI-style read indicator (Springer TM chapter): transactions mark
+//!   arrival/departure on a padded counter and committers consult it to
+//!   decide whether anyone is watching — the clock is bumped only when
+//!   concurrent transactions exist to benefit, and skipped when solo.
+//!
+//! The source also owns the per-clock statistics (bumps paid, bumps
+//! skipped, pending batch size) surfaced through the gate's clock rows.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use votm_utils::CachePadded;
+
+use crate::heap::Addr;
+
+/// Number of clock shards for [`ClockKind::Sharded`] (power of two).
+pub const SHARDS: usize = 8;
+
+/// Address-range shard width: addresses are sharded by
+/// `(addr >> SHARD_SHIFT) & (SHARDS - 1)`, i.e. contiguous runs of
+/// `1 << SHARD_SHIFT` words share a shard. Range sharding (rather than
+/// hashing) keeps an object's words in one shard so a commit bumps few
+/// shards and disjoint objects stop cross-invalidating each other.
+pub const SHARD_SHIFT: u32 = 11;
+
+/// Commits per write-summary ring slot under [`ClockKind::Coarse`] /
+/// [`ClockKind::CoarseSnzi`] NOrec (must be a power of two). Coarser slots
+/// are denser filters (more false positives, each costing one value check)
+/// but stretch the ring's reach by the same factor.
+pub const COARSE_COMMITS_PER_SLOT: u64 = 4;
+
+/// The shard guarding `addr` under [`ClockKind::Sharded`].
+#[inline]
+pub fn shard_of(addr: Addr) -> usize {
+    ((addr.0 >> SHARD_SHIFT) as usize) & (SHARDS - 1)
+}
+
+/// Which timestamp strategy a TM instance uses (selected per-system via
+/// `VotmConfig`, like the contention-management policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClockKind {
+    /// Single global counter — the paper's baseline and the default.
+    #[default]
+    Global,
+    /// Per-address-range sharded clock (cache-padded slots).
+    Sharded,
+    /// Epoch-batched bumps: solo committers elide the bump and bank it.
+    Epoch,
+    /// Coarse-granularity timestamps (Huang et al.): share epochs, trade
+    /// false conflicts for bump traffic.
+    Coarse,
+    /// Coarse timestamps fronted by an SNZI-style read indicator: bump
+    /// only when concurrent transactions exist to observe it.
+    CoarseSnzi,
+}
+
+impl ClockKind {
+    /// Every clock kind, for parameterised tests, sweeps and gate rows.
+    pub const ALL: [ClockKind; 5] = [
+        ClockKind::Global,
+        ClockKind::Sharded,
+        ClockKind::Epoch,
+        ClockKind::Coarse,
+        ClockKind::CoarseSnzi,
+    ];
+
+    /// Stable display name (used in gate JSON rows and tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            ClockKind::Global => "global",
+            ClockKind::Sharded => "sharded",
+            ClockKind::Epoch => "epoch",
+            ClockKind::Coarse => "coarse",
+            ClockKind::CoarseSnzi => "coarse-snzi",
+        }
+    }
+
+    /// Parses [`ClockKind::name`] back into a kind.
+    pub fn from_name(name: &str) -> Option<ClockKind> {
+        ClockKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// True for the kinds that maintain the active-transaction /
+    /// read-indicator counter ([`ClockSource::enter`]/[`ClockSource::exit`]
+    /// are no-ops otherwise).
+    #[inline]
+    pub(crate) fn tracks_active(self) -> bool {
+        matches!(self, ClockKind::Epoch | ClockKind::CoarseSnzi)
+    }
+
+    /// True for the summary-coupled coarse kinds (Huang et al. granularity):
+    /// they merge [`COARSE_COMMITS_PER_SLOT`] commits per ring slot and lean
+    /// on published write summaries to *ride through* an in-flight NOrec
+    /// writeback instead of spinning on the odd sequence lock.
+    #[inline]
+    pub(crate) fn coarse(self) -> bool {
+        matches!(self, ClockKind::Coarse | ClockKind::CoarseSnzi)
+    }
+}
+
+/// Point-in-time counters of one clock source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClockStats {
+    /// Timestamp advances actually paid (CAS/fetch-add on a shared line).
+    pub bumps: u64,
+    /// Advances elided: solo-committer elisions (epoch, coarse-snzi) and
+    /// GV5 commits that reused the current epoch (coarse).
+    pub bump_skips: u64,
+    /// Elided bumps banked and not yet folded back by [`ClockSource::flush`]
+    /// (epoch kind only).
+    pub pending: u64,
+}
+
+/// One TM instance's timestamp source: the primary counter, the sharded
+/// slots, the active-transaction indicator and the bump statistics.
+///
+/// The algorithms own the *semantics* (what a timestamp means for
+/// validation); this struct owns the storage, the arrival/departure
+/// indicator and the accounting, so all three algorithms report clock
+/// behaviour uniformly.
+pub struct ClockSource {
+    kind: ClockKind,
+    /// The primary timestamp word: NOrec's sequence lock or the orec
+    /// version clock. Unused by NOrec under `Sharded` (the shard slots
+    /// are then each a sequence lock of their own).
+    primary: CachePadded<AtomicU64>,
+    /// Per-shard slots (`Sharded` only; empty otherwise).
+    shards: Box<[CachePadded<AtomicU64>]>,
+    /// Active-transaction count / SNZI read indicator (`Epoch`,
+    /// `CoarseSnzi`).
+    active: CachePadded<AtomicU64>,
+    /// Elided bumps awaiting [`ClockSource::flush`] (`Epoch`).
+    pending: CachePadded<AtomicU64>,
+    bumps: CachePadded<AtomicU64>,
+    bump_skips: CachePadded<AtomicU64>,
+}
+
+impl ClockSource {
+    /// A source of the given kind starting at timestamp 0.
+    pub fn new(kind: ClockKind) -> Self {
+        let shards = if kind == ClockKind::Sharded {
+            (0..SHARDS)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect()
+        } else {
+            Box::default()
+        };
+        Self {
+            kind,
+            primary: CachePadded::new(AtomicU64::new(0)),
+            shards,
+            active: CachePadded::new(AtomicU64::new(0)),
+            pending: CachePadded::new(AtomicU64::new(0)),
+            bumps: CachePadded::new(AtomicU64::new(0)),
+            bump_skips: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The strategy this source implements.
+    #[inline]
+    pub fn kind(&self) -> ClockKind {
+        self.kind
+    }
+
+    /// The primary timestamp word (NOrec seqlock / orec version clock).
+    #[inline]
+    pub(crate) fn primary(&self) -> &AtomicU64 {
+        &self.primary
+    }
+
+    /// The shard slot `s` (panics unless the kind is `Sharded`).
+    #[inline]
+    pub(crate) fn shard(&self, s: usize) -> &AtomicU64 {
+        &self.shards[s]
+    }
+
+    /// Marks a transaction's arrival (active-count kinds only; free
+    /// otherwise).
+    #[inline]
+    pub(crate) fn enter(&self) {
+        if self.kind.tracks_active() {
+            self.active.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Marks a transaction's departure (commit or abort).
+    #[inline]
+    pub(crate) fn exit(&self) {
+        if self.kind.tracks_active() {
+            let prev = self.active.fetch_sub(1, Ordering::AcqRel);
+            debug_assert!(prev > 0, "clock exit without enter");
+        }
+    }
+
+    /// True when the calling (active) transaction is the only one live on
+    /// this instance. Only meaningful for active-count kinds, and only
+    /// while the caller is itself counted.
+    #[inline]
+    pub(crate) fn solo(&self) -> bool {
+        self.active.load(Ordering::Acquire) == 1
+    }
+
+    /// Records one paid timestamp advance.
+    #[inline]
+    pub(crate) fn note_bump(&self) {
+        self.bumps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one elided/avoided timestamp advance; `bank` additionally
+    /// owes the advance to the next [`ClockSource::flush`] (epoch
+    /// batching).
+    #[inline]
+    pub(crate) fn note_skip(&self, bank: bool) {
+        self.bump_skips.fetch_add(1, Ordering::Relaxed);
+        if bank {
+            self.pending.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds the banked epoch batch back into the primary timestamp.
+    /// Called at exclusive-drain escalation, where a fresh epoch boundary
+    /// is published so post-drain snapshots don't share an epoch with
+    /// pre-drain elided commits. `step` is the timestamp distance of one
+    /// commit (2 for NOrec's even-stepped seqlock, 1 for orec clocks).
+    ///
+    /// Best-effort and safe at any time: the fold only lands on an
+    /// unlocked (even, for NOrec) value, and a clock jumped forward can
+    /// only cause spurious revalidation, never a missed conflict.
+    pub(crate) fn flush(&self, step: u64) -> bool {
+        let owed = self.pending.swap(0, Ordering::AcqRel);
+        if owed == 0 {
+            return false;
+        }
+        let jump = owed * step;
+        let mut cur = self.primary.load(Ordering::Acquire);
+        loop {
+            if step == 2 && cur & 1 == 1 {
+                // A NOrec committer holds the seqlock right now; put the
+                // batch back rather than spin — the next flush gets it.
+                self.pending.fetch_add(owed, Ordering::Relaxed);
+                return false;
+            }
+            match self.primary.compare_exchange(
+                cur,
+                cur.wrapping_add(jump),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.note_bump();
+                    return true;
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> ClockStats {
+        ClockStats {
+            bumps: self.bumps.load(Ordering::Relaxed),
+            bump_skips: self.bump_skips.load(Ordering::Relaxed),
+            pending: self.pending.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Test hook: preloads every timestamp word (primary and shards) with
+    /// `t`, for wrap-around coverage.
+    #[cfg(test)]
+    pub(crate) fn preload(&self, t: u64) {
+        self.primary.store(t, Ordering::Release);
+        for s in self.shards.iter() {
+            s.store(t, Ordering::Release);
+        }
+    }
+}
+
+impl std::fmt::Debug for ClockSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClockSource")
+            .field("kind", &self.kind)
+            .field("primary", &self.primary.load(Ordering::Relaxed))
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for kind in ClockKind::ALL {
+            assert_eq!(ClockKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ClockKind::from_name("nonesuch"), None);
+        let names: std::collections::HashSet<_> = ClockKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), ClockKind::ALL.len(), "names must be unique");
+    }
+
+    #[test]
+    fn default_is_global() {
+        assert_eq!(ClockKind::default(), ClockKind::Global);
+    }
+
+    #[test]
+    fn shard_of_ranges() {
+        assert_eq!(shard_of(Addr(0)), 0);
+        assert_eq!(shard_of(Addr((1 << SHARD_SHIFT) - 1)), 0);
+        assert_eq!(shard_of(Addr(1 << SHARD_SHIFT)), 1);
+        assert_eq!(shard_of(Addr((SHARDS as u32) << SHARD_SHIFT)), 0, "wraps");
+    }
+
+    #[test]
+    fn enter_exit_tracks_only_active_kinds() {
+        let epoch = ClockSource::new(ClockKind::Epoch);
+        epoch.enter();
+        assert!(epoch.solo());
+        epoch.enter();
+        assert!(!epoch.solo());
+        epoch.exit();
+        epoch.exit();
+
+        let global = ClockSource::new(ClockKind::Global);
+        global.enter();
+        assert_eq!(global.active.load(Ordering::Relaxed), 0, "global: no-op");
+    }
+
+    #[test]
+    fn flush_folds_banked_bumps() {
+        let c = ClockSource::new(ClockKind::Epoch);
+        c.note_skip(true);
+        c.note_skip(true);
+        c.note_skip(true);
+        assert_eq!(c.stats().pending, 3);
+        assert!(c.flush(2));
+        assert_eq!(c.primary().load(Ordering::Relaxed), 6);
+        assert_eq!(c.stats().pending, 0);
+        assert!(!c.flush(2), "nothing further owed");
+    }
+
+    #[test]
+    fn flush_defers_while_seqlock_held() {
+        let c = ClockSource::new(ClockKind::Epoch);
+        c.note_skip(true);
+        c.primary().store(5, Ordering::Release); // odd: a committer holds it
+        assert!(!c.flush(2));
+        assert_eq!(c.stats().pending, 1, "batch returned, not lost");
+        c.primary().store(6, Ordering::Release);
+        assert!(c.flush(2));
+        assert_eq!(c.primary().load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn flush_wraps_cleanly() {
+        let c = ClockSource::new(ClockKind::Epoch);
+        c.preload(u64::MAX - 1); // even
+        c.note_skip(true);
+        assert!(c.flush(2));
+        assert_eq!(c.primary().load(Ordering::Relaxed), 0, "wrapped to zero");
+    }
+}

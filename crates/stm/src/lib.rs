@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod cost;
 pub mod direct;
 pub mod heap;
@@ -47,6 +48,7 @@ pub mod orec_lazy;
 pub mod stats;
 pub mod writeset;
 
+pub use clock::{ClockKind, ClockStats};
 pub use heap::{Addr, WordHeap};
 pub use instance::{TmAlgorithm, TmInstance, TxCtx};
 pub use stats::{StatsSnapshot, TmStats};

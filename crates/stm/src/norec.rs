@@ -19,12 +19,53 @@
 //!   every concurrent reader's snapshot and forces whole-read-set
 //!   revalidation. Splitting data into views (one NOrec instance each)
 //!   relieves precisely this — the paper's Intruder result.
+//!
+//! # Clock sources
+//!
+//! That serialisation point is exactly what [`crate::clock`] makes
+//! pluggable. Per [`ClockKind`]:
+//!
+//! * `Global` — the algorithm above, unchanged (bit-identical charges).
+//! * `Sharded` — one sequence lock per address-range shard. A committer
+//!   locks only the shards its write set touches (ascending order,
+//!   release-on-fail, so no deadlock), writers to disjoint shards commit
+//!   concurrently, and a validator value-checks only reads whose shard
+//!   moved — an exact filter that, unlike the summary ring, never ages
+//!   out. The consistency argument: committers hold their shards odd for
+//!   the whole writeback, and validation ends by re-checking the full
+//!   shard vector, so a pass that observes a stable vector observed an
+//!   instant at which every surviving read value was simultaneously
+//!   current.
+//! * `Epoch` — a committer that is alone (active-transaction count 1)
+//!   releases the sequence lock at its *unchanged* snapshot and banks the
+//!   elided bump. Sound because `begin` is Busy for the whole lock-hold
+//!   window: any transaction that could have validated against the old
+//!   timestamp begins after the writeback and simply reads the new values
+//!   under the old timestamp — NOrec validation is value-based, so an
+//!   unmoved clock with current values is indistinguishable from a fresh
+//!   snapshot.
+//! * `Coarse` — Huang et al. granularity applied to the write-summary
+//!   ring: one Bloom slot covers [`COARSE_COMMITS_PER_SLOT`] commits
+//!   (slots are OR-merged), so the filter window reaches 4x further at
+//!   the price of denser filters (more false positives, each costing one
+//!   value check — NOrec's analogue of the coarse-timestamp false
+//!   conflict). Coarse kinds additionally *ride through* the sequence
+//!   lock's writeback hold: the committer publishes a tagged copy of its
+//!   write summary before its first writeback store, and a read or begin
+//!   that catches the lock odd proceeds when the summary proves its
+//!   address untouched, instead of spinning. Under high commit rates the
+//!   hold window is the dominant source of reader busy-retries, and most
+//!   reads do not overlap any given commit's write set.
+//! * `CoarseSnzi` — the coarse ring plus an SNZI-style read indicator:
+//!   transactions mark arrival, and a committer consults the indicator to
+//!   bump the clock only when concurrent transactions exist to observe it.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use votm_obs::AbortReason;
 use votm_utils::{CachePadded, InlineVec};
 
+use crate::clock::{shard_of, ClockKind, ClockSource, COARSE_COMMITS_PER_SLOT, SHARDS};
 use crate::cost;
 use crate::heap::{Addr, WordHeap};
 use crate::writeset::{summary_bit, WriteSet};
@@ -40,54 +81,172 @@ const INLINE_READS: usize = 8;
 /// and skip value-comparing reads the window provably never wrote.
 const SUMMARY_SLOTS: u64 = 64;
 
-/// Global state of one NOrec instance: the sequence lock plus the commit
+/// Global state of one NOrec instance: the clock source plus the commit
 /// write-summary ring.
 #[derive(Debug)]
 pub struct NOrecGlobal {
-    /// Even = unlocked (value is the commit timestamp); odd = locked by a
-    /// committer doing writeback.
-    seq: CachePadded<AtomicU64>,
+    /// The timestamp source. `Global`/`Epoch`/`Coarse`/`CoarseSnzi` use
+    /// its primary word as the sequence lock (even = unlocked timestamp,
+    /// odd = locked by a committer); `Sharded` runs one such sequence
+    /// lock per shard slot instead.
+    clock: ClockSource,
     /// Ring of per-commit write summaries, indexed by
     /// `commit_number & (SUMMARY_SLOTS - 1)` where a commit that moves the
-    /// clock to even value `t` has commit number `t / 2`. A slot is written
-    /// only while its committer holds the sequence lock, so any validator
-    /// that reads a torn/overwritten window is caught by its final
-    /// clock-stability check and retries — stale ring data can cause a
-    /// spurious retry, never a missed conflict.
+    /// clock to even value `t` has commit number `t / 2` (coarse kinds
+    /// merge [`COARSE_COMMITS_PER_SLOT`] commit numbers per slot). A slot
+    /// is written only while its committer holds the sequence lock, so any
+    /// validator that reads a torn/overwritten window is caught by its
+    /// final clock-stability check and retries — stale ring data can cause
+    /// a spurious retry, never a missed conflict. Unused (empty) under
+    /// `Sharded`, whose per-shard filter subsumes it.
     summaries: Box<[CachePadded<AtomicU64>]>,
+    /// Coarse kinds only: the *in-flight* commit's write summary, tagged
+    /// with the odd sequence value its committer holds. Published after
+    /// winning the sequence-lock CAS and before the first writeback store,
+    /// it lets readers that catch the lock odd prove their address is
+    /// untouched by the ongoing writeback and ride through it instead of
+    /// spinning (see [`NOrecTx::read_through_writeback`]).
+    in_flight: CachePadded<InFlight>,
+}
+
+/// Tagged in-flight write-summary publication (coarse clock kinds).
+#[derive(Debug, Default)]
+struct InFlight {
+    /// The odd sequence value the publishing committer holds. Readers
+    /// accept `summary` only when this matches the odd value they observed
+    /// (the tag store is `Release`d after the summary store, so a matching
+    /// tag guarantees the summary alongside it is this commit's).
+    tag: AtomicU64,
+    summary: AtomicU64,
 }
 
 impl Default for NOrecGlobal {
     fn default() -> Self {
-        Self {
-            seq: CachePadded::new(AtomicU64::new(0)),
-            summaries: (0..SUMMARY_SLOTS)
-                .map(|_| CachePadded::new(AtomicU64::new(0)))
-                .collect(),
-        }
+        Self::with_kind(ClockKind::Global)
     }
 }
 
 impl NOrecGlobal {
-    /// New instance at timestamp 0.
+    /// New instance at timestamp 0 with the default (global) clock.
     pub fn new() -> Self {
         Self::default()
     }
 
-    #[inline]
-    fn load_seq(&self) -> u64 {
-        self.seq.load(Ordering::Acquire)
+    /// New instance at timestamp 0 using the given clock strategy.
+    pub fn with_kind(kind: ClockKind) -> Self {
+        let summaries = if kind == ClockKind::Sharded {
+            Box::default()
+        } else {
+            (0..SUMMARY_SLOTS)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect()
+        };
+        Self {
+            clock: ClockSource::new(kind),
+            summaries,
+            in_flight: CachePadded::new(InFlight::default()),
+        }
+    }
+
+    /// The clock source (kind, statistics, epoch flush).
+    pub fn clock(&self) -> &ClockSource {
+        &self.clock
     }
 
     #[inline]
-    fn summary_slot(&self, commit_number: u64) -> &AtomicU64 {
-        &self.summaries[(commit_number & (SUMMARY_SLOTS - 1)) as usize]
+    fn kind(&self) -> ClockKind {
+        self.clock.kind()
+    }
+
+    #[inline]
+    fn seq(&self) -> &AtomicU64 {
+        self.clock.primary()
+    }
+
+    #[inline]
+    fn load_seq(&self) -> u64 {
+        self.seq().load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn summary_slot(&self, slot: u64) -> &AtomicU64 {
+        &self.summaries[(slot & (SUMMARY_SLOTS - 1)) as usize]
+    }
+
+    /// Publishes a committing write summary for commit number
+    /// `commit_number`. Coarse kinds OR-merge into a slot shared by
+    /// [`COARSE_COMMITS_PER_SLOT`] commits, resetting it on the slot's
+    /// first commit number.
+    #[inline]
+    fn publish_summary(&self, commit_number: u64, summary: u64) {
+        match self.kind() {
+            ClockKind::Coarse | ClockKind::CoarseSnzi => {
+                let bucket = commit_number / COARSE_COMMITS_PER_SLOT;
+                let slot = self.summary_slot(bucket);
+                if commit_number.is_multiple_of(COARSE_COMMITS_PER_SLOT) {
+                    slot.store(summary, Ordering::Release);
+                } else {
+                    slot.fetch_or(summary, Ordering::AcqRel);
+                }
+            }
+            _ => self
+                .summary_slot(commit_number)
+                .store(summary, Ordering::Release),
+        }
+    }
+
+    /// ORs the window of summaries covering commit numbers
+    /// `(lo, hi]`, returning `None` (with the scan cost in `*work`) when
+    /// the window has left the ring. Wrap-safe.
+    #[inline]
+    fn window_filter(&self, lo: u64, hi: u64, work: &mut u64) -> Option<u64> {
+        let window = hi.wrapping_sub(lo);
+        match self.kind() {
+            ClockKind::Coarse | ClockKind::CoarseSnzi => {
+                if window > SUMMARY_SLOTS * COARSE_COMMITS_PER_SLOT {
+                    return None;
+                }
+                let b_lo = lo.wrapping_add(1) / COARSE_COMMITS_PER_SLOT;
+                let b_hi = hi / COARSE_COMMITS_PER_SLOT;
+                let n_buckets = b_hi.wrapping_sub(b_lo) + 1;
+                if n_buckets > SUMMARY_SLOTS {
+                    return None;
+                }
+                let mut combined = 0u64;
+                for k in 0..n_buckets {
+                    combined |= self
+                        .summary_slot(b_lo.wrapping_add(k))
+                        .load(Ordering::Acquire);
+                }
+                *work += cost::FILTER_WORD * n_buckets;
+                Some(combined)
+            }
+            _ => {
+                if window > SUMMARY_SLOTS {
+                    return None; // snapshot too old: the window has left the ring
+                }
+                let mut combined = 0u64;
+                for k in 0..window {
+                    combined |= self
+                        .summary_slot(lo.wrapping_add(1).wrapping_add(k))
+                        .load(Ordering::Acquire);
+                }
+                // One word-load per window commit; the slots are read-mostly
+                // shared lines, far cheaper than metadata CAS traffic.
+                *work += cost::FILTER_WORD * window;
+                Some(combined)
+            }
+        }
     }
 
     /// Current commit timestamp (diagnostics; odd while a commit is in
-    /// flight).
+    /// flight). Under `Sharded` this is the shard-0 sequence lock.
     pub fn timestamp(&self) -> u64 {
-        self.load_seq()
+        if self.kind() == ClockKind::Sharded {
+            self.clock.shard(0).load(Ordering::Acquire)
+        } else {
+            self.load_seq()
+        }
     }
 }
 
@@ -95,6 +254,8 @@ impl NOrecGlobal {
 #[derive(Debug)]
 pub struct NOrecTx {
     snapshot: u64,
+    /// Per-shard snapshot vector (`Sharded` clock only).
+    snaps: [u64; SHARDS],
     reads: InlineVec<(Addr, u64), INLINE_READS>,
     writes: WriteSet,
     /// Work units accrued since `take_work`.
@@ -102,6 +263,9 @@ pub struct NOrecTx {
     active: bool,
     /// Set between a successful `commit_begin` and `commit_finish`.
     commit_seq: Option<u64>,
+    /// Shards locked by the in-flight sharded commit (release values are
+    /// `snaps[s] + 2`).
+    locked_shards: InlineVec<u32, SHARDS>,
     /// Why the most recent `Err(Conflict)` happened (see
     /// [`NOrecTx::conflict_reason`]).
     last_conflict: AbortReason,
@@ -118,11 +282,13 @@ impl NOrecTx {
     pub fn new() -> Self {
         Self {
             snapshot: 0,
+            snaps: [0; SHARDS],
             reads: InlineVec::new(),
             writes: WriteSet::new(),
             work: 0,
             active: false,
             commit_seq: None,
+            locked_shards: InlineVec::new(),
             last_conflict: AbortReason::Explicit,
         }
     }
@@ -136,12 +302,47 @@ impl NOrecTx {
     /// Starts an attempt. `Busy` while a committer holds the sequence lock.
     pub fn begin(&mut self, global: &NOrecGlobal) -> OpResult<()> {
         debug_assert!(!self.active, "begin called with a transaction active");
-        let s = global.load_seq();
+        if global.kind() == ClockKind::Sharded {
+            return self.begin_sharded(global);
+        }
+        let mut s = global.load_seq();
         self.work += cost::BEGIN;
         if s & 1 == 1 {
-            return Err(OpError::Busy);
+            if !global.kind().coarse() {
+                return Err(OpError::Busy);
+            }
+            // Coarse kinds begin *through* the hold at the pre-commit
+            // timestamp `s - 1` (the last stable state). Every read checks
+            // the clock itself, so reads overlapping the ongoing writeback
+            // are either proven untouched by the in-flight summary or
+            // retried — beginning early never observes a torn state.
+            s = s.wrapping_sub(1);
+        }
+        if global.kind().tracks_active() {
+            // Arrival on the padded read-indicator / active-count line —
+            // priced as a filter word: it is never co-located with the
+            // committers' sequence-lock line.
+            global.clock.enter();
+            self.work += cost::FILTER_WORD;
         }
         self.snapshot = s;
+        self.reads.clear();
+        self.writes.clear();
+        self.active = true;
+        self.commit_seq = None;
+        Ok(())
+    }
+
+    /// Sharded begin: snapshot the whole shard vector. Shards caught odd
+    /// (a committer holds them) are recorded as-is — they can never match
+    /// a later even observation, so the first read in such a shard simply
+    /// revalidates.
+    fn begin_sharded(&mut self, global: &NOrecGlobal) -> OpResult<()> {
+        self.work += cost::BEGIN + cost::FILTER_WORD * (SHARDS as u64 - 1);
+        for (i, snap) in self.snaps.iter_mut().enumerate() {
+            *snap = global.clock.shard(i).load(Ordering::Acquire);
+        }
+        self.snapshot = self.snaps[0];
         self.reads.clear();
         self.writes.clear();
         self.active = true;
@@ -153,31 +354,21 @@ impl NOrecTx {
     /// still match, advances the snapshot to `target` (an even clock value
     /// newer than the snapshot, observed by the caller).
     ///
-    /// When the snapshot lags `target` by at most [`SUMMARY_SLOTS`] commits,
-    /// the window's published write summaries are ORed together and reads
-    /// whose summary bit is clear — addresses *provably* untouched by every
-    /// interleaved commit — skip the value comparison (a register test,
-    /// [`cost::FILTER_WORD`], instead of a heap re-read). Correctness does
-    /// not depend on ring freshness: if any summary in the window could have
-    /// been overwritten by a later commit, the clock has necessarily moved
-    /// past `target` and the final stability check fails the whole pass.
+    /// When the snapshot lags `target` by at most the ring's reach
+    /// ([`SUMMARY_SLOTS`] commits, times [`COARSE_COMMITS_PER_SLOT`] for
+    /// coarse kinds), the window's published write summaries are ORed
+    /// together and reads whose summary bit is clear — addresses
+    /// *provably* untouched by every interleaved commit — skip the value
+    /// comparison (a register test, [`cost::FILTER_WORD`], instead of a
+    /// heap re-read). Correctness does not depend on ring freshness: if
+    /// any summary in the window could have been overwritten by a later
+    /// commit, the clock has necessarily moved past `target` and the final
+    /// stability check fails the whole pass.
     fn validate(&mut self, global: &NOrecGlobal, heap: &WordHeap, target: u64) -> OpResult<()> {
         debug_assert_eq!(target & 1, 0);
-        debug_assert!(target > self.snapshot);
+        debug_assert!(target != self.snapshot);
         self.work += cost::METADATA_OP;
-        let window = (target - self.snapshot) / 2;
-        let filter = if window <= SUMMARY_SLOTS {
-            let mut combined = 0u64;
-            for k in (self.snapshot / 2 + 1)..=(target / 2) {
-                combined |= global.summary_slot(k).load(Ordering::Acquire);
-            }
-            // One word-load per window commit; the slots are read-mostly
-            // shared lines, far cheaper than metadata CAS traffic.
-            self.work += cost::FILTER_WORD * window;
-            Some(combined)
-        } else {
-            None // snapshot too old: the window has left the ring
-        };
+        let filter = global.window_filter(self.snapshot / 2, target / 2, &mut self.work);
         for (addr, seen) in self.reads.iter() {
             if let Some(f) = filter {
                 if f & summary_bit(addr) == 0 {
@@ -201,12 +392,62 @@ impl NOrecTx {
         Ok(())
     }
 
+    /// Sharded validation: re-snapshot the shard vector, value-check only
+    /// the reads whose shard moved, and accept the pass only if the whole
+    /// vector is still stable afterwards (the consistency cut).
+    fn validate_sharded(&mut self, global: &NOrecGlobal, heap: &WordHeap) -> OpResult<()> {
+        self.work += cost::METADATA_OP + cost::FILTER_WORD * SHARDS as u64;
+        let mut read_mask = 0u8;
+        for (addr, _) in self.reads.iter() {
+            read_mask |= 1 << shard_of(addr);
+        }
+        let mut target = self.snaps;
+        for (i, t) in target.iter_mut().enumerate() {
+            let v = global.clock.shard(i).load(Ordering::Acquire);
+            if v & 1 == 1 {
+                if read_mask & (1 << i) != 0 {
+                    return Err(OpError::Busy); // a committer is mid-writeback
+                }
+                continue; // no reads there: keep the old (harmless) snapshot
+            }
+            *t = v;
+        }
+        for (addr, seen) in self.reads.iter() {
+            let s = shard_of(addr);
+            if target[s] == self.snaps[s] {
+                // An unmoved shard is an untouched shard: no commit locked
+                // it since our snapshot, so the value cannot have changed.
+                self.work += cost::FILTER_WORD;
+                continue;
+            }
+            self.work += cost::VALIDATE_WORD;
+            if heap.load(addr) != seen {
+                self.last_conflict = AbortReason::NorecValidation;
+                return Err(OpError::Conflict);
+            }
+        }
+        for (i, t) in target.iter().enumerate() {
+            if read_mask & (1 << i) == 0 {
+                continue;
+            }
+            self.work += cost::FILTER_WORD;
+            if global.clock.shard(i).load(Ordering::Acquire) != *t {
+                return Err(OpError::Busy);
+            }
+        }
+        self.snaps = target;
+        Ok(())
+    }
+
     /// Transactional read of `addr`.
     pub fn read(&mut self, global: &NOrecGlobal, heap: &WordHeap, addr: Addr) -> OpResult<u64> {
         debug_assert!(self.active);
         if let Some(v) = self.writes.get(addr) {
             self.work += cost::LOCAL_ACCESS; // write-buffer hit, thread-local
             return Ok(v);
+        }
+        if global.kind() == ClockKind::Sharded {
+            return self.read_sharded(global, heap, addr);
         }
         self.work += cost::SHARED_ACCESS;
         let v = heap.load(addr);
@@ -216,6 +457,11 @@ impl NOrecTx {
             return Ok(v);
         }
         if s & 1 == 1 {
+            if global.kind().coarse() && s == self.snapshot.wrapping_add(1) {
+                // The only movement since our snapshot is one in-flight
+                // commit; its published summary may prove `addr` untouched.
+                return self.read_through_writeback(global, addr, v, s);
+            }
             // Committer mid-writeback: the loaded value may be inconsistent.
             return Err(OpError::Busy);
         }
@@ -223,7 +469,77 @@ impl NOrecTx {
         self.validate(global, heap, s)?;
         self.work += cost::SHARED_ACCESS;
         let v = heap.load(addr);
-        if global.load_seq() != self.snapshot {
+        let s = global.load_seq();
+        if s != self.snapshot {
+            if global.kind().coarse() && s == self.snapshot.wrapping_add(1) {
+                // A fresh commit grabbed the lock between our revalidation
+                // and the re-read: same ride-through situation.
+                return self.read_through_writeback(global, addr, v, s);
+            }
+            return Err(OpError::Busy); // moved again; retry the whole read
+        }
+        self.reads.push((addr, v));
+        Ok(v)
+    }
+
+    /// Coarse kinds: accept a read taken while a committer holds the
+    /// sequence lock at `held = snapshot + 1`, when it is provably
+    /// unaffected by the ongoing writeback. `v` was loaded before `held`
+    /// was observed. Two proofs suffice:
+    ///
+    /// * **Tag mismatch** — the in-flight tag is not yet `held`, so at the
+    ///   tag load the committer had not reached its first writeback store
+    ///   (the tag store precedes writeback; a writeback value read by us
+    ///   would have made the tag visible via the heap word's
+    ///   release/acquire pair). `v` is therefore the pre-commit value,
+    ///   consistent with our snapshot whatever the commit writes.
+    /// * **Summary bit clear** — the tag matches, so the summary alongside
+    ///   it is this commit's; a clear bit means the commit never writes
+    ///   `addr` and `v` equals the pre-commit value either way.
+    ///
+    /// A final clock recheck pins both proofs to the *same* hold: if the
+    /// lock moved on, a newer commit's writeback may already overlap and
+    /// the read retries. A set bit on a matching tag is a genuine overlap
+    /// with the in-flight writeback — spin as plain NOrec would.
+    fn read_through_writeback(
+        &mut self,
+        global: &NOrecGlobal,
+        addr: Addr,
+        v: u64,
+        held: u64,
+    ) -> OpResult<u64> {
+        // Tag + summary + stability recheck: read-mostly shared lines.
+        self.work += cost::FILTER_WORD * 3;
+        let tag = global.in_flight.tag.load(Ordering::Acquire);
+        if tag == held && global.in_flight.summary.load(Ordering::Acquire) & summary_bit(addr) != 0
+        {
+            return Err(OpError::Busy); // the in-flight commit writes `addr`
+        }
+        if global.load_seq() != held {
+            return Err(OpError::Busy); // hold ended mid-proof; retry the read
+        }
+        self.reads.push((addr, v));
+        Ok(v)
+    }
+
+    fn read_sharded(&mut self, global: &NOrecGlobal, heap: &WordHeap, addr: Addr) -> OpResult<u64> {
+        let s = shard_of(addr);
+        self.work += cost::SHARED_ACCESS;
+        let v = heap.load(addr);
+        let cur = global.clock.shard(s).load(Ordering::Acquire);
+        if cur & 1 == 1 {
+            return Err(OpError::Busy); // this shard's committer mid-writeback
+        }
+        if cur == self.snaps[s] {
+            self.reads.push((addr, v));
+            return Ok(v);
+        }
+        // Only this shard's movement matters, but a revalidation pass
+        // refreshes the whole vector (and only value-checks moved shards).
+        self.validate_sharded(global, heap)?;
+        self.work += cost::SHARED_ACCESS;
+        let v = heap.load(addr);
+        if global.clock.shard(s).load(Ordering::Acquire) != self.snaps[s] {
             return Err(OpError::Busy); // moved again; retry the whole read
         }
         self.reads.push((addr, v));
@@ -253,12 +569,16 @@ impl NOrecTx {
             // read-only transactions commit without touching the clock.
             self.active = false;
             self.work += cost::COMMIT_BASE / 2;
+            global.clock.exit();
             return Ok(CommitPhase::Done);
         }
+        if global.kind() == ClockKind::Sharded {
+            return self.commit_begin_sharded(global, heap);
+        }
         self.work += cost::METADATA_OP;
-        match global.seq.compare_exchange(
+        match global.seq().compare_exchange(
             self.snapshot,
-            self.snapshot + 1,
+            self.snapshot.wrapping_add(1),
             Ordering::AcqRel,
             Ordering::Acquire,
         ) {
@@ -275,36 +595,197 @@ impl NOrecTx {
         }
         // Sequence lock held (odd): publish this commit's write summary
         // (validators key it by commit number target/2), then write back.
-        global
-            .summary_slot((self.snapshot + 2) / 2)
-            .store(self.writes.summary(), Ordering::Release);
+        global.publish_summary(self.snapshot.wrapping_add(2) / 2, self.writes.summary());
+        if global.kind().coarse() {
+            // Tagged in-flight publication for ride-through readers; the
+            // summary must be visible before the tag that vouches for it,
+            // and both before the first writeback store below.
+            global
+                .in_flight
+                .summary
+                .store(self.writes.summary(), Ordering::Relaxed);
+            global
+                .in_flight
+                .tag
+                .store(self.snapshot.wrapping_add(1), Ordering::Release);
+            self.work += cost::FILTER_WORD;
+        }
         let n = self.writes.len() as u64;
         for (addr, value) in self.writes.iter() {
             heap.store(addr, value);
         }
         let write_cost = cost::COMMIT_BASE + n * cost::WRITEBACK_WORD;
         self.work += write_cost;
-        self.commit_seq = Some(self.snapshot + 2);
+        self.commit_seq = Some(self.snapshot.wrapping_add(2));
         Ok(CommitPhase::NeedsFinish { cost: write_cost })
+    }
+
+    /// Sharded first commit phase: lock every written shard in ascending
+    /// order (releasing and backing off if any acquisition fails — no
+    /// deadlock), validate reads in foreign shards, write back.
+    fn commit_begin_sharded(
+        &mut self,
+        global: &NOrecGlobal,
+        heap: &WordHeap,
+    ) -> OpResult<CommitPhase> {
+        debug_assert!(self.locked_shards.is_empty());
+        let mut shard_mask = 0u8;
+        for (addr, _) in self.writes.iter() {
+            shard_mask |= 1 << shard_of(addr);
+        }
+        for s in 0..SHARDS {
+            if shard_mask & (1 << s) == 0 {
+                continue;
+            }
+            self.work += cost::METADATA_OP;
+            let snap = self.snaps[s];
+            let acquired = snap & 1 == 0
+                && global
+                    .clock
+                    .shard(s)
+                    .compare_exchange(
+                        snap,
+                        snap.wrapping_add(1),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok();
+            if acquired {
+                self.locked_shards.push(s as u32);
+                continue;
+            }
+            let observed = global.clock.shard(s).load(Ordering::Acquire);
+            self.release_shards(global, false);
+            if observed & 1 == 1 {
+                return Err(OpError::Busy);
+            }
+            // Someone committed to this shard since our snapshot;
+            // revalidate so the retried acquisition starts fresh.
+            self.validate_sharded(global, heap)?;
+            return Err(OpError::Busy);
+        }
+        // All written shards held (odd). Reads in those shards are stable
+        // by construction (the CAS succeeded from our snapshot); reads in
+        // *foreign* shards validate against a fresh sub-vector. Shards we
+        // neither read nor wrote are ignored entirely — another committer
+        // mid-writeback there is none of our business.
+        self.work += cost::METADATA_OP;
+        let mut read_mask = 0u8;
+        for (addr, _) in self.reads.iter() {
+            read_mask |= 1 << shard_of(addr);
+        }
+        let foreign = read_mask & !shard_mask;
+        let mut target = self.snaps;
+        for (s, t) in target.iter_mut().enumerate() {
+            if foreign & (1 << s) == 0 {
+                continue;
+            }
+            self.work += cost::FILTER_WORD;
+            let v = global.clock.shard(s).load(Ordering::Acquire);
+            if v & 1 == 1 {
+                self.release_shards(global, false);
+                return Err(OpError::Busy);
+            }
+            *t = v;
+        }
+        let mut conflicted = false;
+        for (addr, seen) in self.reads.iter() {
+            let s = shard_of(addr);
+            if shard_mask & (1 << s) != 0 || target[s] == self.snaps[s] {
+                self.work += cost::FILTER_WORD;
+                continue;
+            }
+            self.work += cost::VALIDATE_WORD;
+            if heap.load(addr) != seen {
+                conflicted = true;
+                break;
+            }
+        }
+        if conflicted {
+            self.release_shards(global, false);
+            self.last_conflict = AbortReason::NorecValidation;
+            return Err(OpError::Conflict);
+        }
+        for (s, t) in target.iter().enumerate() {
+            if foreign & (1 << s) == 0 {
+                continue;
+            }
+            self.work += cost::FILTER_WORD;
+            if global.clock.shard(s).load(Ordering::Acquire) != *t {
+                self.release_shards(global, false);
+                return Err(OpError::Busy);
+            }
+        }
+        let n = self.writes.len() as u64;
+        for (addr, value) in self.writes.iter() {
+            heap.store(addr, value);
+        }
+        let write_cost = cost::COMMIT_BASE + n * cost::WRITEBACK_WORD;
+        self.work += write_cost;
+        self.commit_seq = Some(1); // marker; release values derive from snaps
+        Ok(CommitPhase::NeedsFinish { cost: write_cost })
+    }
+
+    /// Releases held shard locks: back to the pre-lock snapshot on a failed
+    /// acquisition/validation, or forward to `snaps[s] + 2` on commit.
+    fn release_shards(&mut self, global: &NOrecGlobal, committed: bool) {
+        for i in 0..self.locked_shards.len() {
+            let s = self.locked_shards.get(i) as usize;
+            let v = if committed {
+                global.clock.note_bump();
+                self.snaps[s].wrapping_add(2)
+            } else {
+                self.snaps[s]
+            };
+            global.clock.shard(s).store(v, Ordering::Release);
+        }
+        self.locked_shards.clear();
     }
 
     /// Second commit phase: release the sequence lock at the next even
     /// timestamp. Only call after `commit_begin` returned `NeedsFinish`.
+    ///
+    /// Under `Epoch`/`CoarseSnzi`, a committer that is provably alone
+    /// releases the lock at its *unchanged* snapshot instead: no live
+    /// transaction holds a pre-writeback value (under `Epoch` begin is
+    /// Busy for the whole hold; under `CoarseSnzi` a begin-through-hold
+    /// reader either proved its reads untouched by this writeback — equal
+    /// pre and post — or spun), so post-release transactions read the new
+    /// values under the old timestamp — value-based validation cannot
+    /// tell the difference. Epoch banks the elided bump for
+    /// [`ClockSource::flush`].
     pub fn commit_finish(&mut self, global: &NOrecGlobal) {
         let next = self
             .commit_seq
             .take()
             .expect("commit_finish without commit_begin");
-        global.seq.store(next, Ordering::Release);
+        if global.kind() == ClockKind::Sharded {
+            self.release_shards(global, true);
+            self.active = false;
+            return;
+        }
+        let elide = global.kind().tracks_active() && global.clock.solo();
+        if elide {
+            global.seq().store(next.wrapping_sub(2), Ordering::Release);
+            global.clock.note_skip(global.kind() == ClockKind::Epoch);
+        } else {
+            global.seq().store(next, Ordering::Release);
+            global.clock.note_bump();
+        }
+        global.clock.exit();
         self.active = false;
     }
 
     /// Rolls back the attempt (buffered writes are simply discarded).
-    pub fn abort(&mut self) {
+    pub fn abort(&mut self, global: &NOrecGlobal) {
         debug_assert!(self.commit_seq.is_none(), "abort while holding the seqlock");
+        debug_assert!(self.locked_shards.is_empty());
         self.work += cost::ABORT_PENALTY;
         self.reads.clear();
         self.writes.clear();
+        if self.active {
+            global.clock.exit();
+        }
         self.active = false;
     }
 
@@ -347,6 +828,20 @@ mod tests {
         (NOrecGlobal::new(), WordHeap::new(64))
     }
 
+    /// Sharded setup: a heap large enough that shard boundaries
+    /// (every `1 << SHARD_SHIFT` words) are reachable.
+    fn setup_sharded() -> (NOrecGlobal, WordHeap) {
+        (
+            NOrecGlobal::with_kind(ClockKind::Sharded),
+            WordHeap::new(1 << 14),
+        )
+    }
+
+    /// An address in shard `s` (offset keeps distinct addresses distinct).
+    fn in_shard(s: usize, offset: u32) -> Addr {
+        Addr(((s as u32) << crate::clock::SHARD_SHIFT) + offset)
+    }
+
     /// Runs one transaction to completion with spin-retry on Busy.
     fn run_tx(
         g: &NOrecGlobal,
@@ -359,7 +854,7 @@ mod tests {
             match body(tx) {
                 Ok(()) => {}
                 Err(OpError::Conflict) => {
-                    tx.abort();
+                    tx.abort(g);
                     continue 'attempt;
                 }
                 Err(OpError::Busy) => unreachable!("test bodies retry Busy internally"),
@@ -373,7 +868,7 @@ mod tests {
                     }
                     Err(OpError::Busy) => continue,
                     Err(OpError::Conflict) => {
-                        tx.abort();
+                        tx.abort(g);
                         continue 'attempt;
                     }
                 }
@@ -414,6 +909,7 @@ mod tests {
         assert_eq!(g.timestamp(), 2);
         run_tx(&g, &h, &mut tx, |tx| tx.write(Addr(0), 2));
         assert_eq!(g.timestamp(), 4);
+        assert_eq!(g.clock().stats().bumps, 2);
     }
 
     #[test]
@@ -427,7 +923,7 @@ mod tests {
         run_tx(&g, &h, &mut t2, |tx| tx.write(Addr(5), 99));
         // t1's next read triggers revalidation, which sees Addr(5) changed.
         assert_eq!(t1.read(&g, &h, Addr(6)), Err(OpError::Conflict));
-        t1.abort();
+        t1.abort(&g);
     }
 
     #[test]
@@ -457,7 +953,7 @@ mod tests {
         // t1's commit CAS fails (clock moved), revalidation sees Addr(0)
         // changed -> Conflict.
         assert_eq!(t1.commit_begin(&g, &h), Err(OpError::Conflict));
-        t1.abort();
+        t1.abort(&g);
         assert_eq!(h.load(Addr(1)), 0, "aborted writes must not leak");
     }
 
@@ -504,7 +1000,7 @@ mod tests {
         let w = tx.take_work();
         assert!(w > 0);
         assert_eq!(tx.take_work(), 0, "drained");
-        tx.abort();
+        tx.abort(&g);
         assert!(tx.take_work() >= cost::ABORT_PENALTY);
     }
 
@@ -548,7 +1044,7 @@ mod tests {
         }
         run_tx(&g, &h, &mut t2, |tx| tx.write(Addr(5), 77));
         assert_eq!(t1.read(&g, &h, Addr(6)), Err(OpError::Conflict));
-        t1.abort();
+        t1.abort(&g);
     }
 
     #[test]
@@ -578,7 +1074,7 @@ mod tests {
         }
         run_tx(&g, &h, &mut t2, |tx| tx.write(Addr(10), 9));
         assert_eq!(t3.read(&g, &h, Addr(11)), Err(OpError::Conflict));
-        t3.abort();
+        t3.abort(&g);
     }
 
     #[test]
@@ -605,5 +1101,385 @@ mod tests {
             assert_eq!(t1.read(&g, &h, Addr(10)).unwrap(), 0);
         }
         assert_eq!(t1.commit_begin(&g, &h).unwrap(), CommitPhase::Done);
+    }
+
+    #[test]
+    fn seqlock_wraps_cleanly_at_u64_max() {
+        let (g, h) = setup();
+        g.clock().preload(u64::MAX - 1); // even, two commits from wrapping
+        let mut tx = NOrecTx::new();
+        tx.begin(&g).unwrap();
+        assert_eq!(tx.read(&g, &h, Addr(0)).unwrap(), 0);
+        run_tx(&g, &h, &mut NOrecTx::new(), |tx| tx.write(Addr(1), 1));
+        assert_eq!(g.timestamp(), 0, "wrapped to zero");
+        // The straddling reader revalidates across the wrap and survives
+        // (its read is untouched), then catches a real post-wrap conflict.
+        assert_eq!(tx.read(&g, &h, Addr(2)).unwrap(), 0);
+        run_tx(&g, &h, &mut NOrecTx::new(), |tx| tx.write(Addr(0), 9));
+        assert_eq!(tx.read(&g, &h, Addr(3)), Err(OpError::Conflict));
+        tx.abort(&g);
+    }
+
+    // ---- sharded clock ----
+
+    #[test]
+    fn sharded_disjoint_shard_commits_commit_concurrently() {
+        let (g, h) = setup_sharded();
+        let mut t1 = NOrecTx::new();
+        let mut t2 = NOrecTx::new();
+        t1.begin(&g).unwrap();
+        t1.write(in_shard(0, 1), 10).unwrap();
+        let CommitPhase::NeedsFinish { .. } = t1.commit_begin(&g, &h).unwrap() else {
+            panic!("writer needs finish");
+        };
+        // t1 holds shard 0's lock mid-writeback. Under the global clock a
+        // second writer would be Busy; in a different shard it sails through.
+        t2.begin(&g).unwrap();
+        t2.write(in_shard(3, 1), 30).unwrap();
+        match t2.commit_begin(&g, &h).unwrap() {
+            CommitPhase::NeedsFinish { .. } => t2.commit_finish(&g),
+            CommitPhase::Done => panic!(),
+        }
+        t1.commit_finish(&g);
+        assert_eq!(h.load(in_shard(0, 1)), 10);
+        assert_eq!(h.load(in_shard(3, 1)), 30);
+        assert_eq!(g.clock().stats().bumps, 2);
+    }
+
+    #[test]
+    fn sharded_reads_in_other_shards_proceed_during_commit() {
+        let (g, h) = setup_sharded();
+        let mut t1 = NOrecTx::new();
+        let mut t2 = NOrecTx::new();
+        t2.begin(&g).unwrap();
+        t1.begin(&g).unwrap();
+        t1.write(in_shard(2, 0), 5).unwrap();
+        let _ = t1.commit_begin(&g, &h).unwrap();
+        // Shard 2 is mid-writeback: reads there wait; shard 4 reads proceed.
+        assert_eq!(t2.read(&g, &h, in_shard(2, 0)), Err(OpError::Busy));
+        assert_eq!(t2.read(&g, &h, in_shard(4, 0)).unwrap(), 0);
+        t1.commit_finish(&g);
+        assert_eq!(t2.read(&g, &h, in_shard(2, 0)).unwrap(), 5);
+    }
+
+    #[test]
+    fn sharded_unmoved_shards_skip_value_checks() {
+        let (g, h) = setup_sharded();
+        let mut t1 = NOrecTx::new();
+        let mut t2 = NOrecTx::new();
+        t1.begin(&g).unwrap();
+        const N_READS: u32 = 20;
+        for i in 0..N_READS {
+            t1.read(&g, &h, in_shard(1, i)).unwrap();
+        }
+        // A commit in shard 5 moves only that shard's sequence lock.
+        run_tx(&g, &h, &mut t2, |tx| tx.write(in_shard(5, 0), 1));
+        t1.take_work();
+        t1.read(&g, &h, in_shard(5, 1)).unwrap();
+        let w = t1.take_work();
+        let full =
+            cost::SHARED_ACCESS + cost::METADATA_OP + cost::VALIDATE_WORD * u64::from(N_READS);
+        assert!(
+            w < full,
+            "shard filter ({w}) should undercut full validation ({full})"
+        );
+        assert_eq!(t1.commit_begin(&g, &h).unwrap(), CommitPhase::Done);
+    }
+
+    #[test]
+    fn sharded_conflicts_in_moved_shard_are_caught() {
+        let (g, h) = setup_sharded();
+        let mut t1 = NOrecTx::new();
+        let mut t2 = NOrecTx::new();
+        t1.begin(&g).unwrap();
+        assert_eq!(t1.read(&g, &h, in_shard(1, 7)).unwrap(), 0);
+        run_tx(&g, &h, &mut t2, |tx| tx.write(in_shard(1, 7), 99));
+        // A read in an *unmoved* shard stays on the fast path: t1 is still
+        // consistent as of its begin instant (it serialises before t2), so
+        // the sharded clock — unlike the global one — need not kill it yet.
+        assert_eq!(t1.read(&g, &h, in_shard(2, 0)).unwrap(), 0);
+        // The next read in the moved shard forces validation: caught.
+        assert_eq!(t1.read(&g, &h, in_shard(1, 8)), Err(OpError::Conflict));
+        t1.abort(&g);
+    }
+
+    #[test]
+    fn sharded_commit_validates_foreign_shard_reads() {
+        // A writer in shard 0 whose read in shard 1 went stale must abort
+        // at commit — a sharded snapshot never lets a commit stand on a
+        // write it could not have observed.
+        let (g, h) = setup_sharded();
+        let mut t1 = NOrecTx::new();
+        let mut t2 = NOrecTx::new();
+        t1.begin(&g).unwrap();
+        let v = t1.read(&g, &h, in_shard(1, 0)).unwrap();
+        t1.write(in_shard(0, 0), v + 1).unwrap();
+        run_tx(&g, &h, &mut t2, |tx| tx.write(in_shard(1, 0), 7));
+        assert_eq!(t1.commit_begin(&g, &h), Err(OpError::Conflict));
+        t1.abort(&g);
+        assert_eq!(h.load(in_shard(0, 0)), 0, "aborted writes must not leak");
+    }
+
+    #[test]
+    fn sharded_disjoint_shard_commit_leaves_reader_alive() {
+        let (g, h) = setup_sharded();
+        let mut t1 = NOrecTx::new();
+        let mut t2 = NOrecTx::new();
+        t1.begin(&g).unwrap();
+        let v = t1.read(&g, &h, in_shard(1, 0)).unwrap();
+        t1.write(in_shard(0, 0), v + 1).unwrap();
+        // A commit in shard 6 doesn't invalidate t1's shard-1 read.
+        run_tx(&g, &h, &mut t2, |tx| tx.write(in_shard(6, 0), 3));
+        match t1.commit_begin(&g, &h).unwrap() {
+            CommitPhase::NeedsFinish { .. } => t1.commit_finish(&g),
+            CommitPhase::Done => panic!(),
+        }
+        assert_eq!(h.load(in_shard(0, 0)), 1);
+    }
+
+    #[test]
+    fn sharded_multi_shard_writer_locks_and_releases_every_shard() {
+        let (g, h) = setup_sharded();
+        let mut t1 = NOrecTx::new();
+        t1.begin(&g).unwrap();
+        for s in [0usize, 3, 7] {
+            t1.write(in_shard(s, 2), s as u64 + 1).unwrap();
+        }
+        let CommitPhase::NeedsFinish { .. } = t1.commit_begin(&g, &h).unwrap() else {
+            panic!()
+        };
+        assert_eq!(t1.locked_shards.len(), 3);
+        t1.commit_finish(&g);
+        for s in [0usize, 3, 7] {
+            assert_eq!(h.load(in_shard(s, 2)), s as u64 + 1);
+            assert_eq!(
+                g.clock().shard(s).load(Ordering::Relaxed),
+                2,
+                "shard {s} released at its bumped even value"
+            );
+        }
+        assert_eq!(g.clock().shard(1).load(Ordering::Relaxed), 0, "untouched");
+    }
+
+    #[test]
+    fn sharded_shard_seqlock_wraps_cleanly() {
+        let (g, h) = setup_sharded();
+        g.clock().preload(u64::MAX - 1);
+        let mut t1 = NOrecTx::new();
+        t1.begin(&g).unwrap();
+        assert_eq!(t1.read(&g, &h, in_shard(2, 0)).unwrap(), 0);
+        // Wrap shard 2's sequence lock across u64::MAX.
+        run_tx(&g, &h, &mut NOrecTx::new(), |tx| {
+            tx.write(in_shard(2, 5), 1)
+        });
+        assert_eq!(g.clock().shard(2).load(Ordering::Relaxed), 0, "wrapped");
+        // Straddling reader revalidates across the wrap and survives.
+        assert_eq!(t1.read(&g, &h, in_shard(2, 6)).unwrap(), 0);
+        // And a real conflict across the wrap is still caught.
+        run_tx(&g, &h, &mut NOrecTx::new(), |tx| {
+            tx.write(in_shard(2, 0), 9)
+        });
+        assert_eq!(t1.read(&g, &h, in_shard(2, 7)), Err(OpError::Conflict));
+        t1.abort(&g);
+    }
+
+    // ---- epoch-batched clock ----
+
+    #[test]
+    fn epoch_solo_commit_elides_the_bump_and_banks_it() {
+        let g = NOrecGlobal::with_kind(ClockKind::Epoch);
+        let h = WordHeap::new(64);
+        let mut tx = NOrecTx::new();
+        run_tx(&g, &h, &mut tx, |tx| tx.write(Addr(0), 1));
+        assert_eq!(h.load(Addr(0)), 1, "the write itself lands");
+        assert_eq!(g.timestamp(), 0, "solo commit leaves the clock unmoved");
+        let s = g.clock().stats();
+        assert_eq!((s.bumps, s.bump_skips, s.pending), (0, 1, 1));
+        // The exclusive-drain flush folds the banked epoch back in.
+        assert!(g.clock().flush(2));
+        assert_eq!(g.timestamp(), 2);
+        assert_eq!(g.clock().stats().pending, 0);
+    }
+
+    #[test]
+    fn epoch_contended_commit_bumps_normally() {
+        let g = NOrecGlobal::with_kind(ClockKind::Epoch);
+        let h = WordHeap::new(64);
+        let mut t1 = NOrecTx::new();
+        let mut t2 = NOrecTx::new();
+        t2.begin(&g).unwrap(); // a second live transaction: not solo
+        run_tx(&g, &h, &mut t1, |tx| tx.write(Addr(0), 1));
+        assert_eq!(g.timestamp(), 2, "concurrent reader forces the bump");
+        assert_eq!(g.clock().stats().bumps, 1);
+        // ... and t2, begun before the commit, validates by value as usual.
+        assert_eq!(t2.read(&g, &h, Addr(1)).unwrap(), 0);
+        assert_eq!(t2.commit_begin(&g, &h).unwrap(), CommitPhase::Done);
+    }
+
+    #[test]
+    fn epoch_elided_commit_is_invisible_to_later_transactions() {
+        let g = NOrecGlobal::with_kind(ClockKind::Epoch);
+        let h = WordHeap::new(64);
+        let mut t1 = NOrecTx::new();
+        run_tx(&g, &h, &mut t1, |tx| tx.write(Addr(3), 42));
+        // A transaction beginning after the elided commit reads the new
+        // value under the old timestamp — and can commit on it.
+        let mut t2 = NOrecTx::new();
+        t2.begin(&g).unwrap();
+        assert_eq!(t2.read(&g, &h, Addr(3)).unwrap(), 42);
+        let v = t2.read(&g, &h, Addr(4)).unwrap();
+        t2.write(Addr(4), v + 1).unwrap();
+        match t2.commit_begin(&g, &h).unwrap() {
+            CommitPhase::NeedsFinish { .. } => t2.commit_finish(&g),
+            CommitPhase::Done => panic!(),
+        }
+        assert_eq!(h.load(Addr(4)), 1);
+    }
+
+    // ---- coarse ring ----
+
+    #[test]
+    fn coarse_ring_reaches_past_the_fine_window() {
+        let g = NOrecGlobal::with_kind(ClockKind::Coarse);
+        let h = WordHeap::new(64);
+        let mut t1 = NOrecTx::new();
+        let mut t2 = NOrecTx::new();
+        t1.begin(&g).unwrap();
+        const N_READS: u64 = 20;
+        for i in 0..N_READS {
+            t1.read(&g, &h, Addr(i as u32)).unwrap();
+        }
+        // 80 disjoint commits: past the fine ring's 64-commit reach, but
+        // well inside the coarse ring's 256.
+        for i in 0..80u32 {
+            run_tx(&g, &h, &mut t2, |tx| tx.write(Addr(30 + i % 30), 1));
+        }
+        t1.take_work();
+        t1.read(&g, &h, Addr(25)).unwrap();
+        let w = t1.take_work();
+        let full = 2 * cost::SHARED_ACCESS + cost::METADATA_OP + cost::VALIDATE_WORD * N_READS;
+        assert!(
+            w < full,
+            "coarse filter ({w}) should still undercut full validation ({full})"
+        );
+        assert_eq!(t1.commit_begin(&g, &h).unwrap(), CommitPhase::Done);
+    }
+
+    #[test]
+    fn coarse_ring_conflicts_are_still_caught() {
+        let g = NOrecGlobal::with_kind(ClockKind::Coarse);
+        let h = WordHeap::new(64);
+        let mut t1 = NOrecTx::new();
+        let mut t2 = NOrecTx::new();
+        t1.begin(&g).unwrap();
+        t1.read(&g, &h, Addr(5)).unwrap();
+        for i in 0..80u32 {
+            run_tx(&g, &h, &mut t2, |tx| tx.write(Addr(30 + i % 30), 1));
+        }
+        run_tx(&g, &h, &mut t2, |tx| tx.write(Addr(5), 77));
+        assert_eq!(t1.read(&g, &h, Addr(6)), Err(OpError::Conflict));
+        t1.abort(&g);
+    }
+
+    /// Coarse kinds ride through a committer's writeback hold: while the
+    /// sequence lock is odd, reads provably outside the in-flight write
+    /// summary proceed, reads inside it spin, and `begin` starts at the
+    /// pre-commit timestamp instead of spinning. The default clock keeps
+    /// the plain NOrec behaviour (everything spins) bit-for-bit.
+    #[test]
+    fn coarse_readers_ride_through_an_in_flight_writeback() {
+        for kind in [ClockKind::Coarse, ClockKind::CoarseSnzi] {
+            let g = NOrecGlobal::with_kind(kind);
+            let h = WordHeap::new(64);
+            // Committer: grabs the sequence lock, writes Addr(7), parks
+            // mid-hold (NeedsFinish not yet finished).
+            let mut committer = NOrecTx::new();
+            committer.begin(&g).unwrap();
+            committer.write(Addr(7), 99).unwrap();
+            assert!(matches!(
+                committer.commit_begin(&g, &h).unwrap(),
+                CommitPhase::NeedsFinish { .. }
+            ));
+            assert_eq!(g.timestamp() & 1, 1, "{kind:?}: lock held");
+
+            // A reader snapshotted before the hold rides through for an
+            // address the in-flight commit never writes...
+            let mut reader = NOrecTx::new();
+            // (begin-through-hold: starts at the pre-commit timestamp)
+            reader.begin(&g).unwrap();
+            assert_eq!(reader.read(&g, &h, Addr(3)).unwrap(), 0, "{kind:?}");
+            // ...but spins on genuine overlap with the ongoing writeback.
+            assert_eq!(reader.read(&g, &h, Addr(7)), Err(OpError::Busy), "{kind:?}");
+
+            committer.commit_finish(&g);
+            // After release the spun read succeeds via revalidation and
+            // sees the committed value; the ride-through read stays valid.
+            assert_eq!(reader.read(&g, &h, Addr(7)).unwrap(), 99, "{kind:?}");
+            assert_eq!(reader.commit_begin(&g, &h).unwrap(), CommitPhase::Done);
+        }
+
+        // Control: the global clock spins in both situations.
+        let g = NOrecGlobal::with_kind(ClockKind::Global);
+        let h = WordHeap::new(64);
+        let mut committer = NOrecTx::new();
+        committer.begin(&g).unwrap();
+        committer.write(Addr(7), 99).unwrap();
+        assert!(matches!(
+            committer.commit_begin(&g, &h).unwrap(),
+            CommitPhase::NeedsFinish { .. }
+        ));
+        let mut reader = NOrecTx::new();
+        assert_eq!(reader.begin(&g), Err(OpError::Busy));
+        committer.commit_finish(&g);
+        reader.begin(&g).unwrap();
+        assert_eq!(reader.read(&g, &h, Addr(3)).unwrap(), 0);
+    }
+
+    /// A ride-through read is value-recorded like any other: if the *next*
+    /// commit overwrites it, validation still catches the conflict — the
+    /// summary proof only ever covers the one in-flight commit it was
+    /// checked against.
+    #[test]
+    fn ride_through_reads_still_value_validate_against_later_commits() {
+        let g = NOrecGlobal::with_kind(ClockKind::Coarse);
+        let h = WordHeap::new(64);
+        let mut committer = NOrecTx::new();
+        committer.begin(&g).unwrap();
+        committer.write(Addr(7), 99).unwrap();
+        assert!(matches!(
+            committer.commit_begin(&g, &h).unwrap(),
+            CommitPhase::NeedsFinish { .. }
+        ));
+        let mut reader = NOrecTx::new();
+        reader.begin(&g).unwrap();
+        assert_eq!(reader.read(&g, &h, Addr(3)).unwrap(), 0); // rode through
+        committer.commit_finish(&g);
+        let mut other = NOrecTx::new();
+        run_tx(&g, &h, &mut other, |tx| tx.write(Addr(3), 5));
+        assert_eq!(reader.read(&g, &h, Addr(4)), Err(OpError::Conflict));
+        reader.abort(&g);
+    }
+
+    // ---- coarse + SNZI read indicator ----
+
+    #[test]
+    fn coarse_snzi_bumps_only_when_observed() {
+        let g = NOrecGlobal::with_kind(ClockKind::CoarseSnzi);
+        let h = WordHeap::new(64);
+        let mut t1 = NOrecTx::new();
+        // Solo: the read indicator shows nobody watching — no bump, and
+        // (unlike epoch) nothing owed to a flush.
+        run_tx(&g, &h, &mut t1, |tx| tx.write(Addr(0), 1));
+        assert_eq!(g.timestamp(), 0);
+        let s = g.clock().stats();
+        assert_eq!((s.bumps, s.bump_skips, s.pending), (0, 1, 0));
+        // Observed: a live reader makes the committer pay the bump.
+        let mut t2 = NOrecTx::new();
+        t2.begin(&g).unwrap();
+        run_tx(&g, &h, &mut t1, |tx| tx.write(Addr(1), 1));
+        assert_eq!(g.timestamp(), 2);
+        assert_eq!(g.clock().stats().bumps, 1);
+        assert_eq!(t2.read(&g, &h, Addr(2)).unwrap(), 0);
+        assert_eq!(t2.commit_begin(&g, &h).unwrap(), CommitPhase::Done);
     }
 }
