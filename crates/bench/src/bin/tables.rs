@@ -26,6 +26,10 @@ struct Args {
     /// and write the Chrome trace to PATH (plus the snapshot schema next to
     /// it) instead of printing markdown tables.
     trace: Option<String>,
+    /// `--profile PATH`: run one recorded single-view adaptive Eigenbench
+    /// sim and write the `votm-obs-profile-v1` conflict-topology profile
+    /// (abort attribution, affinity matrix, suggested bi-partition) to PATH.
+    profile: Option<String>,
     eigen_scale_set: bool,
 }
 
@@ -34,6 +38,7 @@ fn parse_args() -> Args {
     let mut tables = Vec::new();
     let mut json = false;
     let mut trace = None;
+    let mut profile = None;
     let mut eigen_scale_set = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -49,6 +54,7 @@ fn parse_args() -> Args {
             ),
             "--json" => json = true,
             "--trace" => trace = Some(value("--trace")),
+            "--profile" => profile = Some(value("--profile")),
             "--eigen-scale" => {
                 settings.eigen_scale = value("--eigen-scale").parse().expect("bad scale");
                 eigen_scale_set = true;
@@ -63,8 +69,9 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: tables [--table N]... [--json] [--trace PATH] [--eigen-scale F] \
-                     [--intruder-scale F] [--threads N] [--seed S] [--cap-factor K]"
+                    "usage: tables [--table N]... [--json] [--trace PATH] [--profile PATH] \
+                     [--eigen-scale F] [--intruder-scale F] [--threads N] [--seed S] \
+                     [--cap-factor K]"
                 );
                 std::process::exit(0);
             }
@@ -79,6 +86,7 @@ fn parse_args() -> Args {
         settings,
         json,
         trace,
+        profile,
         eigen_scale_set,
     }
 }
@@ -89,7 +97,7 @@ fn parse_args() -> Args {
 const GATE_EIGEN_SCALE: f64 = 0.001;
 
 /// Output artifact of `--json`: the PR-numbered benchmark trajectory file.
-const GATE_ARTIFACT: &str = "BENCH_6.json";
+const GATE_ARTIFACT: &str = "BENCH_8.json";
 
 /// Sidecar artifact of `--json`: the per-policy comparison table
 /// (markdown), built from the gate's policy rows.
@@ -167,8 +175,29 @@ fn run_trace(settings: &Settings, path: &str) {
     );
 }
 
+fn run_profile(settings: &Settings, path: &str) {
+    let t0 = std::time::Instant::now();
+    let cap = votm_bench::capture_profile(settings, TmAlgorithm::OrecEagerRedo);
+    std::fs::write(path, &cap.json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    let part = cap.profile.suggest_bipartition();
+    eprintln!(
+        "wrote {path} ({} bytes) in {:.1}s: {} aborts attributed over {} wasted cycles, \
+         {} dropped events, separability {:.3}",
+        cap.json.len(),
+        t0.elapsed().as_secs_f64(),
+        cap.profile.aborts_total,
+        cap.profile.abort_cycles_total,
+        cap.dropped,
+        part.separability,
+    );
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.profile {
+        run_profile(&args.settings, path);
+        return;
+    }
     if let Some(path) = &args.trace {
         run_trace(&args.settings, path);
         return;

@@ -236,6 +236,7 @@ pub fn policy_table(rows: &[GateRow]) -> String {
         "status".to_string(),
         "txns/vsec".to_string(),
         "abort rate".to_string(),
+        "waste frac".to_string(),
         "#tx".to_string(),
         "#abort".to_string(),
         "commit p50/p99 (cyc)".to_string(),
@@ -250,6 +251,7 @@ pub fn policy_table(rows: &[GateRow]) -> String {
             format!("{:?}", r.status),
             format!("{:.1}", r.txns_per_vsec),
             format!("{:.3}", r.abort_rate),
+            format!("{:.3}", r.waste_frac),
             count(r.commits),
             count(r.aborts),
             format!(
@@ -262,7 +264,7 @@ pub fn policy_table(rows: &[GateRow]) -> String {
     out.push_str(&markdown(&lines));
     out.push_str(
         "\nBackoff rows aggregate the gate's seed sweep; policy rows are single-seed \
-         comparison runs (see BENCH_6.json for the raw fields).\n",
+         comparison runs (see BENCH_8.json for the raw fields).\n",
     );
     out
 }
@@ -283,6 +285,7 @@ pub fn clock_table(rows: &[GateRow]) -> String {
         "status".to_string(),
         "txns/vsec".to_string(),
         "abort rate".to_string(),
+        "waste frac".to_string(),
         "busy/commit".to_string(),
         "bumps".to_string(),
         "bump skips".to_string(),
@@ -298,6 +301,7 @@ pub fn clock_table(rows: &[GateRow]) -> String {
             format!("{:?}", r.status),
             format!("{:.1}", r.txns_per_vsec),
             format!("{:.3}", r.abort_rate),
+            format!("{:.3}", r.waste_frac),
             format!("{:.2}", r.busy_retries_per_commit),
             count(r.clock_bumps),
             count(r.clock_bump_skips),
@@ -344,7 +348,7 @@ pub fn clock_table(rows: &[GateRow]) -> String {
     }
     out.push_str(
         "\nDefault-clock (`global`) rows aggregate the gate's seed sweep; clock-variant \
-         rows are single-seed comparison runs (see BENCH_6.json for the raw fields). \
+         rows are single-seed comparison runs (see BENCH_8.json for the raw fields). \
          `bumps` counts clock advances taken, `bump skips` counts advances elided or \
          banked by the variant's coalescing strategy.\n",
     );

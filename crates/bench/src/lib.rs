@@ -17,6 +17,7 @@
 
 pub mod fmt;
 pub mod harness;
+pub mod json;
 
 use std::sync::Arc;
 
@@ -24,7 +25,7 @@ use votm::{ClockKind, CmPolicy, FlightRecorder, QuotaMode, TmAlgorithm, ViewStat
 use votm_eigenbench::{EigenConfig, EigenResult};
 use votm_intruder::{GenConfig, Input, IntruderResult};
 use votm_obs::export::{self, ViewReport};
-use votm_obs::HistogramSnapshot;
+use votm_obs::{AbortReason, ConflictProfile, HistogramSnapshot, SCHEMA_VERSION};
 use votm_sim::{RunStatus, SimConfig};
 use votm_stm::cost::CYCLES_PER_SECOND;
 
@@ -510,6 +511,18 @@ pub struct GateRow {
     pub commit_p50_cycles: u64,
     /// 99th-percentile commit latency in cycles (bucket upper bound).
     pub commit_p99_cycles: u64,
+    /// Cycles burned inside aborted attempts, summed over views and seeds —
+    /// the wasted-work ledger's headline number (the numerator of the
+    /// paper's δ(Q) estimator, Eq. 5).
+    pub wasted_cycles: u64,
+    /// Cycles spent inside committed attempts (the ledger's "useful" side).
+    pub useful_cycles: u64,
+    /// `wasted / (useful + wasted)` (0 when idle) — the fraction of all
+    /// transactional work that was thrown away.
+    pub waste_frac: f64,
+    /// `wasted_cycles` split by [`AbortReason`], index = `reason.index()`.
+    /// Components always sum exactly to `wasted_cycles`.
+    pub wasted_by_reason: [u64; AbortReason::COUNT],
     /// Executor steps (future polls) the row's simulations took, summed
     /// over the seed sweep. Virtual-time-deterministic.
     pub sim_steps: u64,
@@ -547,6 +560,8 @@ fn gate_config_row(
     let (mut busy, mut gate_wait) = (0u64, 0u64);
     let (mut sim_steps, mut coalesced) = (0u64, 0u64);
     let (mut bumps, mut bump_skips) = (0u64, 0u64);
+    let (mut wasted, mut useful) = (0u64, 0u64);
+    let mut wasted_by_reason = [0u64; AbortReason::COUNT];
     let mut commit_hist = HistogramSnapshot::default();
     for seed_off in 0..n_seeds {
         let mut s = *settings;
@@ -576,6 +591,20 @@ fn gate_config_row(
         gate_wait += res.views.iter().map(|v| v.tm.gate_wait_cycles).sum::<u64>();
         bumps += res.views.iter().map(|v| v.clock.bumps).sum::<u64>();
         bump_skips += res.views.iter().map(|v| v.clock.bump_skips).sum::<u64>();
+        wasted += res.views.iter().map(|v| v.tm.cycles_aborted).sum::<u64>();
+        useful += res
+            .views
+            .iter()
+            .map(|v| v.tm.cycles_successful)
+            .sum::<u64>();
+        for v in &res.views {
+            for (acc, c) in wasted_by_reason
+                .iter_mut()
+                .zip(v.tm.cycles_aborted_by_reason)
+            {
+                *acc += c;
+            }
+        }
         sim_steps += res.outcome.steps;
         coalesced += res.outcome.sched.coalesced;
         for v in &res.views {
@@ -622,6 +651,14 @@ fn gate_config_row(
         },
         clock_bumps: bumps,
         clock_bump_skips: bump_skips,
+        wasted_cycles: wasted,
+        useful_cycles: useful,
+        waste_frac: if wasted + useful == 0 {
+            0.0
+        } else {
+            wasted as f64 / (wasted + useful) as f64
+        },
+        wasted_by_reason,
         gate_wait_cycles: gate_wait,
         commit_p50_cycles: commit_hist.quantile(0.50),
         commit_p99_cycles: commit_hist.quantile(0.99),
@@ -802,6 +839,59 @@ pub fn capture_trace_clock(
     }
 }
 
+// ------------------------------------------------------ Conflict profiling
+
+/// Output of [`capture_profile`]: the `votm-obs-profile-v1` document plus
+/// the summary numbers the CLI prints.
+#[derive(Debug, Clone)]
+pub struct ProfileCapture {
+    /// The profile JSON (`votm-obs-profile-v1`).
+    pub json: String,
+    /// The folded profile itself, for programmatic consumers.
+    pub profile: ConflictProfile,
+    /// Events dropped by the flight recorder's rings (0 means the profile
+    /// saw every event and its cycle sums are exact, not sampled).
+    pub dropped: u64,
+    /// Per-view statistics of the captured run.
+    pub views: Vec<ViewStats>,
+    /// Makespan of the captured run in virtual cycles — identical to the
+    /// unrecorded run's, which the zero-overhead suite asserts.
+    pub vtime: u64,
+}
+
+/// Ring capacity for profile captures: large enough that gate-scale runs
+/// drop nothing, so the wasted-cycle attribution is exact.
+const PROFILE_RING_CAPACITY: usize = 1 << 16;
+
+/// Runs one seeded *single-view* adaptive Eigenbench simulation — the
+/// configuration whose conflicts the profiler exists to explain — with a
+/// drop-free flight recorder, and folds the event stream into a
+/// [`ConflictProfile`]. Deterministic for identical settings.
+pub fn capture_profile(settings: &Settings, algo: TmAlgorithm) -> ProfileCapture {
+    let recorder = Arc::new(FlightRecorder::new(
+        settings.n_threads as usize,
+        PROFILE_RING_CAPACITY,
+    ));
+    let res = eigen_run_recorded(
+        settings,
+        algo,
+        votm_eigenbench::Version::SingleView,
+        [QuotaMode::Adaptive, QuotaMode::Adaptive],
+        None,
+        Some(Arc::clone(&recorder)),
+    );
+    let traces = recorder.snapshot();
+    let dropped = traces.iter().map(|t| t.dropped).sum();
+    let profile = ConflictProfile::from_traces(&traces);
+    ProfileCapture {
+        json: profile.to_json(),
+        profile,
+        dropped,
+        views: res.views,
+        vtime: res.outcome.vtime,
+    }
+}
+
 fn json_str(s: &str) -> String {
     // The strings serialised here are algorithm/version labels and status
     // names — plain ASCII identifiers — so escaping covers only the JSON
@@ -835,6 +925,10 @@ pub fn gate_rows_to_json(settings: &Settings, rows: &[GateRow]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!(
+        "  \"schema_version\": {},\n",
+        json_str(SCHEMA_VERSION)
+    ));
+    out.push_str(&format!(
         "  \"config\": {{\"benchmark\": \"eigenbench\", \"eigen_scale\": {}, \"seed\": {}, \
          \"quota_mode\": \"adaptive\", \"thread_counts\": [{}], \"seeds_per_config\": {}}},\n",
         json_f64(settings.eigen_scale),
@@ -852,7 +946,9 @@ pub fn gate_rows_to_json(settings: &Settings, rows: &[GateRow]) -> String {
              \"gate_fast_path_hit_rate\": {}, \"fast_acquires\": {}, \
              \"slow_acquires\": {}, \"busy_retries\": {}, \
              \"busy_retries_per_commit\": {}, \"clock_bumps\": {}, \
-             \"clock_bump_skips\": {}, \"gate_wait_cycles\": {}, \
+             \"clock_bump_skips\": {}, \"wasted_cycles\": {}, \
+             \"useful_cycles\": {}, \"waste_frac\": {}, \
+             \"wasted_by_reason\": {{{}}}, \"gate_wait_cycles\": {}, \
              \"commit_p50_cycles\": {}, \"commit_p99_cycles\": {}, \
              \"sim_steps\": {}, \"coalesced_polls\": {}}}{}\n",
             json_str(r.algo),
@@ -880,6 +976,18 @@ pub fn gate_rows_to_json(settings: &Settings, rows: &[GateRow]) -> String {
             json_f64(r.busy_retries_per_commit),
             r.clock_bumps,
             r.clock_bump_skips,
+            r.wasted_cycles,
+            r.useful_cycles,
+            json_f64(r.waste_frac),
+            AbortReason::ALL
+                .iter()
+                .map(|&reason| format!(
+                    "{}: {}",
+                    json_str(reason.name()),
+                    r.wasted_by_reason[reason.index()]
+                ))
+                .collect::<Vec<_>>()
+                .join(", "),
             r.gate_wait_cycles,
             r.commit_p50_cycles,
             r.commit_p99_cycles,

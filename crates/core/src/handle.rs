@@ -62,11 +62,13 @@
 //! default passive [`votm_rac::CmPolicy::Backoff`] the driver skips all of
 //! this and reproduces the historical behaviour exactly.
 
-use votm_obs::{AbortReason, EventKind, RecorderHandle};
+use votm_obs::{
+    addr_bucket, AbortReason, ConflictSiteKind, EventKind, RecorderHandle, ADDR_BUCKET_NONE,
+};
 use votm_rac::cm::HARD_PATIENCE;
 use votm_rac::{AdmissionMode, CmTx, SiteVerdict};
 use votm_sim::{FaultEvent, Rt};
-use votm_stm::{cost, Addr, CommitPhase, OpError, TxCtx};
+use votm_stm::{cost, Addr, CommitPhase, ConflictSite, OpError, TxCtx};
 use votm_utils::JitterBackoff;
 
 use crate::view::View;
@@ -150,6 +152,17 @@ pub struct TxHandle<'v> {
     /// consults site verdicts. False (passive default or lock mode) keeps
     /// the historical hot path bit-identical.
     cm_active: bool,
+    /// Conflict site behind the pending abort, captured alongside
+    /// `abort_reason` so the profiler can attribute the wasted cycles.
+    conflict_site: ConflictSite,
+    /// Address-bucket bitmaps of this attempt's reads and writes — the
+    /// profiler's co-access footprint. Maintained only while a recorder is
+    /// live; never charged to virtual time.
+    fp_reads: u64,
+    /// Write half of the footprint.
+    fp_writes: u64,
+    /// Heap capacity in words, cached for the footprint bucket scale.
+    cap_words: u64,
 }
 
 impl<'v> TxHandle<'v> {
@@ -184,6 +197,10 @@ impl<'v> TxHandle<'v> {
             rec,
             cm_tx,
             cm_active,
+            conflict_site: ConflictSite::None,
+            fp_reads: 0,
+            fp_writes: 0,
+            cap_words: view.tm().heap().size_words() as u64,
         }
     }
 
@@ -191,6 +208,29 @@ impl<'v> TxHandle<'v> {
     #[inline]
     fn vid(&self) -> u16 {
         self.view.id() as u16
+    }
+
+    /// Folds one successful access into the footprint bitmaps. Recorder-off
+    /// runs skip even the bucket arithmetic; recorded runs pay a few real
+    /// instructions but zero virtual cycles, preserving the PR 3 contract.
+    #[inline]
+    fn note_access(&mut self, addr: Addr, write: bool) {
+        if self.rec.is_live() {
+            let bit = 1u64 << addr_bucket(u64::from(addr.0), self.cap_words);
+            if write {
+                self.fp_writes |= bit;
+            } else {
+                self.fp_reads |= bit;
+            }
+        }
+    }
+
+    /// Captures the abort cause *and* its conflict site in one step so the
+    /// two can never disagree.
+    #[inline]
+    fn set_abort_cause(&mut self, reason: AbortReason, site: ConflictSite) {
+        self.abort_reason = reason;
+        self.conflict_site = site;
     }
 
     /// Drains the context's work units, charges them to the runtime and
@@ -244,7 +284,7 @@ impl<'v> TxHandle<'v> {
                         cycles: 0,
                     },
                 );
-                self.abort_reason = AbortReason::FaultInjected;
+                self.set_abort_cause(AbortReason::FaultInjected, ConflictSite::None);
                 Err(TxAbort)
             }
             Some(FaultEvent::Panic) => {
@@ -314,7 +354,7 @@ impl<'v> TxHandle<'v> {
                 .doomed_by(self.rt.thread_index(), self.cm_tx.epoch)
                 .is_some()
         {
-            self.abort_reason = AbortReason::CmKilled;
+            self.set_abort_cause(AbortReason::CmKilled, ConflictSite::None);
             self.cm_tx.loser_backoff = self.cm_tx.yield_backoff();
             return Err(TxAbort);
         }
@@ -336,12 +376,12 @@ impl<'v> TxHandle<'v> {
                 self.busy_wait().await;
                 *spins += 1;
                 if *spins >= BUSY_ABORT_LIMIT {
-                    self.abort_reason = AbortReason::WriteLockBusy;
+                    self.set_abort_cause(AbortReason::WriteLockBusy, ConflictSite::None);
                     return Err(TxAbort);
                 }
                 return Ok(());
             }
-            self.abort_reason = self.ctx.conflict_reason();
+            self.set_abort_cause(self.ctx.conflict_reason(), self.ctx.conflict_site());
             return Err(TxAbort);
         }
         // A doomed attempt yields before consulting its own verdict: a
@@ -383,11 +423,11 @@ impl<'v> TxHandle<'v> {
                     // Safety net: no policy verdict may turn into an
                     // unbounded wait. Past the hard cap the attempt aborts
                     // itself regardless of priority.
-                    self.abort_reason = if busy {
-                        AbortReason::WriteLockBusy
+                    if busy {
+                        self.set_abort_cause(AbortReason::WriteLockBusy, ConflictSite::None);
                     } else {
-                        self.ctx.conflict_reason()
-                    };
+                        self.set_abort_cause(self.ctx.conflict_reason(), self.ctx.conflict_site());
+                    }
                     return Err(TxAbort);
                 }
                 self.busy_wait().await;
@@ -395,11 +435,11 @@ impl<'v> TxHandle<'v> {
             }
             SiteVerdict::AbortSelf { backoff } => {
                 self.cm_tx.loser_backoff = backoff;
-                self.abort_reason = if busy {
-                    AbortReason::WriteLockBusy
+                if busy {
+                    self.set_abort_cause(AbortReason::WriteLockBusy, ConflictSite::None);
                 } else {
-                    self.ctx.conflict_reason()
-                };
+                    self.set_abort_cause(self.ctx.conflict_reason(), self.ctx.conflict_site());
+                }
                 Err(TxAbort)
             }
         }
@@ -411,6 +451,7 @@ impl<'v> TxHandle<'v> {
         loop {
             match self.ctx.read(self.view.tm(), addr) {
                 Ok(v) => {
+                    self.note_access(addr, false);
                     self.charge_pending().await;
                     self.cm_doom_check()?;
                     self.fault_point().await?;
@@ -437,6 +478,7 @@ impl<'v> TxHandle<'v> {
         loop {
             match self.ctx.write(self.view.tm(), addr, value) {
                 Ok(()) => {
+                    self.note_access(addr, true);
                     self.charge_pending().await;
                     self.cm_doom_check()?;
                     self.fault_point().await?;
@@ -529,6 +571,7 @@ impl<'v> TxHandle<'v> {
                 cycles,
             },
         );
+        self.record_footprint(true);
     }
 
     /// Books an aborted attempt under its structured reason.
@@ -545,6 +588,50 @@ impl<'v> TxHandle<'v> {
                 cycles,
             },
         );
+        // Exactly one ConflictDetected per abort, carrying the same cycle
+        // count, so per-bucket wasted cycles sum to the abort total.
+        let (bucket, site, raw) = match self.conflict_site {
+            ConflictSite::None => (ADDR_BUCKET_NONE, ConflictSiteKind::None, 0),
+            ConflictSite::Addr(a) => (
+                addr_bucket(u64::from(a.0), self.cap_words),
+                ConflictSiteKind::Addr,
+                u64::from(a.0),
+            ),
+            // An orec index is a hash, not an address: no bucket for it.
+            ConflictSite::Orec(idx) => (ADDR_BUCKET_NONE, ConflictSiteKind::Orec, u64::from(idx)),
+            ConflictSite::Bloom(a, b) => (
+                addr_bucket(u64::from(a.0), self.cap_words),
+                ConflictSiteKind::Bloom,
+                u64::from(b),
+            ),
+        };
+        self.rec.record(
+            self.rt.now(),
+            EventKind::ConflictDetected {
+                view: self.vid(),
+                addr_bucket: bucket,
+                kind: self.abort_reason,
+                site,
+                cycles,
+                raw,
+            },
+        );
+        self.record_footprint(false);
+    }
+
+    /// Emits the attempt's footprint bitmaps (when it touched anything).
+    fn record_footprint(&self, committed: bool) {
+        if self.fp_reads | self.fp_writes != 0 {
+            self.rec.record(
+                self.rt.now(),
+                EventKind::Footprint {
+                    view: self.vid(),
+                    committed,
+                    reads: self.fp_reads,
+                    writes: self.fp_writes,
+                },
+            );
+        }
     }
 
     /// Pokes the adaptive controller; when it adjusts the quota, puts the
@@ -772,7 +859,10 @@ where
                                     break false;
                                 }
                             } else {
-                                handle.abort_reason = handle.ctx.conflict_reason();
+                                handle.set_abort_cause(
+                                    handle.ctx.conflict_reason(),
+                                    handle.ctx.conflict_site(),
+                                );
                                 break false;
                             }
                         }

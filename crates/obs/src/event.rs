@@ -95,6 +95,106 @@ pub enum EventKind {
         /// Thread index of the prevailing transaction.
         winner: u16,
     },
+    /// An aborted attempt was attributed to a conflict site. Emitted once
+    /// per abort, alongside [`EventKind::TxAbort`], so per-bucket wasted
+    /// cycles sum exactly to the total abort-wasted cycles.
+    ConflictDetected {
+        /// View the aborted transaction ran against.
+        view: u16,
+        /// Locality-preserving address bucket of the failing location
+        /// (`0..PROFILE_BUCKETS`), or [`ADDR_BUCKET_NONE`] when the abort
+        /// carries no address-level attribution (explicit aborts, faults,
+        /// CM kills observed away from a conflicting access).
+        addr_bucket: u8,
+        /// Structured cause of the abort (mirrors the paired `TxAbort`).
+        kind: AbortReason,
+        /// What `raw` identifies: a [`ConflictSiteKind`] discriminant.
+        site: ConflictSiteKind,
+        /// Cycles wasted by the aborted attempt.
+        cycles: u64,
+        /// The raw conflict-site value: the failing word address for
+        /// [`ConflictSiteKind::Addr`], the failing ownership-record index
+        /// for [`ConflictSiteKind::Orec`], the NOrec Bloom-summary bucket
+        /// (`0..64`) for [`ConflictSiteKind::Bloom`], zero otherwise.
+        raw: u64,
+    },
+    /// A transaction attempt finished (committed or aborted) with the
+    /// given read/write address-bucket footprints. Each word is a 64-bit
+    /// bitmap over the view's [`PROFILE_BUCKETS`] address buckets.
+    Footprint {
+        /// View the transaction ran against.
+        view: u16,
+        /// Whether the attempt committed (`true`) or aborted (`false`).
+        committed: bool,
+        /// Bitmap of buckets the attempt read.
+        reads: u64,
+        /// Bitmap of buckets the attempt wrote.
+        writes: u64,
+    },
+}
+
+/// Number of address buckets the profiler folds a view's heap into.
+///
+/// 64 so a transaction footprint is one `u64` bitmap per access kind and
+/// the affinity matrix is a fixed 64×64 — independent of heap size.
+pub const PROFILE_BUCKETS: usize = 64;
+
+/// Sentinel `addr_bucket` meaning "this abort has no address attribution".
+pub const ADDR_BUCKET_NONE: u8 = 0xff;
+
+/// Locality-preserving address bucket: scales the word address by the
+/// view's heap capacity so bucket `i` covers the contiguous address range
+/// `[i*cap/64, (i+1)*cap/64)`. Disjoint address ranges therefore map to
+/// disjoint bucket sets, which is what lets affinity mining recover a
+/// hand-partitioned split.
+#[inline]
+pub fn addr_bucket(addr_word: u64, capacity_words: u64) -> u8 {
+    if capacity_words == 0 {
+        return 0;
+    }
+    (((addr_word as u128 * PROFILE_BUCKETS as u128) / capacity_words as u128) as u64)
+        .min(PROFILE_BUCKETS as u64 - 1) as u8
+}
+
+/// What the `raw` word of a [`EventKind::ConflictDetected`] identifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ConflictSiteKind {
+    /// No site information (unattributed abort).
+    None = 0,
+    /// `raw` is the failing word address (NOrec value validation, orec
+    /// encounter-time read/write conflicts).
+    Addr = 1,
+    /// `raw` is the failing ownership-record index (orec commit-time
+    /// validation and timestamp extension, where the read set stores orec
+    /// indices rather than addresses).
+    Orec = 2,
+    /// `raw` is the NOrec Bloom write-summary bucket (`0..64`) of the
+    /// failing address.
+    Bloom = 3,
+}
+
+impl ConflictSiteKind {
+    /// Inverse of the discriminant; unknown codes collapse to `None`.
+    #[inline]
+    pub fn from_u8(code: u8) -> ConflictSiteKind {
+        match code {
+            1 => ConflictSiteKind::Addr,
+            2 => ConflictSiteKind::Orec,
+            3 => ConflictSiteKind::Bloom,
+            _ => ConflictSiteKind::None,
+        }
+    }
+
+    /// Short stable name used in exported JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConflictSiteKind::None => "none",
+            ConflictSiteKind::Addr => "addr",
+            ConflictSiteKind::Orec => "orec",
+            ConflictSiteKind::Bloom => "bloom",
+        }
+    }
 }
 
 const TAG_TX_BEGIN: u8 = 0;
@@ -106,6 +206,8 @@ const TAG_QUOTA_CHANGE: u8 = 5;
 const TAG_ESCALATION: u8 = 6;
 const TAG_FAULT: u8 = 7;
 const TAG_CM_KILL: u8 = 8;
+const TAG_CONFLICT: u8 = 9;
+const TAG_FOOTPRINT: u8 = 10;
 
 impl EventKind {
     /// Encodes the kind into the three payload words `[meta, a, b]`.
@@ -155,6 +257,31 @@ impl EventKind {
                 0,
                 0,
             ],
+            EventKind::ConflictDetected {
+                view,
+                addr_bucket,
+                kind,
+                site,
+                cycles,
+                raw,
+            } => [
+                meta(TAG_CONFLICT, view)
+                    | (u64::from(addr_bucket) << 24)
+                    | (u64::from(kind.index() as u8) << 32)
+                    | (u64::from(site as u8) << 40),
+                cycles,
+                raw,
+            ],
+            EventKind::Footprint {
+                view,
+                committed,
+                reads,
+                writes,
+            } => [
+                meta(TAG_FOOTPRINT, view) | (u64::from(committed) << 24),
+                reads,
+                writes,
+            ],
         }
     }
 
@@ -192,6 +319,20 @@ impl EventKind {
                 victim: ((meta >> 24) & 0xffff) as u16,
                 winner: ((meta >> 40) & 0xffff) as u16,
             },
+            TAG_CONFLICT => EventKind::ConflictDetected {
+                view,
+                addr_bucket: ((meta >> 24) & 0xff) as u8,
+                kind: AbortReason::from_u8(((meta >> 32) & 0xff) as u8),
+                site: ConflictSiteKind::from_u8(((meta >> 40) & 0xff) as u8),
+                cycles: a,
+                raw: b,
+            },
+            TAG_FOOTPRINT => EventKind::Footprint {
+                view,
+                committed: (meta >> 24) & 1 == 1,
+                reads: a,
+                writes: b,
+            },
             _ => EventKind::TxBegin { view },
         }
     }
@@ -207,7 +348,9 @@ impl EventKind {
             | EventKind::QuotaChange { view, .. }
             | EventKind::Escalation { view }
             | EventKind::Fault { view, .. }
-            | EventKind::CmKill { view, .. } => view,
+            | EventKind::CmKill { view, .. }
+            | EventKind::ConflictDetected { view, .. }
+            | EventKind::Footprint { view, .. } => view,
         }
     }
 }
@@ -257,10 +400,55 @@ mod tests {
                 victim: 11,
                 winner: 65535,
             },
+            EventKind::ConflictDetected {
+                view: 6,
+                addr_bucket: 63,
+                kind: AbortReason::OrecConflict,
+                site: ConflictSiteKind::Orec,
+                cycles: 7777,
+                raw: u64::MAX,
+            },
+            EventKind::ConflictDetected {
+                view: 0,
+                addr_bucket: ADDR_BUCKET_NONE,
+                kind: AbortReason::Explicit,
+                site: ConflictSiteKind::None,
+                cycles: 0,
+                raw: 0,
+            },
+            EventKind::Footprint {
+                view: 12,
+                committed: true,
+                reads: 0xdead_beef_dead_beef,
+                writes: 1,
+            },
+            EventKind::Footprint {
+                view: 0,
+                committed: false,
+                reads: 0,
+                writes: u64::MAX,
+            },
         ];
         for k in kinds {
             assert_eq!(EventKind::decode(k.encode()), k, "{k:?}");
         }
+    }
+
+    #[test]
+    fn addr_bucket_is_locality_preserving_and_clamped() {
+        // Equal halves of a power-of-two heap land in disjoint bucket sets
+        // split exactly at bucket 32.
+        let cap = 4096u64;
+        for a in 0..cap {
+            let b = addr_bucket(a, cap);
+            assert_eq!(u64::from(b), a * 64 / cap);
+            assert!(b < 64);
+            assert_eq!(b < 32, a < cap / 2);
+        }
+        // Out-of-range addresses (never produced by the heap) clamp rather
+        // than overflow, and a zero capacity is safe.
+        assert_eq!(addr_bucket(u64::MAX, cap), 63);
+        assert_eq!(addr_bucket(123, 0), 0);
     }
 
     #[test]

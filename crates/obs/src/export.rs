@@ -19,6 +19,13 @@ use crate::hist::{bucket_lower, bucket_upper, HistogramSnapshot, ViewHistSnapsho
 use crate::reason::AbortReason;
 use crate::recorder::ThreadTrace;
 
+/// Semantic version stamped into every exported JSON document (snapshot,
+/// profile, gate artifact). The major guards structural compatibility:
+/// `benchdiff` refuses to compare documents with different majors.
+/// History: 1.0.0 = pre-versioned artifacts (implicit, through BENCH_6);
+/// 1.1.0 adds the wasted-work ledger and conflict-profile fields.
+pub const SCHEMA_VERSION: &str = "1.1.0";
+
 /// Formats a cycle timestamp as fixed-precision microseconds.
 fn us(cycles: u64, cycles_per_us: u64) -> String {
     format!("{:.3}", cycles as f64 / cycles_per_us as f64)
@@ -149,6 +156,28 @@ pub fn chrome_trace(threads: &[ThreadTrace], cycles_per_us: u64) -> String {
                         us(e.ts, cycles_per_us),
                     ));
                 }
+                EventKind::ConflictDetected {
+                    view,
+                    addr_bucket,
+                    kind,
+                    site,
+                    cycles,
+                    raw,
+                } => {
+                    ev.push(format!(
+                        "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"conflict\",\"cat\":\"tx\",\
+                         \"pid\":0,\"tid\":{tid},\"ts\":{},\
+                         \"args\":{{\"view\":{view},\"bucket\":{addr_bucket},\
+                         \"reason\":\"{}\",\"site\":\"{}\",\"raw\":{raw},\
+                         \"cycles\":{cycles}}}}}",
+                        us(e.ts, cycles_per_us),
+                        kind.name(),
+                        site.name(),
+                    ));
+                }
+                // Footprint bitmaps are profiler input, not human timeline
+                // content; they would only add noise to the trace view.
+                EventKind::Footprint { .. } => {}
             }
         }
     }
@@ -267,7 +296,10 @@ fn hist_json(out: &mut String, h: &HistogramSnapshot) {
 /// Emits the JSON snapshot schema: per-view stats, abort-reason breakdown,
 /// the three latency histograms and the quota timeline.
 pub fn snapshot_json(views: &[ViewReport]) -> String {
-    let mut out = String::from("{\"schema\":\"votm-obs-snapshot-v1\",\"views\":[\n");
+    let mut out = format!(
+        "{{\"schema\":\"votm-obs-snapshot-v1\",\"schema_version\":\"{SCHEMA_VERSION}\",\
+         \"views\":[\n"
+    );
     for (vi, v) in views.iter().enumerate() {
         if vi > 0 {
             out.push_str(",\n");
@@ -440,6 +472,7 @@ mod tests {
         };
         let json = snapshot_json(&[report]);
         assert!(json.contains("\"schema\":\"votm-obs-snapshot-v1\""));
+        assert!(json.contains(&format!("\"schema_version\":\"{SCHEMA_VERSION}\"")));
         assert!(json.contains("\"orec_conflict\":2"));
         assert!(json.contains("\"quota_timeline\":[{\"ts\":123"));
         assert!(json.contains("\"delta\":0.500000"));

@@ -252,4 +252,109 @@ mod tests {
         assert_eq!(s.buckets[bucket_index(5)], 2);
         assert_eq!(s.buckets[bucket_index(7000)], 1);
     }
+
+    /// Deterministic xorshift so the property tests below need no external
+    /// crates and replay identically.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    fn random_snapshot(seed: u64, samples: usize) -> HistogramSnapshot {
+        let h = LatencyHistogram::new();
+        let mut s = seed | 1;
+        for _ in 0..samples {
+            // Skew toward small bit lengths so both exact and octave
+            // buckets are exercised.
+            let bits = xorshift(&mut s) % 64;
+            h.record(xorshift(&mut s) >> bits);
+        }
+        h.snapshot()
+    }
+
+    #[test]
+    fn property_merge_is_commutative_and_associative() {
+        for seed in 1..16u64 {
+            let a = random_snapshot(seed, 200);
+            let b = random_snapshot(seed.wrapping_mul(0x9e37_79b9), 150);
+            let c = random_snapshot(seed.wrapping_mul(0xdead_beef), 75);
+            let mut ab = a;
+            ab.merge(&b);
+            let mut ba = b;
+            ba.merge(&a);
+            assert_eq!(ab, ba, "merge not commutative (seed {seed})");
+            let mut ab_c = ab;
+            ab_c.merge(&c);
+            let mut bc = b;
+            bc.merge(&c);
+            let mut a_bc = a;
+            a_bc.merge(&bc);
+            assert_eq!(ab_c, a_bc, "merge not associative (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn property_merge_preserves_counts() {
+        for seed in 1..16u64 {
+            let a = random_snapshot(seed, 137);
+            let b = random_snapshot(seed ^ 0x5555, 263);
+            let mut m = a;
+            m.merge(&b);
+            assert_eq!(m.count(), a.count() + b.count());
+            for i in 0..HIST_BUCKETS {
+                assert_eq!(m.buckets[i], a.buckets[i] + b.buckets[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn property_quantile_error_is_bounded_on_adversarial_bimodal_inputs() {
+        // Adversarial bimodal distributions: two spikes placed to straddle
+        // bucket boundaries at many magnitudes. The documented bound: the
+        // reported quantile is the containing bucket's upper edge, and each
+        // sub-bucket spans ≤ 12.5% of its lower bound, so
+        // `reported <= true * 1.125` and `reported >= true`.
+        let mut s = 0x1234_5678_9abc_def1u64;
+        for _ in 0..200 {
+            let octave = 4 + xorshift(&mut s) % 56; // bit length 4..=59
+            let lo_spike = (1u64 << (octave - 1)) + xorshift(&mut s) % (1u64 << (octave - 1));
+            let hi_spike = lo_spike + 1 + xorshift(&mut s) % (lo_spike * 2);
+            let h = LatencyHistogram::new();
+            let n_lo = 1 + xorshift(&mut s) % 99;
+            let n_hi = 1 + xorshift(&mut s) % 99;
+            for _ in 0..n_lo {
+                h.record(lo_spike);
+            }
+            for _ in 0..n_hi {
+                h.record(hi_spike);
+            }
+            let snap = h.snapshot();
+            // `- 0.5` keeps the float rank strictly inside the lo-spike
+            // mass so ceil() cannot tip into the hi bucket.
+            let q_lo = (n_lo as f64 - 0.5) / (n_lo + n_hi) as f64;
+            for (q, truth) in [(0.0, lo_spike), (q_lo, lo_spike), (1.0, hi_spike)] {
+                let got = snap.quantile(q);
+                assert!(got >= truth, "quantile under-reports: {got} < {truth}");
+                // The ≤ 12.5% bound is against the bucket midpoint: a
+                // sub-bucket spans 1/4 of its lower edge, so the midpoint
+                // is at most 12.5% away from any sample in the bucket.
+                // `quantile` returns the bucket's upper edge; recover the
+                // midpoint through the bucket bounds.
+                let i = bucket_index(got);
+                assert!((bucket_lower(i)..=got).contains(&truth));
+                let mid = bucket_lower(i) + (got - bucket_lower(i)) / 2;
+                let err = mid.abs_diff(truth);
+                assert!(
+                    err <= truth / 8 + 1,
+                    "quantile {q} error above 12.5%: true {truth}, \
+                     bucket [{}, {got}], midpoint {mid}",
+                    bucket_lower(i)
+                );
+            }
+        }
+    }
 }

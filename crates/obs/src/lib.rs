@@ -27,10 +27,15 @@
 pub mod event;
 pub mod export;
 pub mod hist;
+pub mod profile;
 pub mod reason;
 pub mod recorder;
 
-pub use event::{Event, EventKind};
+pub use event::{
+    addr_bucket, ConflictSiteKind, Event, EventKind, ADDR_BUCKET_NONE, PROFILE_BUCKETS,
+};
+pub use export::SCHEMA_VERSION;
 pub use hist::{HistogramSnapshot, LatencyHistogram, ViewHistSnapshot, ViewHists, HIST_BUCKETS};
+pub use profile::{Bipartition, BucketRow, ConflictProfile};
 pub use reason::AbortReason;
 pub use recorder::{FlightRecorder, RecorderHandle, ThreadTrace};

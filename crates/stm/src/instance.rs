@@ -19,7 +19,7 @@ use crate::norec::{NOrecGlobal, NOrecTx};
 use crate::orec::{OrecGlobal, OrecTx};
 use crate::orec_lazy::OrecLazyTx;
 use crate::stats::TmStats;
-use crate::{CommitPhase, OpError, OpResult};
+use crate::{CommitPhase, ConflictSite, OpError, OpResult};
 
 /// Which STM algorithm a TM instance runs (the paper's two RSTM plug-ins).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -308,6 +308,20 @@ impl TxCtx {
             Mode::NOrec(_) | Mode::Direct(_) => None,
             Mode::Orec(tx) => tx.conflict_enemy(),
             Mode::Lazy(tx) => tx.conflict_enemy(),
+        }
+    }
+
+    /// Where the most recent `Err(Conflict)` was detected: the failing
+    /// address (plus Bloom-summary bucket for NOrec) or ownership-record
+    /// index, as plain `Copy` data. [`ConflictSite::None`] for direct mode
+    /// and for conflicts with no location. Only meaningful between that
+    /// error and the next `begin`.
+    pub fn conflict_site(&self) -> ConflictSite {
+        match &self.mode {
+            Mode::NOrec(tx) => tx.conflict_site(),
+            Mode::Orec(tx) => tx.conflict_site(),
+            Mode::Lazy(tx) => tx.conflict_site(),
+            Mode::Direct(_) => ConflictSite::None,
         }
     }
 

@@ -52,9 +52,30 @@ pub use clock::{ClockKind, ClockStats};
 pub use heap::{Addr, WordHeap};
 pub use instance::{TmAlgorithm, TmInstance, TxCtx};
 pub use stats::{StatsSnapshot, TmStats};
+pub use writeset::bloom_bucket;
 // Re-exported so stats consumers don't need a separate votm-obs dependency
 // just to name abort reasons.
 pub use votm_obs::AbortReason;
+
+/// Where the most recent `Err(Conflict)` was detected, threaded through the
+/// polled error path as plain `Copy` data — no allocation, set beside the
+/// existing `last_conflict` reason at every conflict site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConflictSite {
+    /// No attribution (explicit aborts, or sites that carry no location).
+    #[default]
+    None,
+    /// The failing word address (encounter-time orec conflicts and reads
+    /// that observe a stale version at a known address).
+    Addr(Addr),
+    /// The failing ownership-record index: commit-time validation and
+    /// snapshot extension walk the read set, which stores orec indices
+    /// rather than addresses.
+    Orec(u32),
+    /// NOrec value validation: the failing address plus its Bloom
+    /// write-summary bucket (`0..64`) in the global commit filter.
+    Bloom(Addr, u8),
+}
 
 /// Why a transactional operation could not complete.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

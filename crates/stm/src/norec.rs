@@ -68,8 +68,8 @@ use votm_utils::{CachePadded, InlineVec};
 use crate::clock::{shard_of, ClockKind, ClockSource, COARSE_COMMITS_PER_SLOT, SHARDS};
 use crate::cost;
 use crate::heap::{Addr, WordHeap};
-use crate::writeset::{summary_bit, WriteSet};
-use crate::{CommitPhase, OpError, OpResult};
+use crate::writeset::{bloom_bucket, summary_bit, WriteSet};
+use crate::{CommitPhase, ConflictSite, OpError, OpResult};
 
 /// Read-set entries kept inline in the transaction descriptor before
 /// spilling to the heap (see [`votm_utils::InlineVec`]).
@@ -269,6 +269,9 @@ pub struct NOrecTx {
     /// Why the most recent `Err(Conflict)` happened (see
     /// [`NOrecTx::conflict_reason`]).
     last_conflict: AbortReason,
+    /// Where the most recent `Err(Conflict)` was detected (see
+    /// [`NOrecTx::conflict_site`]).
+    last_site: ConflictSite,
 }
 
 impl Default for NOrecTx {
@@ -290,6 +293,7 @@ impl NOrecTx {
             commit_seq: None,
             locked_shards: InlineVec::new(),
             last_conflict: AbortReason::Explicit,
+            last_site: ConflictSite::None,
         }
     }
 
@@ -297,6 +301,15 @@ impl NOrecTx {
     /// returned. Only meaningful between that error and the next `begin`.
     pub fn conflict_reason(&self) -> AbortReason {
         self.last_conflict
+    }
+
+    /// Where the most recent `Err(Conflict)` was detected. NOrec validates
+    /// by value against real addresses, so every conflict site carries the
+    /// failing address plus its Bloom write-summary bucket
+    /// ([`ConflictSite::Bloom`]). Only meaningful between that error and
+    /// the next `begin`.
+    pub fn conflict_site(&self) -> ConflictSite {
+        self.last_site
     }
 
     /// Starts an attempt. `Busy` while a committer holds the sequence lock.
@@ -330,6 +343,7 @@ impl NOrecTx {
         self.writes.clear();
         self.active = true;
         self.commit_seq = None;
+        self.last_site = ConflictSite::None;
         Ok(())
     }
 
@@ -347,6 +361,7 @@ impl NOrecTx {
         self.writes.clear();
         self.active = true;
         self.commit_seq = None;
+        self.last_site = ConflictSite::None;
         Ok(())
     }
 
@@ -379,6 +394,7 @@ impl NOrecTx {
             self.work += cost::VALIDATE_WORD;
             if heap.load(addr) != seen {
                 self.last_conflict = AbortReason::NorecValidation;
+                self.last_site = ConflictSite::Bloom(addr, bloom_bucket(addr));
                 return Err(OpError::Conflict);
             }
         }
@@ -423,6 +439,7 @@ impl NOrecTx {
             self.work += cost::VALIDATE_WORD;
             if heap.load(addr) != seen {
                 self.last_conflict = AbortReason::NorecValidation;
+                self.last_site = ConflictSite::Bloom(addr, bloom_bucket(addr));
                 return Err(OpError::Conflict);
             }
         }
@@ -688,7 +705,7 @@ impl NOrecTx {
             }
             *t = v;
         }
-        let mut conflicted = false;
+        let mut conflicted = None;
         for (addr, seen) in self.reads.iter() {
             let s = shard_of(addr);
             if shard_mask & (1 << s) != 0 || target[s] == self.snaps[s] {
@@ -697,13 +714,14 @@ impl NOrecTx {
             }
             self.work += cost::VALIDATE_WORD;
             if heap.load(addr) != seen {
-                conflicted = true;
+                conflicted = Some(addr);
                 break;
             }
         }
-        if conflicted {
+        if let Some(addr) = conflicted {
             self.release_shards(global, false);
             self.last_conflict = AbortReason::NorecValidation;
+            self.last_site = ConflictSite::Bloom(addr, bloom_bucket(addr));
             return Err(OpError::Conflict);
         }
         for (s, t) in target.iter().enumerate() {

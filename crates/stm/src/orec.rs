@@ -54,7 +54,7 @@ use crate::clock::{shard_of, ClockKind, ClockSource, SHARDS};
 use crate::cost;
 use crate::heap::{Addr, WordHeap};
 use crate::writeset::WriteSet;
-use crate::{CommitPhase, OpError, OpResult};
+use crate::{CommitPhase, ConflictSite, OpError, OpResult};
 
 /// Read-set orec indices kept inline in the transaction descriptor before
 /// spilling to the heap (see [`votm_utils::InlineVec`]); shared by the
@@ -287,6 +287,9 @@ pub struct OrecTx {
     /// `Err(Busy)`/`Err(Conflict)`, when the orec encoding names one (see
     /// [`OrecTx::conflict_enemy`]).
     last_enemy: Option<usize>,
+    /// Where the most recent `Err(Conflict)` was detected (see
+    /// [`OrecTx::conflict_site`]).
+    last_site: ConflictSite,
 }
 
 impl OrecTx {
@@ -306,6 +309,7 @@ impl OrecTx {
             elided: false,
             last_conflict: AbortReason::Explicit,
             last_enemy: None,
+            last_site: ConflictSite::None,
         }
     }
 
@@ -321,6 +325,15 @@ impl OrecTx {
     /// Only meaningful between that error and the next operation.
     pub fn conflict_enemy(&self) -> Option<usize> {
         self.last_enemy
+    }
+
+    /// Where the most recent `Err(Conflict)` was detected: the failing
+    /// address when the conflicting access is at hand (encounter-time
+    /// write conflicts, stale reads), the failing orec index when only the
+    /// read set is being walked (validation, extension). Only meaningful
+    /// between that error and the next `begin`.
+    pub fn conflict_site(&self) -> ConflictSite {
+        self.last_site
     }
 
     /// Converts a locked orec word into the holder's 0-based thread index.
@@ -345,9 +358,10 @@ impl OrecTx {
     /// cannot hit the same wall again (GV5 progress requirement: without
     /// the rescue bump a retry re-begins at the same snapshot and
     /// false-conflicts forever).
-    fn classify_stale_version(&mut self, global: &OrecGlobal, ov: u64) {
+    fn classify_stale_version(&mut self, global: &OrecGlobal, ov: u64, site: ConflictSite) {
         self.last_conflict = classify_stale(global, self.start, ov, &mut self.work);
         self.last_enemy = None;
+        self.last_site = site;
     }
 
     /// Starts an attempt (never Busy: there is no global lock to wait on).
@@ -373,6 +387,7 @@ impl OrecTx {
         self.commit_version = None;
         self.elided = false;
         self.last_enemy = None;
+        self.last_site = ConflictSite::None;
         Ok(())
     }
 
@@ -392,17 +407,18 @@ impl OrecTx {
                 if owner_of(ov) != self.owner {
                     self.last_conflict = AbortReason::OrecConflict;
                     self.last_enemy = Self::enemy_of(ov);
+                    self.last_site = ConflictSite::Orec(idx);
                     return Err(OpError::Conflict);
                 }
             } else if version_of(ov) > self.start {
                 // Re-written since we read it: the value we hold is stale
                 // (or, under a coarse clock, merely shares our epoch).
-                stale = Some(ov);
+                stale = Some((idx, ov));
                 break;
             }
         }
-        if let Some(ov) = stale {
-            self.classify_stale_version(global, ov);
+        if let Some((idx, ov)) = stale {
+            self.classify_stale_version(global, ov, ConflictSite::Orec(idx));
             return Err(OpError::Conflict);
         }
         self.start = now;
@@ -425,11 +441,13 @@ impl OrecTx {
                 if owner_of(ov) != self.owner {
                     self.last_conflict = AbortReason::OrecConflict;
                     self.last_enemy = Self::enemy_of(ov);
+                    self.last_site = ConflictSite::Orec(idx);
                     return Err(OpError::Conflict);
                 }
             } else if version_of(ov) > self.starts[global.shard_of_idx(idx as usize)] {
                 self.last_conflict = AbortReason::OrecConflict;
                 self.last_enemy = None;
+                self.last_site = ConflictSite::Orec(idx);
                 return Err(OpError::Conflict);
             }
         }
@@ -469,7 +487,7 @@ impl OrecTx {
                 // Extension adopted the freshest clock and the version is
                 // *still* ahead — only a coarse (GV5) clock can get here,
                 // because only it releases orecs at `clock + 1`.
-                self.classify_stale_version(global, pre);
+                self.classify_stale_version(global, pre, ConflictSite::Addr(addr));
                 return Err(OpError::Conflict);
             }
         }
@@ -504,6 +522,7 @@ impl OrecTx {
             // Write-write conflict detected at encounter time.
             self.last_conflict = AbortReason::OrecConflict;
             self.last_enemy = Self::enemy_of(ov);
+            self.last_site = ConflictSite::Addr(addr);
             return Err(OpError::Conflict);
         }
         if version_of(ov) > self.start_for(global, idx) {
@@ -540,15 +559,16 @@ impl OrecTx {
                 if owner_of(ov) != self.owner {
                     self.last_conflict = AbortReason::OrecConflict;
                     self.last_enemy = Self::enemy_of(ov);
+                    self.last_site = ConflictSite::Orec(idx);
                     return Err(OpError::Conflict);
                 }
             } else if version_of(ov) > self.start_for(global, idx as usize) {
-                stale = Some(ov);
+                stale = Some((idx, ov));
                 break;
             }
         }
-        if let Some(ov) = stale {
-            self.classify_stale_version(global, ov);
+        if let Some((idx, ov)) = stale {
+            self.classify_stale_version(global, ov, ConflictSite::Orec(idx));
             return Err(OpError::Conflict);
         }
         Ok(())

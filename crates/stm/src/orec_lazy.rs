@@ -30,7 +30,7 @@ use crate::orec::{
     INLINE_READS,
 };
 use crate::writeset::WriteSet;
-use crate::{CommitPhase, OpError, OpResult};
+use crate::{CommitPhase, ConflictSite, OpError, OpResult};
 
 /// One thread's OrecLazy transaction context, reused across attempts.
 #[derive(Debug)]
@@ -59,6 +59,9 @@ pub struct OrecLazyTx {
     /// when one was named by the orec word (see
     /// [`OrecLazyTx::conflict_enemy`]).
     last_enemy: Option<usize>,
+    /// Where the most recent `Err(Conflict)` was detected (see
+    /// [`OrecLazyTx::conflict_site`]).
+    last_site: ConflictSite,
 }
 
 impl OrecLazyTx {
@@ -78,6 +81,7 @@ impl OrecLazyTx {
             elided: false,
             last_conflict: AbortReason::Explicit,
             last_enemy: None,
+            last_site: ConflictSite::None,
         }
     }
 
@@ -91,6 +95,15 @@ impl OrecLazyTx {
     /// recent `Err(Busy)`/`Err(Conflict)`, if the lock word named one.
     pub fn conflict_enemy(&self) -> Option<usize> {
         self.last_enemy
+    }
+
+    /// Where the most recent `Err(Conflict)` was detected: the failing
+    /// address at commit-time lock acquisition (the write set keeps
+    /// addresses), the failing orec index when walking the read set
+    /// (validation, extension). Only meaningful between that error and the
+    /// next `begin`.
+    pub fn conflict_site(&self) -> ConflictSite {
+        self.last_site
     }
 
     /// Converts a locked orec word into the holder's 0-based thread index.
@@ -132,6 +145,7 @@ impl OrecLazyTx {
         self.commit_version = None;
         self.elided = false;
         self.last_enemy = None;
+        self.last_site = ConflictSite::None;
         Ok(())
     }
 
@@ -149,10 +163,12 @@ impl OrecLazyTx {
             if is_locked(ov) {
                 self.last_conflict = AbortReason::OrecConflict;
                 self.last_enemy = Self::enemy_of(ov);
+                self.last_site = ConflictSite::Orec(idx);
                 return Err(OpError::Conflict);
             } else if version_of(ov) > self.start {
                 self.last_conflict = classify_stale(global, self.start, ov, &mut self.work);
                 self.last_enemy = None;
+                self.last_site = ConflictSite::Orec(idx);
                 return Err(OpError::Conflict);
             }
         }
@@ -175,10 +191,12 @@ impl OrecLazyTx {
             if is_locked(ov) {
                 self.last_conflict = AbortReason::OrecConflict;
                 self.last_enemy = Self::enemy_of(ov);
+                self.last_site = ConflictSite::Orec(idx);
                 return Err(OpError::Conflict);
             } else if version_of(ov) > self.starts[global.shard_of_idx(idx as usize)] {
                 self.last_conflict = AbortReason::OrecConflict;
                 self.last_enemy = None;
+                self.last_site = ConflictSite::Orec(idx);
                 return Err(OpError::Conflict);
             }
         }
@@ -209,6 +227,7 @@ impl OrecLazyTx {
                 // site.
                 self.last_conflict = classify_stale(global, self.start, pre, &mut self.work);
                 self.last_enemy = None;
+                self.last_site = ConflictSite::Addr(addr);
                 return Err(OpError::Conflict);
             }
         }
@@ -240,6 +259,7 @@ impl OrecLazyTx {
         self.work += cost::VALIDATE_WORD * self.reads.len() as u64;
         let mut conflict = None;
         let mut enemy = None;
+        let mut site = ConflictSite::None;
         for i in 0..self.reads.len() {
             let idx = self.reads.get(i);
             let ov = global.orec_at(idx as usize).load(Ordering::Acquire);
@@ -247,10 +267,12 @@ impl OrecLazyTx {
                 if owner_of(ov) != self.owner {
                     conflict = Some(AbortReason::OrecConflict);
                     enemy = Self::enemy_of(ov);
+                    site = ConflictSite::Orec(idx);
                     break;
                 }
             } else if version_of(ov) > self.start_for(global, idx as usize) {
                 conflict = Some(classify_stale(global, self.start, ov, &mut self.work));
+                site = ConflictSite::Orec(idx);
                 break;
             }
         }
@@ -258,6 +280,7 @@ impl OrecLazyTx {
             self.release_locks(global);
             self.last_conflict = reason;
             self.last_enemy = enemy;
+            self.last_site = site;
             return Err(OpError::Conflict);
         }
         Ok(())
@@ -274,12 +297,12 @@ impl OrecLazyTx {
             return Ok(CommitPhase::Done);
         }
         // Acquire every write orec (deduplicated via the lock bit check).
-        let write_orecs: Vec<usize> = self
+        let write_orecs: Vec<(Addr, usize)> = self
             .writes
             .iter()
-            .map(|(addr, _)| global.orec_index(addr))
+            .map(|(addr, _)| (addr, global.orec_index(addr)))
             .collect();
-        for idx in write_orecs {
+        for (addr, idx) in write_orecs {
             let ov = global.orec_at(idx).load(Ordering::Acquire);
             self.work += cost::METADATA_OP;
             if is_locked(ov) {
@@ -291,6 +314,7 @@ impl OrecLazyTx {
                 self.release_locks(global);
                 self.last_conflict = AbortReason::OrecConflict;
                 self.last_enemy = Self::enemy_of(ov);
+                self.last_site = ConflictSite::Addr(addr);
                 return Err(OpError::Conflict);
             }
             if version_of(ov) > self.start_for(global, idx) {

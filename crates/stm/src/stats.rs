@@ -26,6 +26,7 @@ struct Stripe {
     aborts: AtomicU64,
     aborts_by_reason: [AtomicU64; AbortReason::COUNT],
     cycles_aborted: AtomicU64,
+    cycles_aborted_by_reason: [AtomicU64; AbortReason::COUNT],
     cycles_successful: AtomicU64,
     busy_retries: AtomicU64,
     gate_wait_cycles: AtomicU64,
@@ -84,6 +85,7 @@ impl TmStats {
         s.aborts.fetch_add(1, Ordering::Relaxed);
         s.aborts_by_reason[reason.index()].fetch_add(1, Ordering::Relaxed);
         s.cycles_aborted.fetch_add(cycles, Ordering::Relaxed);
+        s.cycles_aborted_by_reason[reason.index()].fetch_add(cycles, Ordering::Relaxed);
     }
 
     /// Records a `Busy` retry (seqlock held, lost CAS race).
@@ -135,6 +137,13 @@ impl TmStats {
                 *acc += c.load(Ordering::Relaxed);
             }
             out.cycles_aborted += s.cycles_aborted.load(Ordering::Relaxed);
+            for (acc, c) in out
+                .cycles_aborted_by_reason
+                .iter_mut()
+                .zip(s.cycles_aborted_by_reason.iter())
+            {
+                *acc += c.load(Ordering::Relaxed);
+            }
             out.cycles_successful += s.cycles_successful.load(Ordering::Relaxed);
             out.busy_retries += s.busy_retries.load(Ordering::Relaxed);
             out.gate_wait_cycles += s.gate_wait_cycles.load(Ordering::Relaxed);
@@ -159,6 +168,10 @@ pub struct StatsSnapshot {
     pub aborts_by_reason: [u64; AbortReason::COUNT],
     /// Cycles spent in ultimately-aborted attempts.
     pub cycles_aborted: u64,
+    /// `cycles_aborted` broken down by [`AbortReason`] — the wasted-work
+    /// ledger. The components always sum exactly to `cycles_aborted`
+    /// (every abort is booked once, with one reason).
+    pub cycles_aborted_by_reason: [u64; AbortReason::COUNT],
     /// Cycles spent in committed attempts.
     pub cycles_successful: u64,
     /// Busy-wait retries (not an abort; diagnostic only).
@@ -189,6 +202,22 @@ impl StatsSnapshot {
         self.aborts_by_reason[reason.index()]
     }
 
+    /// Wasted cycles attributed to `reason`.
+    pub fn wasted_for(&self, reason: AbortReason) -> u64 {
+        self.cycles_aborted_by_reason[reason.index()]
+    }
+
+    /// The wasted-work fraction `wasted / (useful + wasted)` after Sharma &
+    /// Busch's makespan decomposition. 0.0 when no cycles have accrued.
+    pub fn waste_frac(&self) -> f64 {
+        let total = self.cycles_aborted + self.cycles_successful;
+        if total == 0 {
+            0.0
+        } else {
+            self.cycles_aborted as f64 / total as f64
+        }
+    }
+
     /// Difference `self − earlier`, for windowed estimation. High-water
     /// marks (`max_abort_streak`) are carried over, not subtracted.
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
@@ -199,6 +228,9 @@ impl StatsSnapshot {
                 self.aborts_by_reason[i] - earlier.aborts_by_reason[i]
             }),
             cycles_aborted: self.cycles_aborted - earlier.cycles_aborted,
+            cycles_aborted_by_reason: std::array::from_fn(|i| {
+                self.cycles_aborted_by_reason[i] - earlier.cycles_aborted_by_reason[i]
+            }),
             cycles_successful: self.cycles_successful - earlier.cycles_successful,
             busy_retries: self.busy_retries - earlier.busy_retries,
             gate_wait_cycles: self.gate_wait_cycles - earlier.gate_wait_cycles,
@@ -218,11 +250,20 @@ mod tests {
         s.record_commit(0, 100);
         s.record_commit(0, 50);
         s.record_abort(0, 30, AbortReason::NorecValidation);
+        s.record_abort(3, 12, AbortReason::CmKilled);
         let snap = s.snapshot();
         assert_eq!(snap.commits, 2);
-        assert_eq!(snap.aborts, 1);
+        assert_eq!(snap.aborts, 2);
         assert_eq!(snap.cycles_successful, 150);
-        assert_eq!(snap.cycles_aborted, 30);
+        assert_eq!(snap.cycles_aborted, 42);
+        // Wasted-work ledger: per-reason cycles sum exactly to the total.
+        assert_eq!(snap.wasted_for(AbortReason::NorecValidation), 30);
+        assert_eq!(snap.wasted_for(AbortReason::CmKilled), 12);
+        assert_eq!(
+            snap.cycles_aborted_by_reason.iter().sum::<u64>(),
+            snap.cycles_aborted
+        );
+        assert!((snap.waste_frac() - 42.0 / 192.0).abs() < 1e-12);
     }
 
     #[test]

@@ -22,7 +22,15 @@ pub const INLINE_WRITES: usize = 8;
 /// (testing membership) so the two can never disagree.
 #[inline]
 pub(crate) fn summary_bit(addr: Addr) -> u64 {
-    1u64 << (hash_u64(u64::from(addr.0)) & 63)
+    1u64 << bloom_bucket(addr)
+}
+
+/// The Bloom write-summary bucket (`0..64`) an address folds into — the
+/// bit position [`summary_bit`] sets. Public so conflict attribution can
+/// report which summary bucket a NOrec validation failure hashed to.
+#[inline]
+pub fn bloom_bucket(addr: Addr) -> u8 {
+    (hash_u64(u64::from(addr.0)) & 63) as u8
 }
 
 /// Buffered writes of one transaction attempt.

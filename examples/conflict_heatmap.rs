@@ -1,0 +1,133 @@
+//! Conflict-topology profiling, end to end: a *single-view* workload with
+//! two structurally independent hot regions runs under the flight recorder,
+//! and the profiler mines the event stream into (a) a per-address-bucket
+//! abort heatmap and (b) a co-access affinity matrix whose suggested
+//! bi-partition is exactly the two-view split a VOTM programmer would have
+//! written by hand — the paper's Observation 2 ("objects never accessed
+//! together belong in separate views") recovered from telemetry alone.
+//!
+//! ```text
+//! cargo run --release --example conflict_heatmap
+//! ```
+
+use std::sync::Arc;
+
+use votm_repro::obs::ConflictProfile;
+use votm_repro::sim::{SimConfig, SimExecutor};
+use votm_repro::votm::{Addr, FlightRecorder, QuotaMode, TmAlgorithm, Votm, VotmConfig};
+
+/// Heap words; with 64 profile buckets each bucket covers 64 words.
+const HEAP_WORDS: u32 = 4096;
+/// Words each half's transactions range over (index reads).
+const HALF: u32 = HEAP_WORDS / 2;
+/// Hot-array words per half — the conflict magnets.
+const HOT: u64 = 48;
+
+fn main() {
+    const N: u32 = 16;
+    let recorder = Arc::new(FlightRecorder::new(N as usize, 1 << 16));
+    let sys = Votm::new(VotmConfig {
+        algorithm: TmAlgorithm::OrecEagerRedo,
+        n_threads: N,
+        recorder: Some(Arc::clone(&recorder)),
+        ..Default::default()
+    });
+    // One view holding BOTH structures — the "before" a profiler exists to
+    // diagnose. Even threads hammer the lower half, odd threads the upper;
+    // no transaction ever touches both halves.
+    let view = sys.create_view(HEAP_WORDS as usize, QuotaMode::Fixed(N));
+    let mut ex = SimExecutor::new(SimConfig::default());
+    for t in 0..u64::from(N) {
+        let view = Arc::clone(&view);
+        ex.spawn(move |rt| async move {
+            let mut rng = votm_repro::utils::XorShift64::new(t + 1);
+            let base = if t % 2 == 0 { 0 } else { HALF };
+            for _ in 0..150 {
+                view.transact(&rt, async |tx| {
+                    // A few scattered index reads across this half…
+                    for _ in 0..4 {
+                        let a = Addr(base + rng.next_below(u64::from(HALF)) as u32);
+                        tx.read(a).await?;
+                    }
+                    // …then read-modify-writes on the half's hot array.
+                    for _ in 0..6 {
+                        let a = Addr(base + rng.next_below(HOT) as u32);
+                        let v = tx.read(a).await?;
+                        tx.write(a, v + 1).await?;
+                    }
+                    Ok(())
+                })
+                .await;
+            }
+        });
+    }
+    let out = ex.run();
+    let stats = view.stats();
+    println!(
+        "single view, N={N}: {:?} in {} virtual cycles — {} commits, {} aborts, \
+         waste_frac {:.3}",
+        out.status,
+        out.vtime,
+        stats.tm.commits,
+        stats.tm.aborts,
+        stats.tm.waste_frac(),
+    );
+
+    let profile = ConflictProfile::from_traces(&recorder.snapshot());
+    println!(
+        "\nprofiler: {} aborts attributed, {} wasted cycles, footprints {} committed / {} aborted",
+        profile.aborts_total,
+        profile.abort_cycles_total,
+        profile.committed_footprints,
+        profile.aborted_footprints,
+    );
+
+    // Top-10 conflicting address buckets, by wasted cycles.
+    let mut hot: Vec<(usize, &_)> = profile
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.aborts > 0)
+        .collect();
+    hot.sort_by_key(|&(i, r)| (u64::MAX - r.wasted_cycles, i));
+    let top = &hot[..hot.len().min(10)];
+    let peak = top.first().map_or(1, |(_, r)| r.wasted_cycles.max(1));
+    println!(
+        "\ntop {} conflicting buckets (of {} with aborts):",
+        top.len(),
+        hot.len()
+    );
+    println!("{:>6} {:>8} {:>14}  heat", "bucket", "aborts", "wasted_cyc");
+    for (i, r) in top {
+        let bar = "#".repeat(((r.wasted_cycles * 40) / peak).max(1) as usize);
+        println!("{i:>6} {:>8} {:>14}  {bar}", r.aborts, r.wasted_cycles);
+    }
+
+    // The affinity miner's verdict: how separable is this workload, and
+    // along which line?
+    let part = profile.suggest_bipartition();
+    println!(
+        "\nsuggested bi-partition (separability {:.3}, cut affinity {}, internal {}):",
+        part.separability, part.cut_affinity, part.internal_affinity,
+    );
+    for s in [0u8, 1] {
+        let buckets = part.side_buckets(s);
+        println!(
+            "  view {s}: {} buckets {:?}{}",
+            buckets.len(),
+            &buckets[..buckets.len().min(8)],
+            if buckets.len() > 8 { " …" } else { "" },
+        );
+    }
+    let half_bucket = 32;
+    let clean = part.side_buckets(0).iter().all(|&b| b < half_bucket)
+        != part.side_buckets(0).iter().all(|&b| b >= half_bucket);
+    println!(
+        "\n{}",
+        if clean && part.cut_affinity == 0 {
+            "=> the miner recovered the hand partition: split this view at the heap midpoint."
+        } else {
+            "=> partition differs from the structural split — inspect the affinity matrix."
+        }
+    );
+}

@@ -1,10 +1,12 @@
 //! Workspace root crate: re-exports the public API of the VOTM reproduction
 //! so examples and integration tests can use a single import path.
 pub use votm;
+pub use votm_bench as bench;
 pub use votm_ds as ds;
 pub use votm_eigenbench as eigenbench;
 pub use votm_intruder as intruder;
 pub use votm_model as model;
+pub use votm_obs as obs;
 pub use votm_rac as rac;
 pub use votm_sim as sim;
 pub use votm_stm as stm;
