@@ -9,22 +9,21 @@
 
 use std::hint::black_box;
 use std::sync::Arc;
-use votm::{Addr, QuotaMode, TmAlgorithm, Votm, VotmConfig};
+use votm::{Addr, QuotaMode, TmAlgorithm, Votm};
 use votm_bench::harness::bench;
 use votm_rac::ControllerConfig;
 use votm_sim::{SimConfig, SimExecutor};
 
 /// Virtual makespan of a hot-spot workload with a given controller window.
 fn adaptive_makespan(window: u64) -> u64 {
-    let sys = Votm::new(VotmConfig {
-        algorithm: TmAlgorithm::OrecEagerRedo,
-        n_threads: 16,
-        controller: ControllerConfig {
+    let sys = Votm::builder()
+        .algo(TmAlgorithm::OrecEagerRedo)
+        .threads(16)
+        .controller(ControllerConfig {
             window_attempts: window,
             ..Default::default()
-        },
-        ..Default::default()
-    });
+        })
+        .build();
     let view = sys.create_view(64, QuotaMode::Adaptive);
     let mut ex = SimExecutor::new(SimConfig::default());
     for t in 0..16u64 {
@@ -59,11 +58,7 @@ fn controller_window() {
 /// (Unrestricted). The virtual-time difference is the RAC admission cost.
 fn gate_overhead() {
     fn run(quota: QuotaMode) -> u64 {
-        let sys = Votm::new(VotmConfig {
-            algorithm: TmAlgorithm::NOrec,
-            n_threads: 8,
-            ..Default::default()
-        });
+        let sys = Votm::builder().algo(TmAlgorithm::NOrec).threads(8).build();
         let view = sys.create_view(4096, quota);
         let mut ex = SimExecutor::new(SimConfig::default());
         for t in 0..8u32 {
@@ -90,11 +85,7 @@ fn gate_overhead() {
 /// revalidation — the paper's §III-D discussion).
 fn algorithm_throughput() {
     fn run(algo: TmAlgorithm) -> u64 {
-        let sys = Votm::new(VotmConfig {
-            algorithm: algo,
-            n_threads: 8,
-            ..Default::default()
-        });
+        let sys = Votm::builder().algo(algo).threads(8).build();
         let view = sys.create_view(8192, QuotaMode::Unrestricted);
         let mut ex = SimExecutor::new(SimConfig::default());
         for t in 0..8u32 {

@@ -17,7 +17,9 @@
 //!    the baseline bit-for-bit on every simulation-determined field; the
 //!    default clock path is untouched across PRs, so any drift there is a
 //!    semantics change, not noise. `--allow-virtual-drift` downgrades this
-//!    to a report for PRs that intentionally change the simulation.
+//!    to a report for PRs that intentionally change the simulation. The
+//!    `1.2` blocking fields (`parked_waits`, `lost_wakeups`,
+//!    `escalations`) join the identity set once the baseline carries them.
 //! 4. **Current-artifact sanity** — every row completed; clock-variant rows
 //!    are present for every algorithm, none collapsed below 0.75× its
 //!    default-clock twin, and at least one variant still beats the global
@@ -48,6 +50,11 @@ const VIRTUAL_FIELDS: [&str; 13] = [
     "sim_steps",
     "coalesced_polls",
 ];
+
+/// Virtual fields added by the `1.2` schema (PR 9's blocking support).
+/// Compared only when the baseline row carries them, so a `1.1` baseline
+/// still joins cleanly across the transition PR.
+const VIRTUAL_FIELDS_1_2: [&str; 3] = ["parked_waits", "lost_wakeups", "escalations"];
 
 /// The clock-variant collapse threshold: a variant may honestly lose a bit
 /// to the default on gate geometry, but under 0.75× is a bug.
@@ -180,7 +187,11 @@ fn main() {
             ));
         }
         if k.4 == "global" {
-            for f in VIRTUAL_FIELDS {
+            let extra_1_2 = VIRTUAL_FIELDS_1_2
+                .iter()
+                .copied()
+                .filter(|f| b.get(f).is_some());
+            for f in VIRTUAL_FIELDS.into_iter().chain(extra_1_2) {
                 if b.get(f) != r.get(f) {
                     let msg = format!(
                         "{label}: virtual field {f} diverged: {:?} -> {:?}",

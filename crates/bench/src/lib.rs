@@ -18,6 +18,7 @@
 pub mod fmt;
 pub mod harness;
 pub mod json;
+pub mod workload;
 
 use std::sync::Arc;
 
@@ -529,6 +530,16 @@ pub struct GateRow {
     /// Same-task charge polls the executor coalesced past the event queue
     /// (summed over seeds). Report-only scheduler telemetry, like `wall_s`.
     pub coalesced_polls: u64,
+    /// Completed `retry()` parks on the wakeup table (summed over views and
+    /// seeds). Zero on every non-blocking workload row.
+    pub parked_waits: u64,
+    /// Parks that timed out without a matching wake (the transaction re-ran
+    /// instead of hanging). The blocking scenario rows gate this at zero.
+    pub lost_wakeups: u64,
+    /// Starvation-watchdog escalations. The gated NOrec blocking scenario
+    /// row holds this at zero — parking must never read as starvation —
+    /// while Orec comparison rows may escalate on genuine conflict streaks.
+    pub escalations: u64,
 }
 
 /// The thread counts the throughput gate sweeps.
@@ -561,6 +572,7 @@ fn gate_config_row(
     let (mut sim_steps, mut coalesced) = (0u64, 0u64);
     let (mut bumps, mut bump_skips) = (0u64, 0u64);
     let (mut wasted, mut useful) = (0u64, 0u64);
+    let (mut parked, mut lost, mut escalated) = (0u64, 0u64, 0u64);
     let mut wasted_by_reason = [0u64; AbortReason::COUNT];
     let mut commit_hist = HistogramSnapshot::default();
     for seed_off in 0..n_seeds {
@@ -605,6 +617,9 @@ fn gate_config_row(
                 *acc += c;
             }
         }
+        parked += res.views.iter().map(|v| v.tm.parked_waits).sum::<u64>();
+        lost += res.views.iter().map(|v| v.tm.lost_wakeups).sum::<u64>();
+        escalated += res.views.iter().map(|v| v.tm.escalations).sum::<u64>();
         sim_steps += res.outcome.steps;
         coalesced += res.outcome.sched.coalesced;
         for v in &res.views {
@@ -664,6 +679,9 @@ fn gate_config_row(
         commit_p99_cycles: commit_hist.quantile(0.99),
         sim_steps,
         coalesced_polls: coalesced,
+        parked_waits: parked,
+        lost_wakeups: lost,
+        escalations: escalated,
     }
 }
 
@@ -680,6 +698,10 @@ fn gate_config_row(
 /// `clock_table.md` formats; CI checks presence, completion and the 0.95×
 /// throughput floor, and the default-clock rows above stay bit-identical
 /// to the previous artifact because [`ClockKind::Global`] is untouched.
+/// Finally the [`workload::BLOCKING_SCENARIOS`] rows: the bounded-buffer
+/// spin-vs-block comparison (distinct `version` labels, so `benchdiff`
+/// reports them as new rows and the gated eigenbench rows above are
+/// unaffected).
 ///
 /// Every run executes with a live [`FlightRecorder`] attached, so the gated
 /// numbers *include* the observability layer's recording cost — the rows
@@ -737,6 +759,7 @@ pub fn throughput_gate(settings: &Settings) -> Vec<GateRow> {
             ));
         }
     }
+    rows.extend(workload::blocking_gate_rows(settings));
     rows
 }
 
@@ -826,6 +849,8 @@ pub fn capture_trace_clock(
             busy_retries: v.tm.busy_retries,
             gate_wait_cycles: v.tm.gate_wait_cycles,
             escalations: v.tm.escalations,
+            parked_waits: v.tm.parked_waits,
+            lost_wakeups: v.tm.lost_wakeups,
             hists: v.hists,
             quota_timeline: export::quota_timeline(&threads, v.view_id as u16),
         })
@@ -950,7 +975,9 @@ pub fn gate_rows_to_json(settings: &Settings, rows: &[GateRow]) -> String {
              \"useful_cycles\": {}, \"waste_frac\": {}, \
              \"wasted_by_reason\": {{{}}}, \"gate_wait_cycles\": {}, \
              \"commit_p50_cycles\": {}, \"commit_p99_cycles\": {}, \
-             \"sim_steps\": {}, \"coalesced_polls\": {}}}{}\n",
+             \"sim_steps\": {}, \"coalesced_polls\": {}, \
+             \"parked_waits\": {}, \"lost_wakeups\": {}, \
+             \"escalations\": {}}}{}\n",
             json_str(r.algo),
             json_str(r.policy),
             json_str(r.clock),
@@ -993,6 +1020,9 @@ pub fn gate_rows_to_json(settings: &Settings, rows: &[GateRow]) -> String {
             r.commit_p99_cycles,
             r.sim_steps,
             r.coalesced_polls,
+            r.parked_waits,
+            r.lost_wakeups,
+            r.escalations,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -1110,18 +1140,38 @@ mod tests {
         let rows = throughput_gate(&s);
         // 3 algorithms × 2 versions × GATE_THREADS.len() thread counts of
         // the gated default, plus one comparison row per non-default
-        // policy × algorithm, plus one per non-default clock × algorithm.
+        // policy × algorithm, plus one per non-default clock × algorithm,
+        // plus the bounded-buffer blocking scenario rows.
         assert_eq!(
             rows.len(),
             3 * 2 * GATE_THREADS.len()
                 + (CmPolicy::ALL.len() - 1) * 3
                 + (ClockKind::ALL.len() - 1) * 3
+                + workload::BLOCKING_SCENARIOS.len()
         );
         let backoff_rows = rows
             .iter()
-            .filter(|r| r.policy == "backoff" && r.clock == "global")
+            .filter(|r| {
+                r.policy == "backoff"
+                    && r.clock == "global"
+                    && (r.version == "single-view" || r.version == "multi-view")
+            })
             .count();
         assert_eq!(backoff_rows, 3 * 2 * GATE_THREADS.len());
+        // The blocking scenario rows are present, park only in block mode,
+        // and never lose a wakeup.
+        for w in workload::BLOCKING_SCENARIOS {
+            let r = rows
+                .iter()
+                .find(|r| r.version == w.name && r.algo == w.algo.name())
+                .expect("scenario row missing");
+            assert_eq!(r.lost_wakeups, 0, "{r:?}");
+            assert_eq!(
+                r.parked_waits > 0,
+                w.waiting == workload::WaitMode::Block,
+                "{r:?}"
+            );
+        }
         for p in CmPolicy::ALL {
             assert!(
                 rows.iter().any(|r| r.policy == p.name()),

@@ -1,0 +1,380 @@
+//! Workload-description layer: blocking producer/consumer scenarios as
+//! plain data rows.
+//!
+//! Earlier experiments were each a bespoke function; a blocking workload is
+//! instead *described* by a [`Scenario`] — thread split, buffer capacity,
+//! item counts, think time, and crucially the [`WaitMode`]: does a
+//! transaction that finds its guard unsatisfied **spin** (abort and
+//! re-execute, the only option before composable blocking existed) or
+//! **block** (park on its read set via [`votm::TxHandle::retry`])? The
+//! same description runs both ways, which is what makes the
+//! `busy_retries_per_commit` comparison in `BENCH_<n>.json` apples to
+//! apples: identical workload, different waiting discipline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use votm::{AbortReason, QuotaMode, TmAlgorithm, TxError, ViewStats, Votm};
+use votm_ds::BoundedBuffer;
+use votm_sim::{RunOutcome, RunStatus, SimConfig, SimExecutor};
+
+use crate::{vsec, GateRow, Settings};
+
+/// What a transaction does when its guard fails (buffer empty on pop, full
+/// on push).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitMode {
+    /// Abort explicitly and re-execute after contention-management backoff —
+    /// the pre-blocking baseline. Every failed poll is a booked abort.
+    SpinRetry,
+    /// Park on the read set via [`votm::TxHandle::retry`] until a
+    /// conflicting commit wakes the transaction.
+    Block,
+}
+
+impl WaitMode {
+    /// Short stable label used in row names.
+    pub fn name(self) -> &'static str {
+        match self {
+            WaitMode::SpinRetry => "spin",
+            WaitMode::Block => "block",
+        }
+    }
+}
+
+/// One blocking-workload description. Plain data: the scenario tables below
+/// are `const`, and a scenario runs identically whichever binary loads it.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Row label (doubles as the gate row's `version` key, so spin and
+    /// block variants of the same shape must use distinct names).
+    pub name: &'static str,
+    /// STM algorithm the single view runs.
+    pub algo: TmAlgorithm,
+    /// Thread count N (= producers + consumers).
+    pub n_threads: u32,
+    /// Producer tasks.
+    pub producers: u32,
+    /// Consumer tasks. `producers × items_per_producer` must divide evenly.
+    pub consumers: u32,
+    /// Bounded-buffer slots.
+    pub capacity: u32,
+    /// Items each producer pushes.
+    pub items_per_producer: u64,
+    /// Virtual cycles a producer "computes" before each push — the idle gap
+    /// consumers either spin through or sleep through.
+    pub producer_think_cycles: u64,
+    /// Spin or block on a failed guard.
+    pub waiting: WaitMode,
+    /// Starvation watchdog `K` ([`votm::VotmBuilder::escalate_after`]).
+    /// Blocking rows run with it ON to prove parking never trips it (the
+    /// gated NOrec row escalates zero times; Orec rows may escalate on
+    /// genuine conflict streaks, which is the watchdog doing its job —
+    /// `retry()` stays sound there because the guard read precedes any
+    /// write). Spin rows leave it off: an escalated spinner would be
+    /// irrevocable, and its explicit poll-abort cannot be rolled back.
+    pub escalate_after: Option<u32>,
+}
+
+/// The bounded-buffer scenario matrix shipped in `BENCH_<n>.json`: the
+/// gated spin/block pair at N = 16 under NOrec (the acceptance pair for the
+/// ≥10× `busy_retries_per_commit` drop), plus a blocking row per remaining
+/// algorithm so every wakeup-key granularity is exercised by the gate.
+pub const BLOCKING_SCENARIOS: [Scenario; 4] = [
+    Scenario {
+        name: "bounded16-spin",
+        algo: TmAlgorithm::NOrec,
+        n_threads: 16,
+        producers: 8,
+        consumers: 8,
+        capacity: 16,
+        items_per_producer: 40,
+        producer_think_cycles: 60_000,
+        waiting: WaitMode::SpinRetry,
+        escalate_after: None,
+    },
+    Scenario {
+        name: "bounded16-block",
+        algo: TmAlgorithm::NOrec,
+        n_threads: 16,
+        producers: 8,
+        consumers: 8,
+        capacity: 16,
+        items_per_producer: 40,
+        producer_think_cycles: 60_000,
+        waiting: WaitMode::Block,
+        escalate_after: Some(64),
+    },
+    Scenario {
+        name: "bounded16-block",
+        algo: TmAlgorithm::OrecEagerRedo,
+        n_threads: 16,
+        producers: 8,
+        consumers: 8,
+        capacity: 16,
+        items_per_producer: 40,
+        producer_think_cycles: 60_000,
+        waiting: WaitMode::Block,
+        escalate_after: Some(64),
+    },
+    Scenario {
+        name: "bounded16-block",
+        algo: TmAlgorithm::OrecLazy,
+        n_threads: 16,
+        producers: 8,
+        consumers: 8,
+        capacity: 16,
+        items_per_producer: 40,
+        producer_think_cycles: 60_000,
+        waiting: WaitMode::Block,
+        escalate_after: Some(64),
+    },
+];
+
+/// Result of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Simulator outcome (status, virtual makespan, steps).
+    pub outcome: RunOutcome,
+    /// The single view's statistics.
+    pub view: ViewStats,
+    /// Attempts that found the guard unsatisfied and burned cycles without
+    /// parking: explicit poll-aborts under [`WaitMode::SpinRetry`]; under
+    /// [`WaitMode::Block`], retry attempts whose park was refused as stale
+    /// (the rare raced-commit case) — everything else parked instead.
+    pub busy_guard_retries: u64,
+}
+
+/// Runs `scenario` once under the virtual-time simulator with `seed`.
+/// Panics on conservation failure: every produced item must be consumed
+/// exactly once (the sum of consumed values is checked against the exact
+/// expected total).
+pub fn run_scenario(scenario: &Scenario, seed: u64) -> ScenarioResult {
+    let s = scenario;
+    assert!(
+        (u64::from(s.producers) * s.items_per_producer).is_multiple_of(u64::from(s.consumers)),
+        "{}: items must divide evenly across consumers",
+        s.name
+    );
+    let sys = Votm::builder()
+        .algo(s.algo)
+        .threads(s.n_threads)
+        .escalate_after(s.escalate_after)
+        .build();
+    let view = sys.create_view(
+        (2 + s.capacity + 64) as usize,
+        QuotaMode::Fixed(s.n_threads),
+    );
+    let buf = BoundedBuffer::create(&view, s.capacity);
+    let consumed = Arc::new(AtomicU64::new(0));
+    let mut ex = SimExecutor::new(SimConfig {
+        seed,
+        ..SimConfig::default()
+    });
+
+    for p in 0..u64::from(s.producers) {
+        let view = Arc::clone(&view);
+        let s = *s;
+        ex.spawn(move |rt| async move {
+            for i in 0..s.items_per_producer {
+                rt.charge(s.producer_think_cycles).await;
+                let value = p * s.items_per_producer + i;
+                match s.waiting {
+                    WaitMode::Block => {
+                        view.transact(&rt, async |tx| buf.push(tx, value).await)
+                            .await;
+                    }
+                    WaitMode::SpinRetry => {
+                        view.transact(&rt, async |tx| {
+                            if buf.try_push(tx, value).await? {
+                                Ok(())
+                            } else {
+                                Err(TxError::Abort(AbortReason::Explicit))
+                            }
+                        })
+                        .await;
+                    }
+                }
+            }
+        });
+    }
+    let per_consumer = u64::from(s.producers) * s.items_per_producer / u64::from(s.consumers);
+    for _ in 0..s.consumers {
+        let view = Arc::clone(&view);
+        let consumed = Arc::clone(&consumed);
+        let s = *s;
+        ex.spawn(move |rt| async move {
+            for _ in 0..per_consumer {
+                let v = match s.waiting {
+                    WaitMode::Block => view.transact(&rt, async |tx| buf.pop(tx).await).await,
+                    WaitMode::SpinRetry => {
+                        view.transact(&rt, async |tx| match buf.try_pop(tx).await? {
+                            Some(v) => Ok(v),
+                            None => Err(TxError::Abort(AbortReason::Explicit)),
+                        })
+                        .await
+                    }
+                };
+                consumed.fetch_add(v, Ordering::Relaxed);
+            }
+        });
+    }
+
+    let outcome = ex.run();
+    let total = u64::from(s.producers) * s.items_per_producer;
+    if outcome.status == RunStatus::Completed {
+        let expect: u64 = (0..total).sum();
+        assert_eq!(
+            consumed.load(Ordering::Relaxed),
+            expect,
+            "{}: items lost or duplicated",
+            s.name
+        );
+    }
+    let view_stats = view.stats();
+    let tm = view_stats.tm;
+    let busy_guard_retries = match s.waiting {
+        WaitMode::SpinRetry => tm.aborts_by_reason[AbortReason::Explicit.index()],
+        WaitMode::Block => tm.aborts_by_reason[AbortReason::Retry.index()]
+            .saturating_sub(tm.parked_waits + tm.lost_wakeups),
+    };
+    ScenarioResult {
+        outcome,
+        view: view_stats,
+        busy_guard_retries,
+    }
+}
+
+/// Converts a scenario run into a `BENCH_<n>.json` gate row. The row's
+/// `version` is the scenario name, its `busy_retries` is the scenario's
+/// guard-spin count (see [`ScenarioResult::busy_guard_retries`] — the
+/// spin-vs-park ledger these rows exist to compare), and the new
+/// `parked_waits`/`lost_wakeups`/`escalations` fields carry the blocking
+/// side of that ledger.
+pub fn scenario_gate_row(scenario: &Scenario, seed: u64) -> GateRow {
+    let t0 = std::time::Instant::now();
+    let res = run_scenario(scenario, seed);
+    let v = &res.view;
+    let tm = v.tm;
+    let attempts = tm.commits + tm.aborts;
+    let admissions = v.gate.fast_acquires + v.gate.slow_acquires;
+    GateRow {
+        algo: scenario.algo.name(),
+        policy: "backoff",
+        clock: "global",
+        version: scenario.name,
+        n_views: 1,
+        n_threads: scenario.n_threads,
+        status: res.outcome.status,
+        commits: tm.commits,
+        aborts: tm.aborts,
+        abort_rate: if attempts == 0 {
+            0.0
+        } else {
+            tm.aborts as f64 / attempts as f64
+        },
+        vtime: res.outcome.vtime,
+        txns_per_vsec: if res.outcome.vtime == 0 {
+            0.0
+        } else {
+            tm.commits as f64 / vsec(res.outcome.vtime)
+        },
+        wall_s: t0.elapsed().as_secs_f64(),
+        gate_fast_path_hit_rate: if admissions == 0 {
+            1.0
+        } else {
+            v.gate.fast_acquires as f64 / admissions as f64
+        },
+        fast_acquires: v.gate.fast_acquires,
+        slow_acquires: v.gate.slow_acquires,
+        busy_retries: res.busy_guard_retries,
+        busy_retries_per_commit: if tm.commits == 0 {
+            0.0
+        } else {
+            res.busy_guard_retries as f64 / tm.commits as f64
+        },
+        clock_bumps: v.clock.bumps,
+        clock_bump_skips: v.clock.bump_skips,
+        wasted_cycles: tm.cycles_aborted,
+        useful_cycles: tm.cycles_successful,
+        waste_frac: if tm.cycles_aborted + tm.cycles_successful == 0 {
+            0.0
+        } else {
+            tm.cycles_aborted as f64 / (tm.cycles_aborted + tm.cycles_successful) as f64
+        },
+        wasted_by_reason: tm.cycles_aborted_by_reason,
+        gate_wait_cycles: tm.gate_wait_cycles,
+        commit_p50_cycles: v.hists.commit.quantile(0.50),
+        commit_p99_cycles: v.hists.commit.quantile(0.99),
+        sim_steps: res.outcome.steps,
+        coalesced_polls: res.outcome.sched.coalesced,
+        parked_waits: tm.parked_waits,
+        lost_wakeups: tm.lost_wakeups,
+        escalations: tm.escalations,
+    }
+}
+
+/// One gate row per [`BLOCKING_SCENARIOS`] entry, run at the gate's seed.
+/// These rows are *new* relative to pre-blocking baselines (distinct
+/// `version` labels), so `benchdiff` reports them without gating — while
+/// the eigenbench default rows stay bit-identical.
+pub fn blocking_gate_rows(settings: &Settings) -> Vec<GateRow> {
+    BLOCKING_SCENARIOS
+        .iter()
+        .map(|s| scenario_gate_row(s, settings.seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tentpole's acceptance criterion: at N = 16 on the single-view
+    /// bounded buffer, blocking turns the spin baseline's guard retries
+    /// into counted parked waits — a ≥10× `busy_retries_per_commit` drop —
+    /// with zero watchdog escalations and zero lost wakeups.
+    #[test]
+    fn blocking_cuts_busy_retries_per_commit_10x() {
+        let spin = scenario_gate_row(&BLOCKING_SCENARIOS[0], 1);
+        let block = scenario_gate_row(&BLOCKING_SCENARIOS[1], 1);
+        assert_eq!(spin.status, RunStatus::Completed);
+        assert_eq!(block.status, RunStatus::Completed);
+        assert_eq!(spin.commits, block.commits, "identical useful work");
+        assert!(
+            spin.busy_retries_per_commit >= 10.0 * block.busy_retries_per_commit.max(0.05),
+            "blocking must cut busy retries >=10x: spin {:.2}, block {:.2}",
+            spin.busy_retries_per_commit,
+            block.busy_retries_per_commit
+        );
+        assert_eq!(spin.parked_waits, 0, "spin mode never parks");
+        assert!(block.parked_waits > 0, "blocking mode parks: {block:?}");
+        assert_eq!(block.lost_wakeups, 0, "{block:?}");
+        assert_eq!(block.escalations, 0, "parking must not trip the watchdog");
+    }
+
+    /// Every blocking scenario (all three algorithms) completes, conserves
+    /// items (asserted inside [`run_scenario`]), parks, and loses nothing.
+    #[test]
+    fn all_blocking_scenarios_complete_without_lost_wakeups() {
+        for s in BLOCKING_SCENARIOS
+            .iter()
+            .filter(|s| s.waiting == WaitMode::Block)
+        {
+            let res = run_scenario(s, 1);
+            assert_eq!(res.outcome.status, RunStatus::Completed, "{s:?}");
+            assert!(res.view.tm.parked_waits > 0, "{s:?}");
+            assert_eq!(res.view.tm.lost_wakeups, 0, "{s:?}");
+        }
+    }
+
+    /// Scenario runs replay deterministically per seed.
+    #[test]
+    fn scenario_rows_are_deterministic() {
+        let a = scenario_gate_row(&BLOCKING_SCENARIOS[1], 7);
+        let b = scenario_gate_row(&BLOCKING_SCENARIOS[1], 7);
+        assert_eq!(a.vtime, b.vtime);
+        assert_eq!(a.sim_steps, b.sim_steps);
+        assert_eq!(a.commits, b.commits);
+        assert_eq!(a.parked_waits, b.parked_waits);
+    }
+}

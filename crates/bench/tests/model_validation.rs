@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use votm::{Addr, QuotaMode, TmAlgorithm, Votm, VotmConfig};
+use votm::{Addr, QuotaMode, TmAlgorithm, Votm};
 use votm_bench::Settings;
 use votm_model::{makespan_rac, TxParams};
 use votm_sim::{RunStatus, SimConfig, SimExecutor};
@@ -23,11 +23,10 @@ const TX_PER_THREAD: u64 = 60;
 /// Runs a uniform synthetic workload at fixed quota; returns
 /// (makespan, commits, cycles_ok, cycles_aborted).
 fn measure(q: u32, reads: u32, writes: u32, hot_words: u64, nops: u64) -> (u64, u64, u64, u64) {
-    let sys = Votm::new(VotmConfig {
-        algorithm: TmAlgorithm::OrecEagerRedo,
-        n_threads: N,
-        ..Default::default()
-    });
+    let sys = Votm::builder()
+        .algo(TmAlgorithm::OrecEagerRedo)
+        .threads(N)
+        .build();
     let view = sys.create_view(hot_words as usize + 8, QuotaMode::Fixed(q));
     let mut ex = SimExecutor::new(SimConfig::default());
     for t in 0..u64::from(N) {

@@ -1,0 +1,116 @@
+//! The unified transaction error type.
+//!
+//! Historically the handle's operations returned two unrelated error
+//! structs: [`TxAbort`] ("roll back and re-run") and [`HeapExhausted`]
+//! ("allocation failed"). Blocking transactions add a third outcome —
+//! *retry*, "park me until my read set changes" — and composing the three
+//! through `?` needs one error enum. [`TxError`] is that enum; the old
+//! structs remain as conversion targets so existing call sites keep
+//! compiling.
+
+use votm_obs::AbortReason;
+
+use crate::handle::{HeapExhausted, TxAbort};
+
+/// Why a transaction body stopped short of committing.
+///
+/// Every [`crate::TxHandle`] operation returns this, so a body can
+/// propagate any failure with a single `?`. The driver interprets the
+/// variants differently:
+///
+/// * [`TxError::Abort`] / [`TxError::HeapExhausted`] — roll back and
+///   immediately re-run the body (the historical behaviour).
+/// * [`TxError::Retry`] — roll back and **park** the task on a wait record
+///   keyed by the attempt's read set; the body re-runs only after another
+///   transaction commits a write intersecting that read set (or the park
+///   times out). Produced by [`crate::TxHandle::retry`].
+///
+/// The enum is `non_exhaustive`: future drivers may add outcomes without a
+/// breaking release, so always keep a `_ =>` arm when matching.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxError {
+    /// The attempt must be rolled back and retried, for the given
+    /// structured reason (conflict, contention-manager kill, injected
+    /// fault, or an explicit user abort).
+    Abort(AbortReason),
+    /// A [`crate::TxHandle::alloc`] could not be satisfied even after one
+    /// `brk_view` growth attempt.
+    HeapExhausted {
+        /// The allocation size that could not be satisfied.
+        requested_words: u32,
+    },
+    /// The body called [`crate::TxHandle::retry`]: block until the world
+    /// this attempt read changes.
+    Retry,
+}
+
+impl From<TxAbort> for TxError {
+    fn from(_: TxAbort) -> Self {
+        TxError::Abort(AbortReason::Explicit)
+    }
+}
+
+impl From<HeapExhausted> for TxError {
+    fn from(e: HeapExhausted) -> Self {
+        TxError::HeapExhausted {
+            requested_words: e.requested_words,
+        }
+    }
+}
+
+/// Lossy downgrade for legacy helpers typed `Result<_, TxAbort>`: any
+/// unified error propagated into one collapses to a plain abort. Note this
+/// turns [`TxError::Retry`] into an ordinary spinning abort — blocking
+/// helpers should be typed with [`TxError`] so the park semantics survive
+/// `?`.
+impl From<TxError> for TxAbort {
+    fn from(_: TxError) -> Self {
+        TxAbort
+    }
+}
+
+impl std::fmt::Display for TxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxError::Abort(reason) => write!(f, "transaction aborted ({})", reason.name()),
+            TxError::HeapExhausted { requested_words } => write!(
+                f,
+                "view heap exhausted allocating {requested_words} words (after brk_view growth attempt)"
+            ),
+            TxError::Retry => write!(f, "transaction blocked (retry): read set unchanged"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(
+            TxError::from(TxAbort),
+            TxError::Abort(AbortReason::Explicit)
+        );
+        assert_eq!(
+            TxError::from(HeapExhausted { requested_words: 8 }),
+            TxError::HeapExhausted { requested_words: 8 }
+        );
+        assert_eq!(TxAbort::from(TxError::Retry), TxAbort);
+    }
+
+    #[test]
+    fn question_mark_propagation_compiles_both_ways() {
+        fn legacy() -> Result<(), TxAbort> {
+            Err(HeapExhausted { requested_words: 1 })?
+        }
+        fn unified() -> Result<(), TxError> {
+            legacy()?;
+            Ok(())
+        }
+        assert_eq!(unified(), Err(TxError::Abort(AbortReason::Explicit)));
+    }
+}

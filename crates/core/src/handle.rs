@@ -61,6 +61,22 @@
 //! are always released through the victim's own abort path. Under the
 //! default passive [`votm_rac::CmPolicy::Backoff`] the driver skips all of
 //! this and reproduces the historical behaviour exactly.
+//!
+//! # Blocking: `retry` / `or_else`
+//!
+//! A body that returns [`TxError::Retry`] (via [`TxHandle::retry`]) is not
+//! aborted-and-raced like a conflict: the driver rolls the attempt back,
+//! **releases its admission slot**, and parks the task on the view's
+//! wait table (`wait.rs`), keyed by the union of the read-set Bloom
+//! summaries of every alternative the attempt tried. Only a committing
+//! writer whose write set intersects that key wakes it (see `wait.rs` for
+//! the lost-wakeup-free protocol). Parks deliberately bypass the
+//! contention manager (no karma, no loser backoff — blocking is not
+//! losing) and leave the starvation streak untouched; only a park that
+//! *times out* bumps the streak, so a lost wakeup escalates through the
+//! watchdog instead of hanging. [`TxHandle::or_else`] composes
+//! alternatives: if the first retries, the second runs in the same
+//! attempt; only when every alternative retries does the task park.
 
 use votm_obs::{
     addr_bucket, AbortReason, ConflictSiteKind, EventKind, RecorderHandle, ADDR_BUCKET_NONE,
@@ -68,10 +84,12 @@ use votm_obs::{
 use votm_rac::cm::HARD_PATIENCE;
 use votm_rac::{AdmissionMode, CmTx, SiteVerdict};
 use votm_sim::{FaultEvent, Rt};
-use votm_stm::{cost, Addr, CommitPhase, ConflictSite, OpError, TxCtx};
+use votm_stm::{bloom_bucket, cost, Addr, CommitPhase, ConflictSite, OpError, TxCtx};
 use votm_utils::JitterBackoff;
 
+use crate::error::TxError;
 use crate::view::View;
+use crate::wait::{ParkOutcome, PARK_TIMEOUT};
 
 /// The current transaction attempt must be rolled back and retried.
 ///
@@ -115,6 +133,40 @@ impl std::error::Error for HeapExhausted {}
 /// This is the passive default's patience; active contention managers
 /// substitute their own — see [`votm_rac::cm::BUSY_PATIENCE`].
 const BUSY_ABORT_LIMIT: u32 = votm_rac::cm::BUSY_PATIENCE;
+
+/// Alternative-selection state for [`TxHandle::or_else`], owned by the
+/// driver so it survives the immediate restart between "the first
+/// alternative retried" and "now run the second".
+///
+/// Instead of checkpointing and rolling back partial read/write sets (which
+/// none of the three algorithms support mid-attempt), `or_else` is
+/// *restart-based*: when an alternative retries, the whole attempt aborts
+/// and re-runs, and this table tells the re-run which branch each `or_else`
+/// call should take this time. Indices are assigned in call order, which is
+/// deterministic for deterministic bodies. After a full retry propagates
+/// (every alternative blocked), all decisions are back to `false`, so the
+/// post-park wakeup re-runs from the first alternative — Haskell `orElse`
+/// semantics.
+#[derive(Debug, Default)]
+pub(crate) struct AltCtl {
+    /// `decisions[i]`: whether the `i`-th `or_else` encountered this
+    /// attempt runs its second alternative.
+    decisions: Vec<bool>,
+    /// Next index to hand out (reset to 0 at each attempt start).
+    cursor: usize,
+    /// Set when an alternative flipped during this attempt: the pending
+    /// `TxError::Retry` means "restart immediately to try the other
+    /// branch", not "park".
+    restart: bool,
+}
+
+impl AltCtl {
+    /// Resets the per-attempt half of the state; decisions persist.
+    fn begin_attempt(&mut self) {
+        self.cursor = 0;
+        self.restart = false;
+    }
+}
 
 /// In-transaction capability: all shared-memory access inside
 /// [`View::transact`] goes through this handle.
@@ -163,10 +215,28 @@ pub struct TxHandle<'v> {
     fp_writes: u64,
     /// Heap capacity in words, cached for the footprint bucket scale.
     cap_words: u64,
+    /// Bloom summary (same 64-bucket hash as the NOrec write-set filter) of
+    /// every address this attempt read — the park key for `retry`. A
+    /// single shift-and-or per read; never charged to virtual time.
+    read_summary: u64,
+    /// Bloom summary of this attempt's writes. For transactional modes the
+    /// context's write set carries the same information; this handle-level
+    /// copy also covers direct (lock-mode) attempts, whose context has no
+    /// write set, so escalated commits still wake parked readers.
+    write_summary: u64,
+    /// `or_else` alternative selection, threaded through from the driver.
+    alt: AltCtl,
 }
 
 impl<'v> TxHandle<'v> {
-    fn new(view: &'v View, rt: Rt, mode: AdmissionMode, read_only: bool, mut cm_tx: CmTx) -> Self {
+    fn new(
+        view: &'v View,
+        rt: Rt,
+        mode: AdmissionMode,
+        read_only: bool,
+        mut cm_tx: CmTx,
+        alt: AltCtl,
+    ) -> Self {
         let ctx = match mode {
             AdmissionMode::Exclusive => view.tm().direct_ctx(),
             AdmissionMode::Transactional => view.tm().tx_ctx(rt.thread_index()),
@@ -201,6 +271,9 @@ impl<'v> TxHandle<'v> {
             fp_reads: 0,
             fp_writes: 0,
             cap_words: view.tm().heap().size_words() as u64,
+            read_summary: 0,
+            write_summary: 0,
+            alt,
         }
     }
 
@@ -446,11 +519,12 @@ impl<'v> TxHandle<'v> {
     }
 
     /// Transactional read of one word.
-    pub async fn read(&mut self, addr: Addr) -> Result<u64, TxAbort> {
+    pub async fn read(&mut self, addr: Addr) -> Result<u64, TxError> {
         let mut spins = 0u32;
         loop {
             match self.ctx.read(self.view.tm(), addr) {
                 Ok(v) => {
+                    self.read_summary |= 1u64 << bloom_bucket(addr);
                     self.note_access(addr, false);
                     self.charge_pending().await;
                     self.cm_doom_check()?;
@@ -469,7 +543,7 @@ impl<'v> TxHandle<'v> {
     ///
     /// # Panics
     /// In a read-only transaction ([`View::transact_ro`]).
-    pub async fn write(&mut self, addr: Addr, value: u64) -> Result<(), TxAbort> {
+    pub async fn write(&mut self, addr: Addr, value: u64) -> Result<(), TxError> {
         assert!(
             !self.read_only,
             "write inside a read-only view acquisition (acquire_Rview)"
@@ -478,6 +552,7 @@ impl<'v> TxHandle<'v> {
         loop {
             match self.ctx.write(self.view.tm(), addr, value) {
                 Ok(()) => {
+                    self.write_summary |= 1u64 << bloom_bucket(addr);
                     self.note_access(addr, true);
                     self.charge_pending().await;
                     self.cm_doom_check()?;
@@ -488,6 +563,72 @@ impl<'v> TxHandle<'v> {
                     self.charge_pending().await;
                     self.cm_site(e, &mut spins).await?;
                 }
+            }
+        }
+    }
+
+    /// Blocks the transaction: aborts this attempt and parks the task until
+    /// another transaction commits a write intersecting this attempt's read
+    /// set — Haskell STM's `retry`. Use it when the body finds the shared
+    /// state unusable (queue empty, buffer full, flag unset): instead of
+    /// committing a "nothing to do" result and polling, the task sleeps and
+    /// is woken exactly when the world it read changes.
+    ///
+    /// The parked task holds no admission slot, so it never starves the
+    /// view's quota; see the module docs' *Blocking* section for the
+    /// protocol. Call as `return tx.retry();` (or `tx.retry()?` in a
+    /// never-taken branch) — it merely constructs the [`TxError::Retry`]
+    /// signal; the driver does the parking.
+    pub fn retry<T>(&self) -> Result<T, TxError> {
+        Err(TxError::Retry)
+    }
+
+    /// Composes two alternatives — Haskell STM's `orElse`: runs `first`,
+    /// and if it blocks (returns [`TxError::Retry`]), runs `second` instead
+    /// within the same transaction. Only if *both* block does the whole
+    /// transaction park, keyed by the union of both alternatives' read
+    /// sets, and a wakeup re-runs from `first` again. Any other error, and
+    /// any `Ok`, propagates as-is. Nests freely.
+    ///
+    /// Because mid-attempt read/write-set rollback is not supported, a
+    /// blocked `first` triggers an internal restart of the attempt (the
+    /// driver re-runs the body, steering this call to `second`); bodies
+    /// must therefore be as re-runnable as any transaction body already is.
+    pub async fn or_else<T, FA, FB>(&mut self, mut first: FA, mut second: FB) -> Result<T, TxError>
+    where
+        FA: for<'h> AsyncFnMut(&'h mut TxHandle<'v>) -> Result<T, TxError>,
+        FB: for<'h> AsyncFnMut(&'h mut TxHandle<'v>) -> Result<T, TxError>,
+    {
+        let idx = self.alt.cursor;
+        self.alt.cursor += 1;
+        if self.alt.decisions.len() <= idx {
+            self.alt.decisions.push(false);
+        }
+        if !self.alt.decisions[idx] {
+            match first(self).await {
+                Err(TxError::Retry) if !self.alt.restart => {
+                    // `first` blocked: flip to `second` and restart the
+                    // attempt. Deeper decisions belong to the abandoned
+                    // branch; drop them.
+                    self.alt.decisions[idx] = true;
+                    self.alt.decisions.truncate(idx + 1);
+                    self.alt.restart = true;
+                    Err(TxError::Retry)
+                }
+                other => other,
+            }
+        } else {
+            match second(self).await {
+                Err(TxError::Retry) if !self.alt.restart => {
+                    // Both alternatives blocked: reset so the post-park
+                    // re-run starts from `first`, and let the retry
+                    // propagate to the driver's park (which keys on the
+                    // accumulated union of both branches' reads).
+                    self.alt.decisions[idx] = false;
+                    self.alt.decisions.truncate(idx + 1);
+                    Err(TxError::Retry)
+                }
+                other => other,
             }
         }
     }
@@ -507,10 +648,11 @@ impl<'v> TxHandle<'v> {
     /// if this attempt aborts.
     ///
     /// On a full heap the view grows once via `brk_view` before giving up
-    /// with [`HeapExhausted`] — which converts to [`TxAbort`] via `?`, so
-    /// callers that can make progress from other transactions' frees simply
-    /// retry.
-    pub fn alloc(&mut self, size_words: u32) -> Result<Addr, HeapExhausted> {
+    /// with [`TxError::HeapExhausted`] — propagating it with `?` retries
+    /// the transaction, so callers that can make progress from other
+    /// transactions' deferred frees simply re-run; match on the variant for
+    /// a graceful out-of-memory path instead.
+    pub fn alloc(&mut self, size_words: u32) -> Result<Addr, TxError> {
         let heap = self.view.tm().heap();
         let addr = heap.alloc_block(size_words).or_else(|| {
             // One growth attempt: extend the usable region by at least the
@@ -523,7 +665,7 @@ impl<'v> TxHandle<'v> {
                 self.allocs.push(addr);
                 Ok(addr)
             }
-            None => Err(HeapExhausted {
+            None => Err(TxError::HeapExhausted {
                 requested_words: size_words,
             }),
         }
@@ -727,7 +869,7 @@ pub(crate) async fn drive_transaction<'v, T, F>(
     mut body: F,
 ) -> T
 where
-    F: for<'h> AsyncFnMut(&'h mut TxHandle<'_>) -> Result<T, TxAbort>,
+    F: for<'h> AsyncFnMut(&'h mut TxHandle<'_>) -> Result<T, TxError>,
 {
     let unrestricted = view.is_unrestricted();
     let rec = view.recorder_handle(rt.thread_index());
@@ -742,6 +884,16 @@ where
     // When the previous attempt aborted: its end timestamp, for the
     // abort-to-retry latency histogram.
     let mut last_abort_at: Option<u64> = None;
+    // `or_else` alternative selection, persisted across the immediate
+    // restarts that steer a re-run to the next alternative.
+    let mut alt = AltCtl::default();
+    // Union of the read-set summaries of every alternative tried since the
+    // last park / non-retry abort — the park's wakeup key.
+    let mut retry_accum: u64 = 0;
+    // Wait-table epoch snapshot from the *first* attempt of the current
+    // retry group: parking validates against the earliest snapshot, so a
+    // commit landing between alternatives is never slept through.
+    let mut group_epoch: Option<u64> = None;
     loop {
         // acquire_view: RAC admission (skipped for the no-RAC baselines).
         // Admission is held as an RAII guard; dropping it (normally or
@@ -782,9 +934,26 @@ where
             .as_ref()
             .map_or(AdmissionMode::Transactional, |g| g.mode());
 
+        // Snapshot the wait-table epoch *before* the attempt reads
+        // anything: a commit that lands from here on bumps the epoch, so a
+        // later park detects it (SkippedStale) instead of sleeping through
+        // it. Free when nothing blocks: one relaxed atomic load.
+        let begin_epoch = view.waits().epoch();
+        if group_epoch.is_none() {
+            group_epoch = Some(begin_epoch);
+        }
+        alt.begin_attempt();
+
         // Declared after the guard: unwinds run transaction recovery
         // (TxHandle::drop) before admission release (GateGuard::drop).
-        let mut handle = TxHandle::new(view, rt.clone(), mode, read_only, cm_tx);
+        let mut handle = TxHandle::new(
+            view,
+            rt.clone(),
+            mode,
+            read_only,
+            cm_tx,
+            std::mem::take(&mut alt),
+        );
 
         // begin (NOrec can be Busy while a committer holds the seqlock).
         loop {
@@ -807,8 +976,13 @@ where
 
         let outcome = body(&mut handle).await;
 
+        let mut is_retry = false;
         let committed = match outcome {
             Ok(value) => {
+                // Capture the wakeup key now: the commit machinery below
+                // drains the write set. Context summary for transactional
+                // modes, handle summary for direct (lock-mode) attempts.
+                let wake_summary = handle.ctx.write_summary() | handle.write_summary;
                 // release_view step 1: try to commit.
                 let mut commit_spins = 0u32;
                 let committed = loop {
@@ -873,13 +1047,109 @@ where
                     handle.finish(true);
                     drop(handle);
                     drop(gate_guard);
+                    // Publication: stamp the bucket epochs and wake parked
+                    // transactions whose read sets intersect this commit's
+                    // writes. Zero virtual cost, no RNG — write-free runs
+                    // take the `summary == 0` early-out and stay
+                    // bit-identical to the pre-blocking traces.
+                    if wake_summary != 0 {
+                        view.waits().publish(wake_summary);
+                    }
                     return value;
                 }
                 false
             }
-            Err(TxAbort) => false,
+            Err(TxError::Retry) => {
+                is_retry = true;
+                false
+            }
+            Err(_) => false,
         };
         debug_assert!(!committed);
+
+        if is_retry {
+            // retry(): the body declared "nothing I read lets me proceed".
+            // Roll back and park instead of racing. The attempt is booked
+            // under AbortReason::Retry (a requested wait, not contention),
+            // and deliberately skips the contention manager's on_aborted /
+            // loser backoff and the starvation streak.
+            if handle.ctx.is_direct() {
+                // The irrevocable lock mode cannot roll anything back; a
+                // retry there is only sound if the attempt was effectively
+                // read-only.
+                assert!(
+                    handle.write_summary == 0
+                        && handle.allocs.is_empty()
+                        && handle.frees.is_empty(),
+                    "retry() in an escalated (exclusive lock-mode) attempt \
+                     requires a read-only body: irrevocable writes cannot be \
+                     rolled back"
+                );
+            } else {
+                handle.ctx.abort(view.tm());
+            }
+            handle.charge_pending().await;
+            handle.set_abort_cause(AbortReason::Retry, ConflictSite::None);
+            retry_accum |= handle.read_summary;
+            handle.finish(false);
+            cm_tx = handle.cm_tx;
+            alt = std::mem::take(&mut handle.alt);
+            drop(handle);
+            // Quota-release-on-park: admission drops *before* the park, so
+            // a sleeping transaction never occupies a gate slot another
+            // transaction (possibly its would-be waker) could use.
+            drop(gate_guard);
+            if alt.restart {
+                // An or_else alternative flipped: re-run immediately to
+                // try the other branch; no park yet.
+                last_abort_at = Some(rt.now());
+                continue;
+            }
+            // Every alternative blocked: park on the union of their read
+            // sets. An empty union (the body read nothing before retrying)
+            // parks on every bucket — only *some* commit can change its
+            // world.
+            let key = if retry_accum == 0 {
+                u64::MAX
+            } else {
+                retry_accum
+            };
+            let epoch0 = group_epoch.take().unwrap_or(begin_epoch);
+            retry_accum = 0;
+            rec.record(
+                rt.now(),
+                EventKind::Park {
+                    view: vid,
+                    summary: key,
+                },
+            );
+            let parked_at = rt.now();
+            let park_outcome = view.waits().park(rt, key, epoch0, PARK_TIMEOUT).await;
+            let waited = rt.now().saturating_sub(parked_at);
+            view.hists().parked_wait.record(waited);
+            view.tm().stats().record_parked_wait(rt.thread_index());
+            match park_outcome {
+                ParkOutcome::Woken | ParkOutcome::SkippedStale => {
+                    rec.record(rt.now(), EventKind::Wake { view: vid, waited });
+                }
+                ParkOutcome::TimedOut => {
+                    // The wakeup never came (writer bug, or a workload
+                    // where nothing ever commits here). Surface it on the
+                    // trace and the counters, then fall back to an
+                    // ordinary re-run; repeated timeouts bump the
+                    // starvation streak so the watchdog escalates instead
+                    // of the task hanging silently.
+                    view.tm().stats().record_lost_wakeup(rt.thread_index());
+                    rec.record(rt.now(), EventKind::LostWakeup { view: vid, waited });
+                    streak += 1;
+                    view.tm()
+                        .stats()
+                        .record_abort_streak(rt.thread_index(), streak);
+                }
+            }
+            last_abort_at = Some(rt.now());
+            continue;
+        }
 
         // Abort: roll back, decrease P, reacquire (paper release step 1).
         assert!(
@@ -894,6 +1164,12 @@ where
         drop(handle);
         drop(gate_guard);
         last_abort_at = Some(rt.now());
+        // A non-retry abort dissolves the retry group: the world changed
+        // under us, so the next retry (if any) starts a fresh read-set
+        // union, epoch snapshot, and alternative selection.
+        retry_accum = 0;
+        group_epoch = None;
+        alt = AltCtl::default();
 
         if cm.active() {
             // Bank the wasted work (Karma's account) and serve the loser's

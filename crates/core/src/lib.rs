@@ -33,12 +33,12 @@
 //! those awaits resolve immediately.
 //!
 //! ```
-//! use votm::{Votm, VotmConfig};
+//! use votm::{atomically, Votm};
 //! use votm_rac::QuotaMode;
 //! use votm_sim::{SimConfig, SimExecutor};
 //! use votm_stm::Addr;
 //!
-//! let sys = Votm::new(VotmConfig::default());
+//! let sys = Votm::builder().build();
 //! let counter = sys.create_view(16, QuotaMode::Adaptive);
 //! let view = counter.clone();
 //!
@@ -47,7 +47,7 @@
 //!     let view = view.clone();
 //!     ex.spawn(move |rt| async move {
 //!         for _ in 0..10 {
-//!             view.transact(&rt, async |tx| {
+//!             atomically(&view, &rt, async |tx| {
 //!                 let v = tx.read(Addr(0)).await?;
 //!                 tx.write(Addr(0), v + 1).await
 //!             })
@@ -58,16 +58,42 @@
 //! ex.run();
 //! assert_eq!(counter.heap().load(Addr(0)), 40);
 //! ```
+//!
+//! # Blocking transactions
+//!
+//! [`TxHandle::retry`] and [`TxHandle::or_else`] give bodies Haskell-STM
+//! blocking semantics: a body that finds the state unusable parks (keyed by
+//! its read set) instead of spinning, and is woken by the first commit that
+//! writes something it read. See `votm-ds`'s `BoundedBuffer` for the
+//! canonical producer/consumer use.
 
 #![warn(missing_docs)]
 
+mod error;
 mod handle;
 mod system;
 mod view;
+mod wait;
 
+pub use error::TxError;
 pub use handle::{HeapExhausted, TxAbort, TxHandle};
-pub use system::{Votm, VotmConfig};
+pub use system::{Votm, VotmBuilder, VotmConfig};
 pub use view::{View, ViewStats};
+
+use votm_sim::Rt;
+
+/// Runs `body` as one atomic transaction against `view` — the Haskell-STM
+/// shaped convenience front door, equivalent to [`View::transact`]:
+///
+/// ```ignore
+/// let v = atomically(&view, &rt, async |tx| tx.read(addr).await).await;
+/// ```
+pub async fn atomically<T, F>(view: &View, rt: &Rt, body: F) -> T
+where
+    F: for<'h> AsyncFnMut(&'h mut TxHandle<'_>) -> Result<T, TxError>,
+{
+    view.transact(rt, body).await
+}
 
 // Re-export the vocabulary types callers need so `votm` is self-sufficient.
 pub use votm_obs::{AbortReason, EventKind, FlightRecorder, RecorderHandle, ThreadTrace};

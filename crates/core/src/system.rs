@@ -74,8 +74,26 @@ pub struct Votm {
 }
 
 impl Votm {
-    /// Creates an empty system.
+    /// Creates an empty system from a raw config struct.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use the typed front door: `Votm::builder().algo(..).policy(..).clock(..).build()`"
+    )]
     pub fn new(config: VotmConfig) -> Self {
+        Self::from_config(config)
+    }
+
+    /// The builder front door: `Votm::builder().algo(..).policy(..)
+    /// .clock(..).build()`. Every knob defaults to the paper's baseline
+    /// ([`VotmConfig::default`]), so `Votm::builder().build()` is a valid
+    /// minimal system.
+    pub fn builder() -> VotmBuilder {
+        VotmBuilder {
+            config: VotmConfig::default(),
+        }
+    }
+
+    fn from_config(config: VotmConfig) -> Self {
         Self {
             config,
             views: Mutex::new(Vec::new()),
@@ -154,6 +172,83 @@ impl Votm {
     }
 }
 
+/// Builder for a [`Votm`] system — the single typed entry point.
+///
+/// ```
+/// use votm::Votm;
+/// use votm_rac::CmPolicy;
+/// use votm_stm::{ClockKind, TmAlgorithm};
+///
+/// let sys = Votm::builder()
+///     .algo(TmAlgorithm::OrecEagerRedo)
+///     .policy(CmPolicy::Karma)
+///     .clock(ClockKind::Global)
+///     .threads(8)
+///     .build();
+/// assert_eq!(sys.config().n_threads, 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VotmBuilder {
+    config: VotmConfig,
+}
+
+impl VotmBuilder {
+    /// TM algorithm every view runs (overridable per view via
+    /// [`Votm::create_view_with_algorithm`]).
+    pub fn algo(mut self, algorithm: TmAlgorithm) -> Self {
+        self.config.algorithm = algorithm;
+        self
+    }
+
+    /// The maximum number of threads `N` — adaptive quotas start here.
+    pub fn threads(mut self, n_threads: u32) -> Self {
+        self.config.n_threads = n_threads;
+        self
+    }
+
+    /// Contention-management policy for every view.
+    pub fn policy(mut self, contention: CmPolicy) -> Self {
+        self.config.contention = contention;
+        self
+    }
+
+    /// Clock strategy for every view's TM version/sequence clock.
+    pub fn clock(mut self, clock: ClockKind) -> Self {
+        self.config.clock = clock;
+        self
+    }
+
+    /// Tuning for adaptive RAC controllers.
+    pub fn controller(mut self, controller: ControllerConfig) -> Self {
+        self.config.controller = controller;
+        self
+    }
+
+    /// Reserve factor for `brk_view` heap growth (1 disables growth).
+    pub fn reserve_factor(mut self, reserve_factor: usize) -> Self {
+        self.config.reserve_factor = reserve_factor;
+        self
+    }
+
+    /// Starvation watchdog threshold `K`: `Some(K)` escalates a
+    /// transaction to exclusive admission after `K` consecutive aborts.
+    pub fn escalate_after(mut self, escalate_after: Option<u32>) -> Self {
+        self.config.escalate_after = escalate_after;
+        self
+    }
+
+    /// Flight recorder shared by every view created on this system.
+    pub fn recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.config.recorder = Some(recorder);
+        self
+    }
+
+    /// Builds the system.
+    pub fn build(self) -> Votm {
+        Votm::from_config(self.config)
+    }
+}
+
 impl std::fmt::Debug for Votm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Votm")
@@ -170,7 +265,7 @@ mod tests {
 
     #[test]
     fn create_and_lookup_views() {
-        let sys = Votm::new(VotmConfig::default());
+        let sys = Votm::builder().build();
         let a = sys.create_view(64, QuotaMode::Adaptive);
         let b = sys.create_view(64, QuotaMode::Fixed(4));
         assert_eq!(a.id(), 0);
@@ -182,7 +277,7 @@ mod tests {
 
     #[test]
     fn destroy_removes_from_registry_but_keeps_arc_alive() {
-        let sys = Votm::new(VotmConfig::default());
+        let sys = Votm::builder().build();
         let a = sys.create_view(64, QuotaMode::Adaptive);
         sys.destroy_view(&a);
         assert!(sys.view(0).is_none());
@@ -193,10 +288,7 @@ mod tests {
 
     #[test]
     fn fixed_quota_is_applied() {
-        let sys = Votm::new(VotmConfig {
-            n_threads: 16,
-            ..Default::default()
-        });
+        let sys = Votm::builder().threads(16).build();
         let v = sys.create_view(16, QuotaMode::Fixed(4));
         assert_eq!(v.gate().quota(), 4);
         let w = sys.create_view(16, QuotaMode::Adaptive);
@@ -205,10 +297,7 @@ mod tests {
 
     #[test]
     fn per_view_algorithm_override() {
-        let sys = Votm::new(VotmConfig {
-            algorithm: TmAlgorithm::NOrec,
-            ..Default::default()
-        });
+        let sys = Votm::builder().algo(TmAlgorithm::NOrec).build();
         let a = sys.create_view(16, QuotaMode::Adaptive);
         let b = sys.create_view_with_algorithm(16, QuotaMode::Adaptive, TmAlgorithm::OrecEagerRedo);
         assert!(format!("{a:?}").contains("NOrec"));
@@ -217,10 +306,7 @@ mod tests {
 
     #[test]
     fn reserve_factor_enables_brk() {
-        let sys = Votm::new(VotmConfig {
-            reserve_factor: 4,
-            ..Default::default()
-        });
+        let sys = Votm::builder().reserve_factor(4).build();
         let v = sys.create_view(16, QuotaMode::Adaptive);
         assert_eq!(v.brk_view(16), Some(32), "brk within 4x reserve");
     }

@@ -9,7 +9,9 @@ use votm_rac::{
 use votm_sim::Rt;
 use votm_stm::{Addr, ClockKind, ClockStats, StatsSnapshot, TmAlgorithm, TmInstance};
 
-use crate::handle::{drive_transaction, TxAbort, TxHandle};
+use crate::error::TxError;
+use crate::handle::{drive_transaction, TxHandle};
+use crate::wait::WaitTable;
 
 /// One view of shared memory.
 ///
@@ -28,6 +30,8 @@ pub struct View {
     recorder: Option<Arc<FlightRecorder>>,
     /// Contention-management runtime (policy + shared doom/priority slots).
     cm: CmInstance,
+    /// Parked blocking transactions (`retry`), keyed by read-set summary.
+    waits: WaitTable,
 }
 
 impl View {
@@ -72,6 +76,7 @@ impl View {
             // The windowed-greedy draw seed derives from the view id only,
             // so identically-seeded runs replay identically.
             cm: CmInstance::new(contention, n_threads, 0x9e37_79b9_7f4a_7c15 ^ id as u64),
+            waits: WaitTable::new(),
         }
     }
 
@@ -102,6 +107,11 @@ impl View {
     /// The view's contention-management runtime.
     pub(crate) fn cm(&self) -> &CmInstance {
         &self.cm
+    }
+
+    /// The view's wakeup table for parked blocking transactions.
+    pub(crate) fn waits(&self) -> &WaitTable {
+        &self.waits
     }
 
     /// Which contention-management policy this view runs.
@@ -174,10 +184,13 @@ impl View {
     ///
     /// The body may be re-executed any number of times; it must be free of
     /// side effects other than through the [`TxHandle`]. Returns the body's
-    /// value from the attempt that committed.
+    /// value from the attempt that committed. A body that returns
+    /// [`TxError::Retry`] (via [`TxHandle::retry`]) *blocks*: the task
+    /// parks until another transaction commits a write intersecting the
+    /// body's read set, then re-runs.
     pub async fn transact<T, F>(&self, rt: &Rt, body: F) -> T
     where
-        F: for<'h> AsyncFnMut(&'h mut TxHandle<'_>) -> Result<T, TxAbort>,
+        F: for<'h> AsyncFnMut(&'h mut TxHandle<'_>) -> Result<T, TxError>,
     {
         drive_transaction(self, rt, false, body).await
     }
@@ -187,7 +200,7 @@ impl View {
     /// both algorithms.
     pub async fn transact_ro<T, F>(&self, rt: &Rt, body: F) -> T
     where
-        F: for<'h> AsyncFnMut(&'h mut TxHandle<'_>) -> Result<T, TxAbort>,
+        F: for<'h> AsyncFnMut(&'h mut TxHandle<'_>) -> Result<T, TxError>,
     {
         drive_transaction(self, rt, true, body).await
     }

@@ -22,7 +22,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use votm::{AbortReason, Addr, CmPolicy, QuotaMode, TmAlgorithm, Votm, VotmConfig};
+use votm::{AbortReason, Addr, CmPolicy, QuotaMode, TmAlgorithm, Votm};
 use votm_sim::{FaultPlan, RunStatus, SimConfig, SimExecutor};
 
 /// Words the victim must write-lock, one camping short per word.
@@ -55,13 +55,12 @@ struct Duel {
 /// the window between its reads and its lock acquisitions.
 fn starvation_duel(policy: CmPolicy, seed: u64, escalate_after: Option<u32>) -> Duel {
     let n_threads = (1 + HOT_WORDS) as u32;
-    let sys = Votm::new(VotmConfig {
-        algorithm: TmAlgorithm::OrecEagerRedo,
-        n_threads,
-        contention: policy,
-        escalate_after,
-        ..Default::default()
-    });
+    let sys = Votm::builder()
+        .algo(TmAlgorithm::OrecEagerRedo)
+        .threads(n_threads)
+        .policy(policy)
+        .escalate_after(escalate_after)
+        .build();
     let view = sys.create_view(64, QuotaMode::Fixed(n_threads));
     let done = Arc::new(AtomicBool::new(false));
     let attempts = Arc::new(AtomicU64::new(0));
@@ -204,12 +203,11 @@ fn symmetric_small_interleavings_complete_under_every_policy() {
                     1 => TmAlgorithm::NOrec,
                     _ => TmAlgorithm::OrecLazy,
                 };
-                let sys = Votm::new(VotmConfig {
-                    algorithm: algo,
-                    n_threads: threads,
-                    contention: policy,
-                    ..Default::default()
-                });
+                let sys = Votm::builder()
+                    .algo(algo)
+                    .threads(threads)
+                    .policy(policy)
+                    .build();
                 let view = sys.create_view(16, QuotaMode::Fixed(threads));
                 let mut ex = SimExecutor::new(SimConfig {
                     seed,
@@ -252,12 +250,11 @@ fn symmetric_small_interleavings_complete_under_every_policy() {
 /// the per-reason abort statistics.
 #[test]
 fn doomed_transactions_convert_the_mark_into_a_cm_killed_abort() {
-    let sys = Votm::new(VotmConfig {
-        algorithm: TmAlgorithm::OrecEagerRedo,
-        n_threads: 2,
-        contention: CmPolicy::Karma,
-        ..Default::default()
-    });
+    let sys = Votm::builder()
+        .algo(TmAlgorithm::OrecEagerRedo)
+        .threads(2)
+        .policy(CmPolicy::Karma)
+        .build();
     let view = sys.create_view(64, QuotaMode::Fixed(2));
     let mut ex = SimExecutor::new(SimConfig {
         seed: 9,

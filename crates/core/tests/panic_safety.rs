@@ -7,15 +7,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use votm::{Addr, QuotaMode, TmAlgorithm, View, Votm, VotmConfig};
+use votm::{Addr, QuotaMode, TmAlgorithm, TxError, View, Votm};
 use votm_sim::{FaultPlan, PanicPolicy, RunStatus, SimConfig, SimExecutor};
 
 fn sys(algo: TmAlgorithm, n_threads: u32) -> Votm {
-    Votm::new(VotmConfig {
-        algorithm: algo,
-        n_threads,
-        ..Default::default()
-    })
+    Votm::builder().algo(algo).threads(n_threads).build()
 }
 
 /// Runs one increment transaction against `view` on a fresh executor and
@@ -231,7 +227,7 @@ fn alloc_then_abort_conserves_heap_occupancy() {
                     tx.write(addr, 7).await?;
                     if failures < ABORTS_EACH {
                         failures += 1;
-                        return Err(votm::TxAbort);
+                        return Err(TxError::Abort(votm::AbortReason::Explicit));
                     }
                     // Final attempt: free our own allocation at commit so
                     // the committed state is also occupancy-neutral.
@@ -262,15 +258,14 @@ fn alloc_then_abort_conserves_heap_occupancy() {
 }
 
 /// `alloc` grows the view once via `brk_view` before failing; exhaustion is
-/// an error value, not a panic, and converts to a retryable [`votm::TxAbort`].
+/// an error value, not a panic, and converts to a retryable [`TxError`].
 #[test]
 fn alloc_exhaustion_is_fallible_not_fatal() {
-    let system = Votm::new(VotmConfig {
-        algorithm: TmAlgorithm::NOrec,
-        n_threads: 1,
-        reserve_factor: 2, // one doubling available to brk_view
-        ..Default::default()
-    });
+    let system = Votm::builder()
+        .algo(TmAlgorithm::NOrec)
+        .threads(1)
+        .reserve_factor(2) // one doubling available to brk_view
+        .build();
     let view = system.create_view(64, QuotaMode::Unrestricted);
     let outcome = Arc::new(AtomicU64::new(0));
     let out2 = Arc::clone(&outcome);
@@ -285,10 +280,11 @@ fn alloc_exhaustion_is_fallible_not_fatal() {
             let b = tx.alloc(60).expect("fits after automatic brk growth");
             // A third cannot fit even with growth: error, not panic.
             match tx.alloc(200) {
-                Err(e) => {
-                    assert_eq!(e.requested_words, 200);
+                Err(TxError::HeapExhausted { requested_words }) => {
+                    assert_eq!(requested_words, 200);
                     out2.store(1, Ordering::Relaxed);
                 }
+                Err(e) => panic!("expected HeapExhausted, got {e:?}"),
                 Ok(_) => panic!("200 words cannot fit in a 128-word view"),
             }
             tx.free(a);

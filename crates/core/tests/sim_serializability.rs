@@ -7,7 +7,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use votm::{Addr, ClockKind, CmPolicy, QuotaMode, TmAlgorithm, Votm, VotmConfig};
+use votm::{Addr, ClockKind, CmPolicy, QuotaMode, TmAlgorithm, Votm};
 use votm_sim::{RunStatus, SimConfig, SimExecutor};
 use votm_utils::Mutex;
 use votm_utils::SplitMix64;
@@ -55,13 +55,12 @@ fn run_with_clock(
     contention: CmPolicy,
     clock: ClockKind,
 ) {
-    let sys = Votm::new(VotmConfig {
-        algorithm: algo,
-        n_threads: threads as u32,
-        contention,
-        clock,
-        ..Default::default()
-    });
+    let sys = Votm::builder()
+        .algo(algo)
+        .threads(threads as u32)
+        .policy(contention)
+        .clock(clock)
+        .build();
     let view = sys.create_view(128, quota);
     let log: Arc<Mutex<Vec<TxLog>>> = Arc::new(Mutex::new(Vec::new()));
 

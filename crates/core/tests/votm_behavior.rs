@@ -3,15 +3,11 @@
 
 use std::sync::Arc;
 
-use votm::{Addr, QuotaMode, TmAlgorithm, Votm, VotmConfig};
+use votm::{Addr, QuotaMode, TmAlgorithm, TxError, Votm};
 use votm_sim::{run_parallel, RunOutcome, RunStatus, SimConfig, SimExecutor};
 
 fn sys(algo: TmAlgorithm, n_threads: u32) -> Votm {
-    Votm::new(VotmConfig {
-        algorithm: algo,
-        n_threads,
-        ..Default::default()
-    })
+    Votm::builder().algo(algo).threads(n_threads).build()
 }
 
 /// Spawns `n` sim threads each running `iters` increment transactions.
@@ -155,7 +151,7 @@ fn aborted_transactions_roll_back_allocations() {
                 if first {
                     first = false;
                     // Simulate a conflict: explicit abort on attempt 1.
-                    return Err(votm::TxAbort);
+                    return Err(TxError::Abort(votm::AbortReason::Explicit));
                 }
                 tx.write(Addr(0), v + 1).await?;
                 tx.write(Addr(1), node.0 as u64).await
@@ -185,7 +181,7 @@ fn transactional_free_is_deferred_to_commit() {
                 tx.free(block);
                 if first {
                     first = false;
-                    return Err(votm::TxAbort); // freed block must survive
+                    return Err(TxError::Abort(votm::AbortReason::Explicit)); // freed block must survive
                 }
                 Ok(())
             })
@@ -202,15 +198,14 @@ fn transactional_free_is_deferred_to_commit() {
 #[test]
 fn orec_hotspot_livelocks_without_rac_and_survives_with_it() {
     fn hot_run(quota: QuotaMode, cap: u64) -> (RunStatus, u32) {
-        let system = Votm::new(VotmConfig {
-            algorithm: TmAlgorithm::OrecEagerRedo,
-            n_threads: 16,
-            controller: votm_rac::ControllerConfig {
+        let system = Votm::builder()
+            .algo(TmAlgorithm::OrecEagerRedo)
+            .threads(16)
+            .controller(votm_rac::ControllerConfig {
                 window_attempts: 64,
                 ..Default::default()
-            },
-            ..Default::default()
-        });
+            })
+            .build();
         let view = system.create_view(64, quota);
         let mut ex = SimExecutor::new(SimConfig {
             vtime_cap: Some(cap),
@@ -259,15 +254,14 @@ fn orec_hotspot_livelocks_without_rac_and_survives_with_it() {
 /// independent low-contention view.
 #[test]
 fn multi_view_isolates_contention() {
-    let system = Votm::new(VotmConfig {
-        algorithm: TmAlgorithm::OrecEagerRedo,
-        n_threads: 8,
-        controller: votm_rac::ControllerConfig {
+    let system = Votm::builder()
+        .algo(TmAlgorithm::OrecEagerRedo)
+        .threads(8)
+        .controller(votm_rac::ControllerConfig {
             window_attempts: 32,
             ..Default::default()
-        },
-        ..Default::default()
-    });
+        })
+        .build();
     let hot = system.create_view(16, QuotaMode::Adaptive);
     let cold = system.create_view(4096, QuotaMode::Adaptive);
     let mut ex = SimExecutor::new(SimConfig {

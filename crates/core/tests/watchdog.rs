@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use votm::{Addr, ClockKind, QuotaMode, TmAlgorithm, Votm, VotmConfig};
+use votm::{Addr, ClockKind, QuotaMode, TmAlgorithm, Votm};
 use votm_sim::{FaultPlan, Notify, RunStatus, SimConfig, SimExecutor};
 
 /// An adversarial fault plan that aborts *every* transactional fault point:
@@ -26,12 +26,11 @@ fn escalation_rescues_transactions_from_certain_starvation() {
     const ITERS: u64 = 5;
     const K: u32 = 3;
     for algo in [TmAlgorithm::NOrec, TmAlgorithm::OrecEagerRedo] {
-        let system = Votm::new(VotmConfig {
-            algorithm: algo,
-            n_threads: TASKS as u32,
-            escalate_after: Some(K),
-            ..Default::default()
-        });
+        let system = Votm::builder()
+            .algo(algo)
+            .threads(TASKS as u32)
+            .escalate_after(Some(K))
+            .build();
         let view = system.create_view(64, QuotaMode::Fixed(TASKS as u32));
         let mut ex = SimExecutor::new(SimConfig {
             fault_plan: Some(always_abort(11)),
@@ -69,12 +68,11 @@ fn escalation_rescues_transactions_from_certain_starvation() {
 /// off: livelock under contention is a phenomenon the paper measures.)
 #[test]
 fn without_escalation_the_same_adversary_starves_the_run() {
-    let system = Votm::new(VotmConfig {
-        algorithm: TmAlgorithm::NOrec,
-        n_threads: 2,
-        escalate_after: None,
-        ..Default::default()
-    });
+    let system = Votm::builder()
+        .algo(TmAlgorithm::NOrec)
+        .threads(2)
+        .escalate_after(None)
+        .build();
     let view = system.create_view(64, QuotaMode::Fixed(2));
     let mut ex = SimExecutor::new(SimConfig {
         fault_plan: Some(always_abort(11)),
@@ -124,12 +122,11 @@ fn unrelated_commits_cannot_mask_a_starving_transaction() {
     const K: u32 = 5;
     const NEIGHBOURS: u64 = 3;
     const NEIGHBOUR_ITERS: u64 = 40;
-    let system = Votm::new(VotmConfig {
-        algorithm: TmAlgorithm::NOrec,
-        n_threads: 1 + NEIGHBOURS as u32,
-        escalate_after: Some(K),
-        ..Default::default()
-    });
+    let system = Votm::builder()
+        .algo(TmAlgorithm::NOrec)
+        .threads(1 + NEIGHBOURS as u32)
+        .escalate_after(Some(K))
+        .build();
     let view = system.create_view(64, QuotaMode::Fixed(1 + NEIGHBOURS as u32));
     let mut ex = SimExecutor::new(SimConfig {
         fault_plan: Some(FaultPlan {
@@ -196,13 +193,12 @@ fn escalation_flushes_the_epoch_clocks_banked_bumps() {
         TmAlgorithm::OrecEagerRedo,
         TmAlgorithm::OrecLazy,
     ] {
-        let system = Votm::new(VotmConfig {
-            algorithm: algo,
-            n_threads: 2,
-            escalate_after: Some(K),
-            clock: ClockKind::Epoch,
-            ..Default::default()
-        });
+        let system = Votm::builder()
+            .algo(algo)
+            .threads(2)
+            .escalate_after(Some(K))
+            .clock(ClockKind::Epoch)
+            .build();
         let view = system.create_view(64, QuotaMode::Fixed(2));
 
         // Phase one: M sequential solo commits, each of which the epoch
@@ -262,11 +258,7 @@ fn escalation_flushes_the_epoch_clocks_banked_bumps() {
 /// and — via the stall probe — a gate P/Q snapshot for each.
 #[test]
 fn deadlock_diagnostics_include_gate_snapshot() {
-    let system = Votm::new(VotmConfig {
-        algorithm: TmAlgorithm::NOrec,
-        n_threads: 2,
-        ..Default::default()
-    });
+    let system = Votm::builder().algo(TmAlgorithm::NOrec).threads(2).build();
     let view = system.create_view(64, QuotaMode::Fixed(1));
     let stuck = Arc::new(Notify::new());
 

@@ -12,7 +12,7 @@
 //! collide — this is the paper's canonical *low-contention* object, in
 //! contrast to the queue.
 
-use votm::{Addr, TxAbort, TxHandle, View};
+use votm::{Addr, TxError, TxHandle, View};
 use votm_utils::hash_u64;
 
 const H_BUCKETS: u32 = 0;
@@ -37,11 +37,11 @@ fn dec(word: u64) -> Addr {
 /// Handle to a hash map living inside a view's heap.
 ///
 /// ```
-/// use votm::{Votm, VotmConfig, QuotaMode};
+/// use votm::{Votm, QuotaMode};
 /// use votm_ds::TxHashMap;
 /// use votm_sim::{SimExecutor, SimConfig};
 ///
-/// let sys = Votm::new(VotmConfig::default());
+/// let sys = Votm::builder().build();
 /// let view = sys.create_view(4096, QuotaMode::Adaptive);
 /// let map = TxHashMap::create(&view, 64);
 /// let mut ex = SimExecutor::new(SimConfig::default());
@@ -102,7 +102,7 @@ impl TxHashMap {
         tx: &mut TxHandle<'_>,
         key: u64,
         value: u64,
-    ) -> Result<Option<u64>, TxAbort> {
+    ) -> Result<Option<u64>, TxError> {
         let slot = self.bucket_slot(key);
         let mut curr = dec(tx.read(slot).await?);
         while !curr.is_null() {
@@ -125,7 +125,7 @@ impl TxHashMap {
     }
 
     /// Looks up `key`.
-    pub async fn get(&self, tx: &mut TxHandle<'_>, key: u64) -> Result<Option<u64>, TxAbort> {
+    pub async fn get(&self, tx: &mut TxHandle<'_>, key: u64) -> Result<Option<u64>, TxError> {
         let mut curr = dec(tx.read(self.bucket_slot(key)).await?);
         while !curr.is_null() {
             if tx.read(curr.offset(N_KEY)).await? == key {
@@ -137,7 +137,7 @@ impl TxHashMap {
     }
 
     /// Removes `key`; returns its value if present.
-    pub async fn remove(&self, tx: &mut TxHandle<'_>, key: u64) -> Result<Option<u64>, TxAbort> {
+    pub async fn remove(&self, tx: &mut TxHandle<'_>, key: u64) -> Result<Option<u64>, TxError> {
         let slot = self.bucket_slot(key);
         let mut prev: Option<Addr> = None;
         let mut curr = dec(tx.read(slot).await?);
@@ -161,12 +161,12 @@ impl TxHashMap {
     }
 
     /// Number of live entries.
-    pub async fn len(&self, tx: &mut TxHandle<'_>) -> Result<u64, TxAbort> {
+    pub async fn len(&self, tx: &mut TxHandle<'_>) -> Result<u64, TxError> {
         tx.read(self.header.offset(H_SIZE)).await
     }
 
     /// True when no entries are present.
-    pub async fn is_empty(&self, tx: &mut TxHandle<'_>) -> Result<bool, TxAbort> {
+    pub async fn is_empty(&self, tx: &mut TxHandle<'_>) -> Result<bool, TxError> {
         Ok(self.len(tx).await? == 0)
     }
 }
@@ -175,12 +175,12 @@ impl TxHashMap {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use votm::{QuotaMode, TmAlgorithm, Votm, VotmConfig};
+    use votm::{QuotaMode, TmAlgorithm, Votm};
     use votm_sim::{RunStatus, SimConfig, SimExecutor};
 
     #[test]
     fn insert_get_update_remove() {
-        let sys = Votm::new(VotmConfig::default());
+        let sys = Votm::builder().build();
         let view = sys.create_view(65_536, QuotaMode::Fixed(1));
         let map = TxHashMap::create(&view, 64);
         let v2 = Arc::clone(&view);
@@ -211,7 +211,7 @@ mod tests {
     fn single_bucket_degenerate_still_correct() {
         // Forces every key into one chain: exercises the prev-pointer path
         // of remove.
-        let sys = Votm::new(VotmConfig::default());
+        let sys = Votm::builder().build();
         let view = sys.create_view(4_096, QuotaMode::Fixed(1));
         let map = TxHashMap::create(&view, 1);
         let before = view.heap().live_blocks();
@@ -238,11 +238,7 @@ mod tests {
     #[test]
     fn concurrent_disjoint_key_inserts_all_land() {
         for algo in TmAlgorithm::ALL {
-            let sys = Votm::new(VotmConfig {
-                algorithm: algo,
-                n_threads: 8,
-                ..Default::default()
-            });
+            let sys = Votm::builder().algo(algo).threads(8).build();
             let view = sys.create_view(262_144, QuotaMode::Fixed(8));
             let map = TxHashMap::create(&view, 256);
             let mut ex = SimExecutor::new(SimConfig::default());

@@ -12,11 +12,13 @@
 
 #![warn(missing_docs)]
 
+pub mod bounded;
 pub mod hashmap;
 pub mod list;
 pub mod queue;
 pub mod treap;
 
+pub use bounded::{BoundedBuffer, Pipeline};
 pub use hashmap::TxHashMap;
 pub use list::TxList;
 pub use queue::TxQueue;

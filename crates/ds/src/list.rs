@@ -14,7 +14,7 @@
 //! conflicts — which is what makes a shared list a good contention
 //! microcosm.
 
-use votm::{Addr, TxAbort, TxHandle, View};
+use votm::{Addr, TxError, TxHandle, View};
 
 const H_HEAD: u32 = 0;
 const HEADER_WORDS: u32 = 1;
@@ -59,7 +59,7 @@ impl TxList {
 
     /// Inserts `key` keeping ascending order (duplicates allowed, matching
     /// the paper's snippet).
-    pub async fn insert(&self, tx: &mut TxHandle<'_>, key: u64) -> Result<(), TxAbort> {
+    pub async fn insert(&self, tx: &mut TxHandle<'_>, key: u64) -> Result<(), TxError> {
         let node = tx.alloc(NODE_WORDS)?;
         tx.write(node.offset(N_KEY), key).await?;
         let head = dec(tx.read(self.header.offset(H_HEAD)).await?);
@@ -83,7 +83,7 @@ impl TxList {
     }
 
     /// True if `key` is present.
-    pub async fn contains(&self, tx: &mut TxHandle<'_>, key: u64) -> Result<bool, TxAbort> {
+    pub async fn contains(&self, tx: &mut TxHandle<'_>, key: u64) -> Result<bool, TxError> {
         let mut curr = dec(tx.read(self.header.offset(H_HEAD)).await?);
         while !curr.is_null() {
             let k = tx.read(curr.offset(N_KEY)).await?;
@@ -100,7 +100,7 @@ impl TxList {
 
     /// Removes one occurrence of `key`; returns whether something was
     /// removed.
-    pub async fn remove(&self, tx: &mut TxHandle<'_>, key: u64) -> Result<bool, TxAbort> {
+    pub async fn remove(&self, tx: &mut TxHandle<'_>, key: u64) -> Result<bool, TxError> {
         let head = dec(tx.read(self.header.offset(H_HEAD)).await?);
         if head.is_null() {
             return Ok(false);
@@ -132,7 +132,7 @@ impl TxList {
     }
 
     /// Collects the keys in order (test/diagnostic helper).
-    pub async fn to_vec(&self, tx: &mut TxHandle<'_>) -> Result<Vec<u64>, TxAbort> {
+    pub async fn to_vec(&self, tx: &mut TxHandle<'_>) -> Result<Vec<u64>, TxError> {
         let mut out = Vec::new();
         let mut curr = dec(tx.read(self.header.offset(H_HEAD)).await?);
         while !curr.is_null() {
@@ -147,12 +147,12 @@ impl TxList {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use votm::{QuotaMode, TmAlgorithm, Votm, VotmConfig};
+    use votm::{QuotaMode, TmAlgorithm, Votm};
     use votm_sim::{RunStatus, SimConfig, SimExecutor};
 
     #[test]
     fn sorted_insert_and_lookup() {
-        let sys = Votm::new(VotmConfig::default());
+        let sys = Votm::builder().build();
         let view = sys.create_view(16_384, QuotaMode::Fixed(1));
         let list = TxList::create(&view);
         let mut ex = SimExecutor::new(SimConfig::default());
@@ -179,7 +179,7 @@ mod tests {
 
     #[test]
     fn remove_head_and_to_empty() {
-        let sys = Votm::new(VotmConfig::default());
+        let sys = Votm::builder().build();
         let view = sys.create_view(4_096, QuotaMode::Fixed(1));
         let list = TxList::create(&view);
         let before = view.heap().live_blocks();
@@ -203,11 +203,7 @@ mod tests {
     #[test]
     fn concurrent_inserts_keep_list_sorted_and_complete() {
         for algo in TmAlgorithm::ALL {
-            let sys = Votm::new(VotmConfig {
-                algorithm: algo,
-                n_threads: 8,
-                ..Default::default()
-            });
+            let sys = Votm::builder().algo(algo).threads(8).build();
             let view = sys.create_view(65_536, QuotaMode::Fixed(8));
             let list = TxList::create(&view);
             let mut ex = SimExecutor::new(SimConfig::default());

@@ -11,7 +11,7 @@
 //! transaction touches `head`, making the queue a natural contention point
 //! that the paper isolates into its own view.
 
-use votm::{Addr, TxAbort, TxHandle, View};
+use votm::{Addr, TxError, TxHandle, View};
 
 const H_HEAD: u32 = 0;
 const H_TAIL: u32 = 1;
@@ -39,11 +39,11 @@ fn dec(word: u64) -> Addr {
 /// logical threads using the same view.
 ///
 /// ```
-/// use votm::{Votm, VotmConfig, QuotaMode};
+/// use votm::{Votm, QuotaMode};
 /// use votm_ds::TxQueue;
 /// use votm_sim::{SimExecutor, SimConfig};
 ///
-/// let sys = Votm::new(VotmConfig::default());
+/// let sys = Votm::builder().build();
 /// let view = sys.create_view(1024, QuotaMode::Adaptive);
 /// let q = TxQueue::create(&view);
 /// let mut ex = SimExecutor::new(SimConfig::default());
@@ -103,7 +103,7 @@ impl TxQueue {
     }
 
     /// Enqueues `value`.
-    pub async fn push_back(&self, tx: &mut TxHandle<'_>, value: u64) -> Result<(), TxAbort> {
+    pub async fn push_back(&self, tx: &mut TxHandle<'_>, value: u64) -> Result<(), TxError> {
         let node = tx.alloc(NODE_WORDS)?;
         tx.write(node.offset(N_NEXT), enc(Addr::NULL)).await?;
         tx.write(node.offset(N_VALUE), value).await?;
@@ -120,7 +120,7 @@ impl TxQueue {
     }
 
     /// Dequeues the oldest value, or `None` if empty.
-    pub async fn pop_front(&self, tx: &mut TxHandle<'_>) -> Result<Option<u64>, TxAbort> {
+    pub async fn pop_front(&self, tx: &mut TxHandle<'_>) -> Result<Option<u64>, TxError> {
         let head = dec(tx.read(self.header.offset(H_HEAD)).await?);
         if head.is_null() {
             return Ok(None);
@@ -138,13 +138,24 @@ impl TxQueue {
         Ok(Some(value))
     }
 
+    /// Pops the front value, **blocking** while the queue is empty: instead
+    /// of the `Ok(None)` poll shape of [`TxQueue::pop_front`], the
+    /// transaction parks (via [`TxHandle::retry`]) until a producer's commit
+    /// makes the queue non-empty.
+    pub async fn pop_front_wait(&self, tx: &mut TxHandle<'_>) -> Result<u64, TxError> {
+        match self.pop_front(tx).await? {
+            Some(value) => Ok(value),
+            None => tx.retry(),
+        }
+    }
+
     /// Current length.
-    pub async fn len(&self, tx: &mut TxHandle<'_>) -> Result<u64, TxAbort> {
+    pub async fn len(&self, tx: &mut TxHandle<'_>) -> Result<u64, TxError> {
         tx.read(self.header.offset(H_LEN)).await
     }
 
     /// True when empty.
-    pub async fn is_empty(&self, tx: &mut TxHandle<'_>) -> Result<bool, TxAbort> {
+    pub async fn is_empty(&self, tx: &mut TxHandle<'_>) -> Result<bool, TxError> {
         Ok(self.len(tx).await? == 0)
     }
 }
@@ -154,15 +165,11 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
-    use votm::{QuotaMode, TmAlgorithm, Votm, VotmConfig};
+    use votm::{QuotaMode, TmAlgorithm, Votm};
     use votm_sim::{RunStatus, SimConfig, SimExecutor};
 
     fn setup(algo: TmAlgorithm, n: u32) -> (Votm, Arc<View>, TxQueue) {
-        let sys = Votm::new(VotmConfig {
-            algorithm: algo,
-            n_threads: n,
-            ..Default::default()
-        });
+        let sys = Votm::builder().algo(algo).threads(n).build();
         let view = sys.create_view(65_536, QuotaMode::Fixed(n));
         let q = TxQueue::create(&view);
         (sys, view, q)

@@ -20,7 +20,7 @@
 //! merge formulation to keep transactional read sets proportional to the
 //! search path.
 
-use votm::{Addr, TxAbort, TxHandle, View};
+use votm::{Addr, TxError, TxHandle, View};
 use votm_utils::hash_u64;
 
 const H_ROOT: u32 = 0;
@@ -51,11 +51,11 @@ fn priority(key: u64) -> u64 {
 /// Handle to a treap living inside a view's heap.
 ///
 /// ```
-/// use votm::{Votm, VotmConfig, QuotaMode};
+/// use votm::{Votm, QuotaMode};
 /// use votm_ds::TxTreap;
 /// use votm_sim::{SimExecutor, SimConfig};
 ///
-/// let sys = Votm::new(VotmConfig::default());
+/// let sys = Votm::builder().build();
 /// let view = sys.create_view(4096, QuotaMode::Adaptive);
 /// let map = TxTreap::create(&view);
 /// let mut ex = SimExecutor::new(SimConfig::default());
@@ -102,7 +102,7 @@ impl TxTreap {
         tx: &mut TxHandle<'_>,
         node: Addr,
         key: u64,
-    ) -> Result<(Addr, Addr), TxAbort> {
+    ) -> Result<(Addr, Addr), TxError> {
         if node.is_null() {
             return Ok((Addr::NULL, Addr::NULL));
         }
@@ -121,7 +121,7 @@ impl TxTreap {
     }
 
     /// Merges two treaps where every key in `lo` < every key in `hi`.
-    async fn merge(&self, tx: &mut TxHandle<'_>, lo: Addr, hi: Addr) -> Result<Addr, TxAbort> {
+    async fn merge(&self, tx: &mut TxHandle<'_>, lo: Addr, hi: Addr) -> Result<Addr, TxError> {
         if lo.is_null() {
             return Ok(hi);
         }
@@ -149,7 +149,7 @@ impl TxTreap {
         tx: &mut TxHandle<'_>,
         key: u64,
         value: u64,
-    ) -> Result<Option<u64>, TxAbort> {
+    ) -> Result<Option<u64>, TxError> {
         // Update in place if present (cheap path, no restructuring).
         let mut curr = dec(tx.read(self.header.offset(H_ROOT)).await?);
         while !curr.is_null() {
@@ -179,7 +179,7 @@ impl TxTreap {
     }
 
     /// Looks up `key`.
-    pub async fn get(&self, tx: &mut TxHandle<'_>, key: u64) -> Result<Option<u64>, TxAbort> {
+    pub async fn get(&self, tx: &mut TxHandle<'_>, key: u64) -> Result<Option<u64>, TxError> {
         let mut curr = dec(tx.read(self.header.offset(H_ROOT)).await?);
         while !curr.is_null() {
             let k = tx.read(curr.offset(N_KEY)).await?;
@@ -193,7 +193,7 @@ impl TxTreap {
     }
 
     /// Removes `key`; returns its value if present.
-    pub async fn remove(&self, tx: &mut TxHandle<'_>, key: u64) -> Result<Option<u64>, TxAbort> {
+    pub async fn remove(&self, tx: &mut TxHandle<'_>, key: u64) -> Result<Option<u64>, TxError> {
         let mut parent: Option<(Addr, u32)> = None;
         let mut curr = dec(tx.read(self.header.offset(H_ROOT)).await?);
         while !curr.is_null() {
@@ -224,7 +224,7 @@ impl TxTreap {
         &self,
         tx: &mut TxHandle<'_>,
         key: u64,
-    ) -> Result<Option<(u64, u64)>, TxAbort> {
+    ) -> Result<Option<(u64, u64)>, TxError> {
         let mut best: Option<(u64, u64)> = None;
         let mut curr = dec(tx.read(self.header.offset(H_ROOT)).await?);
         while !curr.is_null() {
@@ -245,17 +245,17 @@ impl TxTreap {
     }
 
     /// Number of live entries.
-    pub async fn len(&self, tx: &mut TxHandle<'_>) -> Result<u64, TxAbort> {
+    pub async fn len(&self, tx: &mut TxHandle<'_>) -> Result<u64, TxError> {
         tx.read(self.header.offset(H_SIZE)).await
     }
 
     /// True when no entries are present.
-    pub async fn is_empty(&self, tx: &mut TxHandle<'_>) -> Result<bool, TxAbort> {
+    pub async fn is_empty(&self, tx: &mut TxHandle<'_>) -> Result<bool, TxError> {
         Ok(self.len(tx).await? == 0)
     }
 
     /// All `(key, value)` pairs in ascending key order (test/diagnostic).
-    pub async fn to_vec(&self, tx: &mut TxHandle<'_>) -> Result<Vec<(u64, u64)>, TxAbort> {
+    pub async fn to_vec(&self, tx: &mut TxHandle<'_>) -> Result<Vec<(u64, u64)>, TxError> {
         let mut out = Vec::new();
         let root = dec(tx.read(self.header.offset(H_ROOT)).await?);
         // Iterative in-order traversal with an explicit stack.
@@ -280,11 +280,11 @@ impl TxTreap {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use votm::{QuotaMode, TmAlgorithm, Votm, VotmConfig};
+    use votm::{QuotaMode, TmAlgorithm, Votm};
     use votm_sim::{RunStatus, SimConfig, SimExecutor};
 
     fn setup() -> (Votm, Arc<View>, TxTreap) {
-        let sys = Votm::new(VotmConfig::default());
+        let sys = Votm::builder().build();
         let view = sys.create_view(262_144, QuotaMode::Fixed(1));
         let treap = TxTreap::create(&view);
         (sys, view, treap)
@@ -376,11 +376,7 @@ mod tests {
     #[test]
     fn concurrent_disjoint_inserts_all_land_sorted() {
         for algo in TmAlgorithm::ALL {
-            let sys = Votm::new(VotmConfig {
-                algorithm: algo,
-                n_threads: 8,
-                ..Default::default()
-            });
+            let sys = Votm::builder().algo(algo).threads(8).build();
             let view = sys.create_view(262_144, QuotaMode::Fixed(8));
             let t = TxTreap::create(&view);
             let mut ex = SimExecutor::new(SimConfig::default());

@@ -32,8 +32,8 @@
 use std::sync::Arc;
 
 use votm::{
-    Addr, ClockKind, CmPolicy, FlightRecorder, QuotaMode, TmAlgorithm, TxAbort, TxHandle, View,
-    ViewStats, Votm, VotmConfig,
+    Addr, ClockKind, CmPolicy, FlightRecorder, QuotaMode, TmAlgorithm, TxError, TxHandle, View,
+    ViewStats, Votm,
 };
 use votm_sim::{Rt, RunOutcome, SimConfig, SimExecutor};
 use votm_utils::{SplitMix64, XorShift64};
@@ -198,7 +198,7 @@ async fn eigen_tx(
     mild_base: u32,
     mild_lo: u64,
     mild_span: u64,
-) -> Result<(), TxAbort> {
+) -> Result<(), TxError> {
     // Remaining counts per op kind: hot-read, hot-write, mild-read,
     // mild-write; pick proportionally so the interleaving is random but the
     // totals exact.
@@ -383,14 +383,15 @@ pub fn run_sim_clock(
     contention: CmPolicy,
     clock: ClockKind,
 ) -> EigenResult {
-    let sys = Votm::new(VotmConfig {
-        algorithm: algo,
-        n_threads: config.n_threads,
-        recorder,
-        contention,
-        clock,
-        ..Default::default()
-    });
+    let mut b = Votm::builder()
+        .algo(algo)
+        .threads(config.n_threads)
+        .policy(contention)
+        .clock(clock);
+    if let Some(recorder) = recorder {
+        b = b.recorder(recorder);
+    }
+    let sys = b.build();
     let (views, maps) = build_views(&sys, config, version, quotas);
 
     let mut ex = SimExecutor::new(sim);

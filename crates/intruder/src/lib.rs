@@ -31,7 +31,7 @@ pub use packet::{
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use votm::{QuotaMode, TmAlgorithm, TxAbort, TxHandle, ViewStats, Votm, VotmConfig};
+use votm::{QuotaMode, TmAlgorithm, TxError, TxHandle, ViewStats, Votm};
 use votm_ds::{TxHashMap, TxQueue, TxTreap};
 use votm_sim::{Rt, RunOutcome, SimConfig, SimExecutor};
 
@@ -74,7 +74,7 @@ enum Dict {
 }
 
 impl Dict {
-    async fn get(&self, tx: &mut TxHandle<'_>, key: u64) -> Result<Option<u64>, TxAbort> {
+    async fn get(&self, tx: &mut TxHandle<'_>, key: u64) -> Result<Option<u64>, TxError> {
         match self {
             Dict::Hash(m) => m.get(tx, key).await,
             Dict::Ordered(t) => t.get(tx, key).await,
@@ -86,14 +86,14 @@ impl Dict {
         tx: &mut TxHandle<'_>,
         key: u64,
         value: u64,
-    ) -> Result<Option<u64>, TxAbort> {
+    ) -> Result<Option<u64>, TxError> {
         match self {
             Dict::Hash(m) => m.insert(tx, key, value).await,
             Dict::Ordered(t) => t.insert(tx, key, value).await,
         }
     }
 
-    async fn remove(&self, tx: &mut TxHandle<'_>, key: u64) -> Result<Option<u64>, TxAbort> {
+    async fn remove(&self, tx: &mut TxHandle<'_>, key: u64) -> Result<Option<u64>, TxError> {
         match self {
             Dict::Hash(m) => m.remove(tx, key).await,
             Dict::Ordered(t) => t.remove(tx, key).await,
@@ -162,7 +162,7 @@ async fn decode(
     map: &Dict,
     pkt: &Packet,
     idx: u64,
-) -> Result<Option<Vec<u64>>, TxAbort> {
+) -> Result<Option<Vec<u64>>, TxError> {
     let flow = pkt.flow_id;
     // Fragment copy + list maintenance: thread-local work that occupies the
     // transaction without touching shared words (flows are disjoint, so
@@ -237,11 +237,7 @@ pub fn run_sim_with_dict(
     sim: SimConfig,
     dict_kind: DictKind,
 ) -> IntruderResult {
-    let sys = Votm::new(VotmConfig {
-        algorithm: algo,
-        n_threads,
-        ..Default::default()
-    });
+    let sys = Votm::builder().algo(algo).threads(n_threads).build();
 
     let n_packets = input.packets.len() as u64;
     let queue_words = (16 + n_packets * 2) as usize;

@@ -131,6 +131,32 @@ pub enum EventKind {
         /// Bitmap of buckets the attempt wrote.
         writes: u64,
     },
+    /// The thread parked on `view`'s wakeup table after its transaction
+    /// called `retry()`. `summary` is the Bloom read-summary key the wait
+    /// record was registered under (bit `i` set ⇒ waiting on bucket `i`).
+    Park {
+        /// View whose wakeup table holds the wait record.
+        view: u16,
+        /// Bloom read-summary bits the waiter is keyed on.
+        summary: u64,
+    },
+    /// A parked thread was woken by a committing writer whose write summary
+    /// intersected its wait key, after `waited` cycles.
+    Wake {
+        /// View whose wakeup table delivered the wake.
+        view: u16,
+        /// Cycles spent parked.
+        waited: u64,
+    },
+    /// A park timed out without a matching commit: either a wakeup was lost
+    /// (a bug this event exists to surface) or nothing ever wrote the read
+    /// set. The parked transaction re-runs instead of hanging.
+    LostWakeup {
+        /// View whose wakeup table timed out the wait record.
+        view: u16,
+        /// Cycles spent parked before the timeout fired.
+        waited: u64,
+    },
 }
 
 /// Number of address buckets the profiler folds a view's heap into.
@@ -208,6 +234,9 @@ const TAG_FAULT: u8 = 7;
 const TAG_CM_KILL: u8 = 8;
 const TAG_CONFLICT: u8 = 9;
 const TAG_FOOTPRINT: u8 = 10;
+const TAG_PARK: u8 = 11;
+const TAG_WAKE: u8 = 12;
+const TAG_LOST_WAKEUP: u8 = 13;
 
 impl EventKind {
     /// Encodes the kind into the three payload words `[meta, a, b]`.
@@ -282,6 +311,9 @@ impl EventKind {
                 reads,
                 writes,
             ],
+            EventKind::Park { view, summary } => [meta(TAG_PARK, view), summary, 0],
+            EventKind::Wake { view, waited } => [meta(TAG_WAKE, view), waited, 0],
+            EventKind::LostWakeup { view, waited } => [meta(TAG_LOST_WAKEUP, view), waited, 0],
         }
     }
 
@@ -333,6 +365,9 @@ impl EventKind {
                 reads: a,
                 writes: b,
             },
+            TAG_PARK => EventKind::Park { view, summary: a },
+            TAG_WAKE => EventKind::Wake { view, waited: a },
+            TAG_LOST_WAKEUP => EventKind::LostWakeup { view, waited: a },
             _ => EventKind::TxBegin { view },
         }
     }
@@ -350,7 +385,10 @@ impl EventKind {
             | EventKind::Fault { view, .. }
             | EventKind::CmKill { view, .. }
             | EventKind::ConflictDetected { view, .. }
-            | EventKind::Footprint { view, .. } => view,
+            | EventKind::Footprint { view, .. }
+            | EventKind::Park { view, .. }
+            | EventKind::Wake { view, .. }
+            | EventKind::LostWakeup { view, .. } => view,
         }
     }
 }
@@ -427,6 +465,22 @@ mod tests {
                 committed: false,
                 reads: 0,
                 writes: u64::MAX,
+            },
+            EventKind::Park {
+                view: 8,
+                summary: u64::MAX,
+            },
+            EventKind::Park {
+                view: 0,
+                summary: 1,
+            },
+            EventKind::Wake {
+                view: 8,
+                waited: 1 << 40,
+            },
+            EventKind::LostWakeup {
+                view: 65535,
+                waited: u64::MAX,
             },
         ];
         for k in kinds {

@@ -23,8 +23,10 @@ use crate::recorder::ThreadTrace;
 /// profile, gate artifact). The major guards structural compatibility:
 /// `benchdiff` refuses to compare documents with different majors.
 /// History: 1.0.0 = pre-versioned artifacts (implicit, through BENCH_6);
-/// 1.1.0 adds the wasted-work ledger and conflict-profile fields.
-pub const SCHEMA_VERSION: &str = "1.1.0";
+/// 1.1.0 adds the wasted-work ledger and conflict-profile fields;
+/// 1.2.0 adds the blocking-transaction surface (parked-wait counters and
+/// histograms, the `retry` abort reason, park/wake trace events).
+pub const SCHEMA_VERSION: &str = "1.2.0";
 
 /// Formats a cycle timestamp as fixed-precision microseconds.
 fn us(cycles: u64, cycles_per_us: u64) -> String {
@@ -178,6 +180,27 @@ pub fn chrome_trace(threads: &[ThreadTrace], cycles_per_us: u64) -> String {
                 // Footprint bitmaps are profiler input, not human timeline
                 // content; they would only add noise to the trace view.
                 EventKind::Footprint { .. } => {}
+                // Parks open a span that the paired Wake/LostWakeup closes;
+                // reconstruct the slice from the closing event's payload so
+                // a wrapped-away Park does not lose it.
+                EventKind::Park { .. } => {}
+                EventKind::Wake { view, waited } => {
+                    ev.push(format!(
+                        "{{\"ph\":\"X\",\"name\":\"parked\",\"cat\":\"park\",\"pid\":0,\
+                         \"tid\":{tid},\"ts\":{},\"dur\":{},\
+                         \"args\":{{\"view\":{view},\"waited_cycles\":{waited}}}}}",
+                        us(e.ts.saturating_sub(waited), cycles_per_us),
+                        us(waited, cycles_per_us),
+                    ));
+                }
+                EventKind::LostWakeup { view, waited } => {
+                    ev.push(format!(
+                        "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"lost-wakeup\",\"cat\":\"park\",\
+                         \"pid\":0,\"tid\":{tid},\"ts\":{},\
+                         \"args\":{{\"view\":{view},\"waited_cycles\":{waited}}}}}",
+                        us(e.ts, cycles_per_us),
+                    ));
+                }
             }
         }
     }
@@ -258,6 +281,10 @@ pub struct ViewReport {
     pub gate_wait_cycles: u64,
     /// Max-retry escalations.
     pub escalations: u64,
+    /// Completed parks on the wakeup table (`retry()` waits that ended).
+    pub parked_waits: u64,
+    /// Parks that timed out without a matching wake.
+    pub lost_wakeups: u64,
     /// The view's latency histograms.
     pub hists: ViewHistSnapshot,
     /// Quota decisions affecting this view, in timeline order.
@@ -308,7 +335,8 @@ pub fn snapshot_json(views: &[ViewReport]) -> String {
             out,
             "{{\"view_id\":{},\"quota\":{},\"commits\":{},\"aborts\":{},\
              \"cycles_aborted\":{},\"cycles_successful\":{},\"busy_retries\":{},\
-             \"gate_wait_cycles\":{},\"escalations\":{},\"aborts_by_reason\":{{",
+             \"gate_wait_cycles\":{},\"escalations\":{},\"parked_waits\":{},\
+             \"lost_wakeups\":{},\"aborts_by_reason\":{{",
             v.view_id,
             v.quota,
             v.commits,
@@ -317,7 +345,9 @@ pub fn snapshot_json(views: &[ViewReport]) -> String {
             v.cycles_successful,
             v.busy_retries,
             v.gate_wait_cycles,
-            v.escalations
+            v.escalations,
+            v.parked_waits,
+            v.lost_wakeups
         );
         for (ri, r) in AbortReason::ALL.iter().enumerate() {
             if ri > 0 {
@@ -331,6 +361,8 @@ pub fn snapshot_json(views: &[ViewReport]) -> String {
         hist_json(&mut out, &v.hists.abort_to_retry);
         out.push_str(",\"gate_wait\":");
         hist_json(&mut out, &v.hists.gate_wait);
+        out.push_str(",\"parked_wait\":");
+        hist_json(&mut out, &v.hists.parked_wait);
         out.push_str("},\"quota_timeline\":[");
         for (qi, q) in v.quota_timeline.iter().enumerate() {
             if qi > 0 {
@@ -456,12 +488,14 @@ mod tests {
             quota: 4,
             commits: 10,
             aborts: 3,
-            aborts_by_reason: [1, 2, 0, 0, 0, 0, 0],
+            aborts_by_reason: [1, 2, 0, 0, 0, 0, 0, 0],
             cycles_aborted: 100,
             cycles_successful: 900,
             busy_retries: 5,
             gate_wait_cycles: 77,
             escalations: 0,
+            parked_waits: 2,
+            lost_wakeups: 0,
             hists: ViewHistSnapshot::default(),
             quota_timeline: vec![QuotaSample {
                 ts: 123,
@@ -474,6 +508,8 @@ mod tests {
         assert!(json.contains("\"schema\":\"votm-obs-snapshot-v1\""));
         assert!(json.contains(&format!("\"schema_version\":\"{SCHEMA_VERSION}\"")));
         assert!(json.contains("\"orec_conflict\":2"));
+        assert!(json.contains("\"parked_waits\":2"));
+        assert!(json.contains("\"parked_wait\":{\"count\":0"));
         assert!(json.contains("\"quota_timeline\":[{\"ts\":123"));
         assert!(json.contains("\"delta\":0.500000"));
     }

@@ -150,6 +150,9 @@ pub struct ViewHists {
     pub abort_to_retry: LatencyHistogram,
     /// Cycles spent blocked at the admission gate per admission.
     pub gate_wait: LatencyHistogram,
+    /// Cycles spent parked on the wakeup table per `retry()` park (wake or
+    /// timeout, whichever ended the wait).
+    pub parked_wait: LatencyHistogram,
 }
 
 impl ViewHists {
@@ -158,12 +161,13 @@ impl ViewHists {
         Self::default()
     }
 
-    /// Snapshot of all three histograms.
+    /// Snapshot of all four histograms.
     pub fn snapshot(&self) -> ViewHistSnapshot {
         ViewHistSnapshot {
             commit: self.commit.snapshot(),
             abort_to_retry: self.abort_to_retry.snapshot(),
             gate_wait: self.gate_wait.snapshot(),
+            parked_wait: self.parked_wait.snapshot(),
         }
     }
 }
@@ -177,6 +181,8 @@ pub struct ViewHistSnapshot {
     pub abort_to_retry: HistogramSnapshot,
     /// Gate-wait histogram.
     pub gate_wait: HistogramSnapshot,
+    /// Parked-wait histogram.
+    pub parked_wait: HistogramSnapshot,
 }
 
 #[cfg(test)]

@@ -39,11 +39,15 @@ pub enum AbortReason {
     /// bump. The labelling is the clock's best guess — a real same-epoch
     /// conflict is indistinguishable and lands here too.
     FalseConflict = 6,
+    /// The transaction body called `retry()`: the attempt is abandoned by
+    /// request so the task can park until a value it read changes. Not a
+    /// failure — retry aborts waste no contended work by construction.
+    Retry = 7,
 }
 
 impl AbortReason {
     /// Number of variants; the length of per-reason counter arrays.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// All variants, in discriminant order.
     pub const ALL: [AbortReason; Self::COUNT] = [
@@ -54,6 +58,7 @@ impl AbortReason {
         AbortReason::FaultInjected,
         AbortReason::CmKilled,
         AbortReason::FalseConflict,
+        AbortReason::Retry,
     ];
 
     /// Dense index of this reason (`0..COUNT`).
@@ -73,6 +78,7 @@ impl AbortReason {
             4 => AbortReason::FaultInjected,
             5 => AbortReason::CmKilled,
             6 => AbortReason::FalseConflict,
+            7 => AbortReason::Retry,
             _ => AbortReason::Explicit,
         }
     }
@@ -87,6 +93,7 @@ impl AbortReason {
             AbortReason::FaultInjected => "fault_injected",
             AbortReason::CmKilled => "cm_killed",
             AbortReason::FalseConflict => "false_conflict",
+            AbortReason::Retry => "retry",
         }
     }
 }

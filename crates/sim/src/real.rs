@@ -16,6 +16,12 @@ pub struct RealHandle {
 }
 
 impl RealHandle {
+    /// A standalone handle for driving a future outside [`run_parallel`]
+    /// (e.g. via [`crate::block_on`] in unit tests).
+    pub fn standalone(index: usize) -> Self {
+        Self { index }
+    }
+
     /// Hardware timestamp counter.
     #[inline]
     pub fn now(&self) -> u64 {

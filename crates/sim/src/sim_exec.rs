@@ -162,6 +162,10 @@ pub struct SchedStats {
     pub stale_skips: u64,
     /// Wakes that arrived from other OS threads via the mailbox.
     pub cross_thread_wakes: u64,
+    /// Scheduled entries superseded by a strictly earlier wake (a parked
+    /// task holding its timeout entry was woken before the deadline). The
+    /// superseded entry becomes an orphan and is skipped when popped.
+    pub superseded: u64,
 }
 
 /// Result of [`SimExecutor::run`].
@@ -218,6 +222,12 @@ struct TaskSlot {
     fault_rng: Option<XorShift64>,
     /// Sequential fault draws taken by this task (log correlation).
     fault_draws: u64,
+    /// Sequence number of the task's most recently pushed queue entry
+    /// (valid while `state == Scheduled`). Used by the supersede-earlier
+    /// path to orphan a later entry when a wake lands before it.
+    live_seq: u64,
+    /// Virtual time of that entry.
+    live_at: u64,
 }
 
 /// A self-scheduled activation held back from the queue by the coalescing
@@ -304,13 +314,32 @@ struct Inner {
     sched: SchedStats,
     /// Reusable drain buffer for the cross-thread mailbox.
     mailbox_scratch: Vec<u32>,
+    /// Sequence numbers of queue entries superseded by an earlier wake.
+    /// Entries here are dead: `pick_next` discards them on pop. Almost
+    /// always empty — only park/wake races populate it.
+    orphans: Vec<u64>,
 }
 
 impl Inner {
     fn schedule(&mut self, task: u32, at: u64) {
+        let at = at.max(self.now);
         let slot = &mut self.tasks[task as usize];
         match slot.state {
-            TaskState::Scheduled | TaskState::Done => return,
+            TaskState::Done => return,
+            TaskState::Scheduled => {
+                // The task already holds a queue entry. A wake at the same
+                // or a later time is redundant — the held entry activates
+                // the task soon enough. A *strictly earlier* wake (a parked
+                // task holding its timeout entry is woken by a committing
+                // writer) must win: orphan the held entry and fall through
+                // to push a fresh one.
+                if at >= slot.live_at {
+                    return;
+                }
+                let dead = slot.live_seq;
+                self.orphans.push(dead);
+                self.sched.superseded += 1;
+            }
             TaskState::Running => {
                 // Mid-poll; the executor decides after the poll returns.
                 slot.wake_pending = true;
@@ -318,10 +347,13 @@ impl Inner {
             }
             TaskState::Waiting => {}
         }
-        slot.state = TaskState::Scheduled;
+        self.tasks[task as usize].state = TaskState::Scheduled;
         let tiebreak = self.rng.next_u64();
         self.seq += 1;
-        self.queue.push(at.max(self.now), tiebreak, self.seq, task);
+        let slot = &mut self.tasks[task as usize];
+        slot.live_seq = self.seq;
+        slot.live_at = at;
+        self.queue.push(at, tiebreak, self.seq, task);
     }
 
     /// Self-scheduling from `charge`: the task is Running and about to
@@ -334,6 +366,11 @@ impl Inner {
         let tiebreak = self.rng.next_u64();
         self.seq += 1;
         let at = at.max(self.now);
+        {
+            let slot = &mut self.tasks[task as usize];
+            slot.live_seq = self.seq;
+            slot.live_at = at;
+        }
         if self.coalesce {
             if let Some(p) = self.pending_self.take() {
                 // Second self-schedule within one poll (join-style
@@ -348,6 +385,21 @@ impl Inner {
             });
         } else {
             self.queue.push(at, tiebreak, self.seq, task);
+        }
+    }
+
+    /// True iff `seq` names a superseded queue entry; consumes the orphan
+    /// record. The empty-list fast path keeps this free on the hot path.
+    fn take_orphan(&mut self, seq: u64) -> bool {
+        if self.orphans.is_empty() {
+            return false;
+        }
+        match self.orphans.iter().position(|&s| s == seq) {
+            Some(i) => {
+                self.orphans.swap_remove(i);
+                true
+            }
+            None => false,
         }
     }
 
@@ -580,6 +632,7 @@ impl SimExecutor {
                     fault_log: Vec::new(),
                     sched: SchedStats::default(),
                     mailbox_scratch: Vec::new(),
+                    orphans: Vec::new(),
                 }),
                 owner: current_thread_id(),
                 mailbox: Mailbox {
@@ -638,6 +691,8 @@ impl SimExecutor {
             last_progress: 0,
             fault_rng,
             fault_draws: 0,
+            live_seq: 0,
+            live_at: 0,
         });
         inner.live += 1;
         inner.schedule(task, 0);
@@ -683,9 +738,12 @@ impl SimExecutor {
     /// step, instead of peek-then-pop's two scans.
     fn pick_next(inner: &mut Inner, cap: Option<u64>) -> Result<u32, RunStatus> {
         if let Some(p) = inner.pending_self {
-            if inner.tasks[p.task as usize].state != TaskState::Scheduled {
+            if inner.tasks[p.task as usize].state != TaskState::Scheduled
+                || inner.take_orphan(p.seq)
+            {
                 // The task died mid-poll (injected panic under
-                // PanicPolicy::Isolate); its activation is void.
+                // PanicPolicy::Isolate) or the entry was superseded by an
+                // earlier wake; its activation is void.
                 inner.pending_self = None;
             }
         }
@@ -693,8 +751,11 @@ impl SimExecutor {
             let (vtime, task) = match inner.queue.pop_min() {
                 Some((at, tb, sq, task)) => {
                     // Entries for finished tasks can linger if a wake raced
-                    // completion; skip them.
-                    if inner.tasks[task as usize].state != TaskState::Scheduled {
+                    // completion, and entries superseded by an earlier wake
+                    // are dead; skip both.
+                    if inner.tasks[task as usize].state != TaskState::Scheduled
+                        || inner.take_orphan(sq)
+                    {
                         inner.sched.stale_skips += 1;
                         continue;
                     }
@@ -1336,5 +1397,59 @@ mod tests {
         assert_eq!(out.status, RunStatus::Completed);
         assert_eq!(out.faults.panics, 2, "budget must cap injections");
         assert_eq!(out.faults.tasks_killed_by_panic, 2);
+    }
+
+    #[test]
+    fn earlier_wake_supersedes_scheduled_timeout() {
+        // A parked task holds a far-future timeout entry (state Scheduled);
+        // an external wake before the deadline must supersede that entry
+        // rather than being swallowed, and the orphaned entry must neither
+        // re-activate the task nor stretch the makespan to the deadline.
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        const DEADLINE: u64 = 1_000_000;
+        let waker_slot: Rc<RefCell<Option<Waker>>> = Rc::new(RefCell::new(None));
+        let woke_at = Rc::new(Cell::new(u64::MAX));
+
+        let mut ex = SimExecutor::new(SimConfig::default());
+        {
+            let slot = Rc::clone(&waker_slot);
+            let woke = Rc::clone(&woke_at);
+            ex.spawn(move |rt: Rt| async move {
+                let mut sleep = Box::pin(rt.charge(DEADLINE));
+                let mut armed = false;
+                std::future::poll_fn(|cx| {
+                    if !armed {
+                        armed = true;
+                        *slot.borrow_mut() = Some(cx.waker().clone());
+                        // Arm the timeout: the task is now Scheduled at
+                        // `DEADLINE` while it waits for the external wake.
+                        assert!(sleep.as_mut().poll(cx).is_pending());
+                        return Poll::Pending;
+                    }
+                    Poll::Ready(())
+                })
+                .await;
+                woke.set(rt.now());
+            });
+        }
+        {
+            let slot = Rc::clone(&waker_slot);
+            ex.spawn(move |rt: Rt| async move {
+                rt.charge(10).await;
+                let w = slot.borrow_mut().take().expect("parker registered");
+                w.wake();
+            });
+        }
+        let out = ex.run();
+        assert_eq!(out.status, RunStatus::Completed);
+        assert_eq!(woke_at.get(), 10, "wake must preempt the timeout entry");
+        assert_eq!(out.sched.superseded, 1);
+        assert!(
+            out.vtime < DEADLINE,
+            "orphaned timeout entry stretched the makespan: {}",
+            out.vtime
+        );
     }
 }

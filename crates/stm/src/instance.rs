@@ -283,6 +283,20 @@ impl TxCtx {
         matches!(self.mode, Mode::Direct(_))
     }
 
+    /// Bloom summary (one bit per [`crate::bloom_bucket`]) of the current
+    /// attempt's buffered write set — the wakeup key this attempt's commit
+    /// publishes to the view's wait table. Zero iff the attempt has written
+    /// nothing. Direct mode reports zero: its writes hit the heap in place
+    /// and the caller tracks them per address instead.
+    pub fn write_summary(&self) -> u64 {
+        match &self.mode {
+            Mode::NOrec(tx) => tx.write_summary(),
+            Mode::Orec(tx) => tx.write_summary(),
+            Mode::Lazy(tx) => tx.write_summary(),
+            Mode::Direct(_) => 0,
+        }
+    }
+
     /// The structured cause of the most recent `Err(Conflict)` this context
     /// returned — the algorithm's own attribution (orec conflict, NOrec
     /// revalidation failure). Only meaningful between that error and the

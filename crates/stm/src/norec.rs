@@ -836,6 +836,13 @@ impl NOrecTx {
     pub fn write_set_len(&self) -> usize {
         self.writes.len()
     }
+
+    /// Bloom summary (one bit per [`crate::bloom_bucket`]) of the current
+    /// attempt's write set — the wakeup key a commit of this attempt would
+    /// publish. Zero iff the write set is empty.
+    pub fn write_summary(&self) -> u64 {
+        self.writes.summary()
+    }
 }
 
 #[cfg(test)]

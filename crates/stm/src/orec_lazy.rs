@@ -525,6 +525,13 @@ impl OrecLazyTx {
     pub fn take_work(&mut self) -> u64 {
         std::mem::take(&mut self.work)
     }
+
+    /// Bloom summary (one bit per [`crate::bloom_bucket`]) of the current
+    /// attempt's write set — the wakeup key a commit of this attempt would
+    /// publish. Zero iff the write set is empty.
+    pub fn write_summary(&self) -> u64 {
+        self.writes.summary()
+    }
 }
 
 #[cfg(test)]

@@ -32,6 +32,8 @@ struct Stripe {
     gate_wait_cycles: AtomicU64,
     max_abort_streak: AtomicU64,
     escalations: AtomicU64,
+    parked_waits: AtomicU64,
+    lost_wakeups: AtomicU64,
 }
 
 /// Shared counters for one TM instance (one view).
@@ -121,6 +123,24 @@ impl TmStats {
         self.stripe(tid).escalations.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one completed park on the wakeup table (a `retry()` wait
+    /// that ended in a wake or a timeout).
+    #[inline]
+    pub fn record_parked_wait(&self, tid: usize) {
+        self.stripe(tid)
+            .parked_waits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one park that timed out without a matching wake (a lost or
+    /// never-coming wakeup; the transaction re-ran instead of hanging).
+    #[inline]
+    pub fn record_lost_wakeup(&self, tid: usize) {
+        self.stripe(tid)
+            .lost_wakeups
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Consistent-enough snapshot for reporting: sums (or maxes, for the
     /// high-water marks) across stripes. Individual counters are exact;
     /// cross-counter skew is bounded by one in-flight transaction.
@@ -151,6 +171,8 @@ impl TmStats {
                 .max_abort_streak
                 .max(s.max_abort_streak.load(Ordering::Relaxed));
             out.escalations += s.escalations.load(Ordering::Relaxed);
+            out.parked_waits += s.parked_waits.load(Ordering::Relaxed);
+            out.lost_wakeups += s.lost_wakeups.load(Ordering::Relaxed);
         }
         out
     }
@@ -184,6 +206,11 @@ pub struct StatsSnapshot {
     /// Max-retry escalations: times a starving transaction was granted
     /// exclusive admission after exhausting its abort budget.
     pub escalations: u64,
+    /// Completed parks on the wakeup table: `retry()` waits that ended in
+    /// a wake or a timeout. The blocking counterpart of `busy_retries`.
+    pub parked_waits: u64,
+    /// Parks that timed out without a matching wake.
+    pub lost_wakeups: u64,
 }
 
 impl StatsSnapshot {
@@ -236,6 +263,8 @@ impl StatsSnapshot {
             gate_wait_cycles: self.gate_wait_cycles - earlier.gate_wait_cycles,
             max_abort_streak: self.max_abort_streak,
             escalations: self.escalations - earlier.escalations,
+            parked_waits: self.parked_waits - earlier.parked_waits,
+            lost_wakeups: self.lost_wakeups - earlier.lost_wakeups,
         }
     }
 }

@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use votm_repro::sim::{SimConfig, SimExecutor};
-use votm_repro::votm::{Addr, QuotaMode, TmAlgorithm, View, Votm, VotmConfig};
+use votm_repro::votm::{Addr, QuotaMode, TmAlgorithm, View, Votm};
 
 const THREADS: u64 = 8;
 const ACCOUNTS: u64 = 4096;
@@ -81,15 +81,14 @@ fn main() {
     let algo = TmAlgorithm::OrecEagerRedo;
 
     // Single view: both objects behind one RAC.
-    let sys = Votm::new(VotmConfig {
-        algorithm: algo,
-        n_threads: THREADS as u32,
-        controller: votm_repro::rac::ControllerConfig {
+    let sys = Votm::builder()
+        .algo(algo)
+        .threads(THREADS as u32)
+        .controller(votm_repro::rac::ControllerConfig {
             window_attempts: 64,
             ..Default::default()
-        },
-        ..Default::default()
-    });
+        })
+        .build();
     let both = sys.create_view(64 + ACCOUNTS as usize, QuotaMode::Adaptive);
     let single = run(Arc::clone(&both), Arc::clone(&both), 0, 64);
     let s = both.stats();
@@ -99,15 +98,14 @@ fn main() {
     );
 
     // Multi view: independent RAC per object.
-    let sys = Votm::new(VotmConfig {
-        algorithm: algo,
-        n_threads: THREADS as u32,
-        controller: votm_repro::rac::ControllerConfig {
+    let sys = Votm::builder()
+        .algo(algo)
+        .threads(THREADS as u32)
+        .controller(votm_repro::rac::ControllerConfig {
             window_attempts: 64,
             ..Default::default()
-        },
-        ..Default::default()
-    });
+        })
+        .build();
     let counter = sys.create_view(64, QuotaMode::Adaptive);
     let accounts = sys.create_view(ACCOUNTS as usize, QuotaMode::Adaptive);
     let multi = run(Arc::clone(&counter), Arc::clone(&accounts), 0, 0);

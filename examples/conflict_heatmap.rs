@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use votm_repro::obs::ConflictProfile;
 use votm_repro::sim::{SimConfig, SimExecutor};
-use votm_repro::votm::{Addr, FlightRecorder, QuotaMode, TmAlgorithm, Votm, VotmConfig};
+use votm_repro::votm::{Addr, FlightRecorder, QuotaMode, TmAlgorithm, Votm};
 
 /// Heap words; with 64 profile buckets each bucket covers 64 words.
 const HEAP_WORDS: u32 = 4096;
@@ -26,12 +26,11 @@ const HOT: u64 = 48;
 fn main() {
     const N: u32 = 16;
     let recorder = Arc::new(FlightRecorder::new(N as usize, 1 << 16));
-    let sys = Votm::new(VotmConfig {
-        algorithm: TmAlgorithm::OrecEagerRedo,
-        n_threads: N,
-        recorder: Some(Arc::clone(&recorder)),
-        ..Default::default()
-    });
+    let sys = Votm::builder()
+        .algo(TmAlgorithm::OrecEagerRedo)
+        .threads(N)
+        .recorder(Arc::clone(&recorder))
+        .build();
     // One view holding BOTH structures — the "before" a profiler exists to
     // diagnose. Even threads hammer the lower half, odd threads the upper;
     // no transaction ever touches both halves.

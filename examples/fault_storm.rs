@@ -14,20 +14,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use votm_repro::sim::{FaultPlan, PanicPolicy, RunStatus, SimConfig, SimExecutor};
-use votm_repro::votm::{Addr, QuotaMode, TmAlgorithm, Votm, VotmConfig};
+use votm_repro::votm::{Addr, QuotaMode, TmAlgorithm, Votm};
 
 const THREADS: u64 = 8;
 const ITERS: u64 = 200;
 
 fn storm(algo: TmAlgorithm, sim_seed: u64, fault_seed: u64) {
-    let sys = Votm::new(VotmConfig {
-        algorithm: algo,
-        n_threads: THREADS as u32,
+    let sys = Votm::builder()
+        .algo(algo)
+        .threads(THREADS as u32)
         // Starvation watchdog on: even a storm of forced aborts cannot
         // starve a transaction past 8 consecutive losses.
-        escalate_after: Some(8),
-        ..Default::default()
-    });
+        .escalate_after(Some(8))
+        .build();
     let view = sys.create_view(256, QuotaMode::Adaptive);
 
     // The attempted counter tracks loop iterations that ran to completion;

@@ -9,14 +9,13 @@
 use std::sync::Arc;
 
 use votm_repro::sim::{RunStatus, SimConfig, SimExecutor};
-use votm_repro::votm::{Addr, QuotaMode, TmAlgorithm, Votm, VotmConfig};
+use votm_repro::votm::{Addr, QuotaMode, TmAlgorithm, Votm};
 
 fn hot_run(quota: QuotaMode, cap: u64) -> (RunStatus, u64, u64, u32) {
-    let sys = Votm::new(VotmConfig {
-        algorithm: TmAlgorithm::OrecEagerRedo,
-        n_threads: 16,
-        ..Default::default()
-    });
+    let sys = Votm::builder()
+        .algo(TmAlgorithm::OrecEagerRedo)
+        .threads(16)
+        .build();
     let view = sys.create_view(64, quota);
     let mut ex = SimExecutor::new(SimConfig {
         vtime_cap: Some(cap),

@@ -11,15 +11,11 @@ use std::sync::Arc;
 
 use votm_repro::ds::TxList;
 use votm_repro::sim::{SimConfig, SimExecutor};
-use votm_repro::votm::{QuotaMode, TmAlgorithm, Votm, VotmConfig};
+use votm_repro::votm::{QuotaMode, TmAlgorithm, Votm};
 
 fn main() {
     // A VOTM system running NOrec with up to 4 threads.
-    let sys = Votm::new(VotmConfig {
-        algorithm: TmAlgorithm::NOrec,
-        n_threads: 4,
-        ..Default::default()
-    });
+    let sys = Votm::builder().algo(TmAlgorithm::NOrec).threads(4).build();
 
     // create_view: 4096 words, RAC manages the admission quota (the paper's
     // `create_view(vid, size, 0)` — a third argument < 1 means dynamic).

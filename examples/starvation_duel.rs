@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use votm_repro::sim::{FaultPlan, RunStatus, SimConfig, SimExecutor};
-use votm_repro::votm::{AbortReason, Addr, CmPolicy, QuotaMode, TmAlgorithm, Votm, VotmConfig};
+use votm_repro::votm::{AbortReason, Addr, CmPolicy, QuotaMode, TmAlgorithm, Votm};
 
 /// Hot words the victim must lock; one camping short per word.
 const HOT_WORDS: u64 = 4;
@@ -47,12 +47,11 @@ struct Outcome {
 
 fn duel(policy: CmPolicy, seed: u64) -> Outcome {
     let n_threads = (1 + HOT_WORDS) as u32;
-    let sys = Votm::new(VotmConfig {
-        algorithm: TmAlgorithm::OrecEagerRedo,
-        n_threads,
-        contention: policy,
-        ..Default::default()
-    });
+    let sys = Votm::builder()
+        .algo(TmAlgorithm::OrecEagerRedo)
+        .threads(n_threads)
+        .policy(policy)
+        .build();
     let view = sys.create_view(64, QuotaMode::Fixed(n_threads));
     let done = Arc::new(AtomicBool::new(false));
     let attempts = Arc::new(AtomicU64::new(0));

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use votm_repro::ds::{TxHashMap, TxQueue, TxTreap};
 use votm_repro::sim::{FaultPlan, FaultRecord, RunStatus, SimConfig, SimExecutor};
 use votm_repro::utils::{SplitMix64, XorShift64};
-use votm_repro::votm::{QuotaMode, TmAlgorithm, Votm, VotmConfig};
+use votm_repro::votm::{QuotaMode, TmAlgorithm, Votm};
 
 const THREADS: u64 = 8;
 const TOKENS_PER_THREAD: u64 = 40;
@@ -45,11 +45,7 @@ fn chaos_round_inner(
     seed: u64,
     plan: Option<FaultPlan>,
 ) -> Option<Vec<FaultRecord>> {
-    let sys = Votm::new(VotmConfig {
-        algorithm: algo,
-        n_threads: THREADS as u32,
-        ..Default::default()
-    });
+    let sys = Votm::builder().algo(algo).threads(THREADS as u32).build();
     let qview = sys.create_view(65_536, quota);
     let mview = sys.create_view(262_144, quota);
     let queue = TxQueue::create(&qview);

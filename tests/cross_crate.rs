@@ -6,7 +6,7 @@ use std::sync::Arc;
 use votm_repro::ds::{TxHashMap, TxList, TxQueue};
 use votm_repro::model;
 use votm_repro::sim::{run_parallel, RunStatus, SimConfig, SimExecutor};
-use votm_repro::votm::{Addr, QuotaMode, TmAlgorithm, Votm, VotmConfig};
+use votm_repro::votm::{Addr, QuotaMode, TmAlgorithm, Votm};
 
 /// A producer/consumer pipeline across two views — queue in one, results
 /// map in the other — mirroring Intruder's view partition, checked for
@@ -14,11 +14,7 @@ use votm_repro::votm::{Addr, QuotaMode, TmAlgorithm, Votm, VotmConfig};
 #[test]
 fn two_view_pipeline_conserves_all_items() {
     for algo in TmAlgorithm::ALL {
-        let sys = Votm::new(VotmConfig {
-            algorithm: algo,
-            n_threads: 8,
-            ..Default::default()
-        });
+        let sys = Votm::builder().algo(algo).threads(8).build();
         let qview = sys.create_view(16_384, QuotaMode::Adaptive);
         let mview = sys.create_view(65_536, QuotaMode::Adaptive);
         let queue = TxQueue::create(&qview);
@@ -70,11 +66,10 @@ fn two_view_pipeline_conserves_all_items() {
 /// decrease — which the adaptive controller indeed did.
 #[test]
 fn measured_delta_agrees_with_model_advice() {
-    let sys = Votm::new(VotmConfig {
-        algorithm: TmAlgorithm::OrecEagerRedo,
-        n_threads: 16,
-        ..Default::default()
-    });
+    let sys = Votm::builder()
+        .algo(TmAlgorithm::OrecEagerRedo)
+        .threads(16)
+        .build();
     // Fixed high quota on a hot view: we *expect* a high measured delta.
     let view = sys.create_view(64, QuotaMode::Fixed(16));
     let mut ex = SimExecutor::new(SimConfig::default());
@@ -120,11 +115,7 @@ fn measured_delta_agrees_with_model_advice() {
 /// the atomics under genuine preemption, not just simulated interleaving.
 #[test]
 fn real_thread_list_inserts_complete_and_sorted() {
-    let sys = Arc::new(Votm::new(VotmConfig {
-        algorithm: TmAlgorithm::NOrec,
-        n_threads: 6,
-        ..Default::default()
-    }));
+    let sys = Arc::new(Votm::builder().algo(TmAlgorithm::NOrec).threads(6).build());
     let view = sys.create_view(65_536, QuotaMode::Adaptive);
     let list = TxList::create(&view);
     let v2 = Arc::clone(&view);
@@ -181,11 +172,7 @@ fn full_stack_runs_are_reproducible() {
 /// transact, free, destroy.
 #[test]
 fn paper_api_lifecycle() {
-    let sys = Votm::new(VotmConfig {
-        reserve_factor: 4,
-        n_threads: 2,
-        ..Default::default()
-    });
+    let sys = Votm::builder().reserve_factor(4).threads(2).build();
     let view = sys.create_view(8, QuotaMode::Adaptive);
     assert!(view.alloc_block(16).is_none(), "8-word view can't fit 16");
     assert_eq!(view.brk_view(24), Some(32));
