@@ -19,14 +19,18 @@
 //!    semantics change, not noise. `--allow-virtual-drift` downgrades this
 //!    to a report for PRs that intentionally change the simulation. The
 //!    `1.2` blocking fields (`parked_waits`, `lost_wakeups`,
-//!    `escalations`) join the identity set once the baseline carries them.
+//!    `escalations`) join the identity set once the baseline carries them,
+//!    as do the `1.3` repartition fields (`repartitions`,
+//!    `split_drain_cycles`).
 //! 4. **Current-artifact sanity** — every row completed; clock-variant rows
 //!    are present for every algorithm, none collapsed below 0.75× its
 //!    default-clock twin, and at least one variant still beats the global
 //!    clock on single-view NOrec (the paper's named bottleneck); if the
 //!    document carries the `1.1` wasted-work ledger, `waste_frac` is a
 //!    finite number and the per-reason wasted cycles sum exactly to
-//!    `wasted_cycles`.
+//!    `wasted_cycles`; if it carries `1.3` adaptive-partition rows, every
+//!    `*-adaptive` row repartitioned at least once and converged to
+//!    >= 0.90× its hand-partitioned twin's throughput.
 //!
 //! Exit status: 0 clean, 1 regression/divergence, 2 usage or schema error.
 
@@ -55,6 +59,17 @@ const VIRTUAL_FIELDS: [&str; 13] = [
 /// Compared only when the baseline row carries them, so a `1.1` baseline
 /// still joins cleanly across the transition PR.
 const VIRTUAL_FIELDS_1_2: [&str; 3] = ["parked_waits", "lost_wakeups", "escalations"];
+
+/// Virtual fields added by the `1.3` schema (PR 10's online
+/// repartitioning). Same baseline-gated join rule as the `1.2` set.
+/// `converged_throughput_ratio` is deliberately absent: it divides two
+/// virtual throughputs measured in separately seeded runs, so it is
+/// deterministic but belongs to the sanity gate below, not row identity.
+const VIRTUAL_FIELDS_1_3: [&str; 2] = ["repartitions", "split_drain_cycles"];
+
+/// The adaptive-convergence floor: a `partition-*-adaptive` row must reach
+/// this fraction of its hand-partitioned twin's throughput.
+const CONVERGENCE_FLOOR: f64 = 0.90;
 
 /// The clock-variant collapse threshold: a variant may honestly lose a bit
 /// to the default on gate geometry, but under 0.75× is a bug.
@@ -191,7 +206,11 @@ fn main() {
                 .iter()
                 .copied()
                 .filter(|f| b.get(f).is_some());
-            for f in VIRTUAL_FIELDS.into_iter().chain(extra_1_2) {
+            let extra_1_3 = VIRTUAL_FIELDS_1_3
+                .iter()
+                .copied()
+                .filter(|f| b.get(f).is_some());
+            for f in VIRTUAL_FIELDS.into_iter().chain(extra_1_2).chain(extra_1_3) {
                 if b.get(f) != r.get(f) {
                     let msg = format!(
                         "{label}: virtual field {f} diverged: {:?} -> {:?}",
@@ -246,6 +265,29 @@ fn main() {
                     "{label}: wasted_by_reason sums to {by_reason_sum}, wasted_cycles is {wasted}"
                 ));
             }
+        }
+    }
+    // Adaptive-partition block (`1.3` rows): every adaptive row actually
+    // repartitioned and reached the convergence floor against its
+    // hand-partitioned twin.
+    for r in cur_rows {
+        let k = row_key(r);
+        if !k.2.starts_with("partition-") || !k.2.ends_with("-adaptive") {
+            continue;
+        }
+        let label = key_label(&k);
+        let reparts = r.get("repartitions").and_then(Json::as_u64).unwrap_or(0);
+        if reparts == 0 {
+            problems.push(format!(
+                "{label}: adaptive partition row never repartitioned"
+            ));
+        }
+        let ratio = f64_field(r, "converged_throughput_ratio");
+        if ratio.is_nan() || ratio < CONVERGENCE_FLOOR {
+            problems.push(format!(
+                "{label}: converged to {ratio:.3}x hand-partitioned throughput \
+                 (< {CONVERGENCE_FLOOR:.2}x floor)"
+            ));
         }
     }
     // Clock-variant block: presence, collapse floor, and the NOrec win.

@@ -97,7 +97,7 @@ fn parse_args() -> Args {
 const GATE_EIGEN_SCALE: f64 = 0.001;
 
 /// Output artifact of `--json`: the PR-numbered benchmark trajectory file.
-const GATE_ARTIFACT: &str = "BENCH_9.json";
+const GATE_ARTIFACT: &str = "BENCH_10.json";
 
 /// Sidecar artifact of `--json`: the per-policy comparison table
 /// (markdown), built from the gate's policy rows.
@@ -106,6 +106,10 @@ const POLICY_ARTIFACT: &str = "policy_table.md";
 /// Sidecar artifact of `--json`: the per-clock-source comparison table
 /// (markdown), built from the gate's clock-variant rows.
 const CLOCK_ARTIFACT: &str = "clock_table.md";
+
+/// Sidecar artifact of `--json`: the adaptive-vs-hand-partitioned
+/// convergence table (markdown), built from the gate's partition rows.
+const PARTITION_ARTIFACT: &str = "partition_table.md";
 
 fn run_json_gate(mut settings: Settings, eigen_scale_set: bool) {
     if !eigen_scale_set {
@@ -116,16 +120,20 @@ fn run_json_gate(mut settings: Settings, eigen_scale_set: bool) {
     let json = votm_bench::gate_rows_to_json(&settings, &rows);
     std::fs::write(GATE_ARTIFACT, &json)
         .unwrap_or_else(|e| panic!("cannot write {GATE_ARTIFACT}: {e}"));
-    let policy_md = fmt::policy_table(&rows);
+    let spreads = votm_bench::policy_spreads(&settings, &rows);
+    let policy_md = fmt::policy_table(&rows, &spreads);
     std::fs::write(POLICY_ARTIFACT, &policy_md)
         .unwrap_or_else(|e| panic!("cannot write {POLICY_ARTIFACT}: {e}"));
     let clock_md = fmt::clock_table(&rows);
     std::fs::write(CLOCK_ARTIFACT, &clock_md)
         .unwrap_or_else(|e| panic!("cannot write {CLOCK_ARTIFACT}: {e}"));
+    let partition_md = fmt::partition_table(&rows);
+    std::fs::write(PARTITION_ARTIFACT, &partition_md)
+        .unwrap_or_else(|e| panic!("cannot write {PARTITION_ARTIFACT}: {e}"));
     let wall_total: f64 = rows.iter().map(|r| r.wall_s).sum();
     eprintln!(
-        "wrote {GATE_ARTIFACT}, {POLICY_ARTIFACT} and {CLOCK_ARTIFACT}: {} rows in {:.1}s \
-         wall time ({wall_total:.2}s summed row wall_s)",
+        "wrote {GATE_ARTIFACT}, {POLICY_ARTIFACT}, {CLOCK_ARTIFACT} and {PARTITION_ARTIFACT}: \
+         {} rows in {:.1}s wall time ({wall_total:.2}s summed row wall_s)",
         rows.len(),
         t0.elapsed().as_secs_f64()
     );

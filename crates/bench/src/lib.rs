@@ -540,6 +540,19 @@ pub struct GateRow {
     /// row holds this at zero — parking must never read as starvation —
     /// while Orec comparison rows may escalate on genuine conflict streaks.
     pub escalations: u64,
+    /// Live repartitions (splits + merges) the row's
+    /// [`votm::AdaptiveDomain`] executed. Zero on every non-domain row —
+    /// the carried-over eigenbench/blocking rows never repartition, which
+    /// is what keeps them bit-identical across the schema bump.
+    pub repartitions: u64,
+    /// Virtual cycles spent inside repartition drain barriers (the
+    /// exclusive-acquire windows that quiesce views before a remap).
+    pub split_drain_cycles: u64,
+    /// For adaptive-partition rows: this row's throughput as a fraction of
+    /// its hand-partitioned twin's (`adaptive.txns_per_vsec /
+    /// hand.txns_per_vsec`). The convergence gate holds every nonzero
+    /// value at ≥ 0.90. Zero where the comparison does not apply.
+    pub converged_throughput_ratio: f64,
 }
 
 /// The thread counts the throughput gate sweeps.
@@ -682,6 +695,9 @@ fn gate_config_row(
         parked_waits: parked,
         lost_wakeups: lost,
         escalations: escalated,
+        repartitions: 0,
+        split_drain_cycles: 0,
+        converged_throughput_ratio: 0.0,
     }
 }
 
@@ -701,7 +717,10 @@ fn gate_config_row(
 /// Finally the [`workload::BLOCKING_SCENARIOS`] rows: the bounded-buffer
 /// spin-vs-block comparison (distinct `version` labels, so `benchdiff`
 /// reports them as new rows and the gated eigenbench rows above are
-/// unaffected).
+/// unaffected). Last, the [`workload::PARTITION_SCENARIOS`] pairs: each
+/// adaptive-domain run (one view at start, live repartitioner) against its
+/// hand-partitioned twin, whose throughput ratio is the repartitioner's
+/// convergence gate (`converged_throughput_ratio ≥ 0.90`).
 ///
 /// Every run executes with a live [`FlightRecorder`] attached, so the gated
 /// numbers *include* the observability layer's recording cost — the rows
@@ -760,7 +779,74 @@ pub fn throughput_gate(settings: &Settings) -> Vec<GateRow> {
         }
     }
     rows.extend(workload::blocking_gate_rows(settings));
+    rows.extend(workload::partition_gate_rows(settings));
     rows
+}
+
+/// Throughput spread of one policy-comparison configuration across
+/// [`GATE_SEEDS`] seeds. The gate's emitted policy rows stay single-seed
+/// (bit-identical headline fields across PRs); the spread is the sidecar
+/// stability number `policy_table.md` reports as mean ± min/max.
+#[derive(Debug, Clone)]
+pub struct PolicySpread {
+    /// STM algorithm name (joins [`GateRow::algo`]).
+    pub algo: &'static str,
+    /// Policy name (joins [`GateRow::policy`]).
+    pub policy: &'static str,
+    /// Mean `txns_per_vsec` over the seed sweep.
+    pub mean: f64,
+    /// Worst seed.
+    pub min: f64,
+    /// Best seed.
+    pub max: f64,
+}
+
+/// Runs every non-default policy × algorithm configuration for
+/// [`GATE_SEEDS`] − 1 extra seeds and folds each with its emitted
+/// (seed-1) gate row into a [`PolicySpread`]. The emitted rows in `rows`
+/// are reused as the first seed, so the artifact's headline fields stay
+/// bit-identical while the table gains a variance band.
+pub fn policy_spreads(settings: &Settings, rows: &[GateRow]) -> Vec<PolicySpread> {
+    let n = *GATE_THREADS.last().expect("gate sweeps at least one N");
+    let mut spreads = Vec::new();
+    for r in rows {
+        if r.policy == "backoff" || r.version != "single-view" || r.clock != "global" {
+            continue;
+        }
+        let policy = CmPolicy::ALL
+            .into_iter()
+            .find(|p| p.name() == r.policy)
+            .expect("row policy is a known CmPolicy");
+        let algo = TmAlgorithm::ALL
+            .into_iter()
+            .find(|a| a.name() == r.algo)
+            .expect("row algo is a known TmAlgorithm");
+        let mut tps = vec![r.txns_per_vsec];
+        for seed_off in 1..GATE_SEEDS {
+            let mut s = *settings;
+            s.seed = settings.seed.wrapping_add(seed_off);
+            tps.push(
+                gate_config_row(
+                    &s,
+                    algo,
+                    votm_eigenbench::Version::SingleView,
+                    n,
+                    1,
+                    policy,
+                    ClockKind::Global,
+                )
+                .txns_per_vsec,
+            );
+        }
+        spreads.push(PolicySpread {
+            algo: r.algo,
+            policy: r.policy,
+            mean: tps.iter().sum::<f64>() / tps.len() as f64,
+            min: tps.iter().copied().fold(f64::INFINITY, f64::min),
+            max: tps.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        });
+    }
+    spreads
 }
 
 // ---------------------------------------------------------- Trace capture
@@ -977,7 +1063,9 @@ pub fn gate_rows_to_json(settings: &Settings, rows: &[GateRow]) -> String {
              \"commit_p50_cycles\": {}, \"commit_p99_cycles\": {}, \
              \"sim_steps\": {}, \"coalesced_polls\": {}, \
              \"parked_waits\": {}, \"lost_wakeups\": {}, \
-             \"escalations\": {}}}{}\n",
+             \"escalations\": {}, \"repartitions\": {}, \
+             \"split_drain_cycles\": {}, \
+             \"converged_throughput_ratio\": {}}}{}\n",
             json_str(r.algo),
             json_str(r.policy),
             json_str(r.clock),
@@ -1023,6 +1111,9 @@ pub fn gate_rows_to_json(settings: &Settings, rows: &[GateRow]) -> String {
             r.parked_waits,
             r.lost_wakeups,
             r.escalations,
+            r.repartitions,
+            r.split_drain_cycles,
+            json_f64(r.converged_throughput_ratio),
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -1141,13 +1232,15 @@ mod tests {
         // 3 algorithms × 2 versions × GATE_THREADS.len() thread counts of
         // the gated default, plus one comparison row per non-default
         // policy × algorithm, plus one per non-default clock × algorithm,
-        // plus the bounded-buffer blocking scenario rows.
+        // plus the bounded-buffer blocking scenario rows, plus an
+        // adaptive/hand row pair per partition scenario.
         assert_eq!(
             rows.len(),
             3 * 2 * GATE_THREADS.len()
                 + (CmPolicy::ALL.len() - 1) * 3
                 + (ClockKind::ALL.len() - 1) * 3
                 + workload::BLOCKING_SCENARIOS.len()
+                + workload::PARTITION_SCENARIOS.len() * 2
         );
         let backoff_rows = rows
             .iter()
@@ -1212,7 +1305,35 @@ mod tests {
                 (0.0..=1.0).contains(&r.gate_fast_path_hit_rate),
                 "hit rate out of range: {r:?}"
             );
-            assert_eq!(r.n_views, if r.version == "multi-view" { 2 } else { 1 });
+            if r.version.starts_with("partition-") {
+                // Partition rows: the hand twin is always 2 views; the
+                // adaptive row reports however many the domain converged
+                // to (≥ 1, ≤ the policy's max).
+                assert!((1..=4).contains(&r.n_views), "{r:?}");
+            } else {
+                assert_eq!(r.n_views, if r.version == "multi-view" { 2 } else { 1 });
+                assert_eq!(r.repartitions, 0, "only domain rows repartition: {r:?}");
+                assert_eq!(r.split_drain_cycles, 0, "{r:?}");
+                assert_eq!(r.converged_throughput_ratio, 0.0, "{r:?}");
+            }
+        }
+        // The tentpole's convergence gate: every adaptive partition row
+        // actually repartitioned and reached ≥ 0.90× its hand twin.
+        let adaptive_rows: Vec<_> = rows
+            .iter()
+            .filter(|r| r.version.ends_with("-adaptive"))
+            .collect();
+        assert_eq!(adaptive_rows.len(), workload::PARTITION_SCENARIOS.len());
+        for r in adaptive_rows {
+            assert!(r.repartitions >= 1, "domain never split: {r:?}");
+            assert!(r.split_drain_cycles > 0, "{r:?}");
+            assert!(
+                r.converged_throughput_ratio >= 0.90,
+                "adaptive row failed to converge to hand-partitioned \
+                 throughput: {} at {:.3}",
+                r.version,
+                r.converged_throughput_ratio
+            );
         }
         let json = gate_rows_to_json(&s, &rows);
         // Structural smoke checks (full parse is CI's python step).

@@ -311,6 +311,9 @@ pub fn scenario_gate_row(scenario: &Scenario, seed: u64) -> GateRow {
         parked_waits: tm.parked_waits,
         lost_wakeups: tm.lost_wakeups,
         escalations: tm.escalations,
+        repartitions: 0,
+        split_drain_cycles: 0,
+        converged_throughput_ratio: 0.0,
     }
 }
 
@@ -323,6 +326,406 @@ pub fn blocking_gate_rows(settings: &Settings) -> Vec<GateRow> {
         .iter()
         .map(|s| scenario_gate_row(s, settings.seed))
         .collect()
+}
+
+// ------------------------------------------------- Adaptive partitioning
+
+/// How transactions pick keys inside their group's hot range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyDist {
+    /// Uniform over the group's span.
+    Uniform,
+    /// Zipf(s = 1.1) over the span: rank-1 keys absorb most of the
+    /// traffic — the hot-key shape that makes conflict profiles spiky.
+    ZipfHot,
+}
+
+impl KeyDist {
+    /// Short stable label used in row names.
+    pub fn name(self) -> &'static str {
+        match self {
+            KeyDist::Uniform => "uniform",
+            KeyDist::ZipfHot => "zipf",
+        }
+    }
+}
+
+/// One adaptive-partitioning workload description: two thread groups, each
+/// confined to its own hot range of a shared address space. Run two ways —
+/// **adaptive** (one [`votm::AdaptiveDomain`] starting as a single view,
+/// repartitioner live) and **hand** (two programmer-partitioned views, the
+/// paper's ideal) — and the throughput ratio is the convergence number the
+/// gate holds at ≥ 0.90.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionScenario {
+    /// Base row label; gate rows append `-adaptive` / `-hand`.
+    pub name: &'static str,
+    /// STM algorithm (domain views and hand views alike).
+    pub algo: TmAlgorithm,
+    /// Thread count N (split evenly between the two groups).
+    pub n_threads: u32,
+    /// Transactions each thread runs.
+    pub ops_per_thread: u64,
+    /// Hot words per group.
+    pub group_span: u64,
+    /// Key distribution inside the group span.
+    pub dist: KeyDist,
+    /// Percent of transactions that are read-only.
+    pub read_pct: u64,
+    /// Shared keys touched per transaction.
+    pub accesses_per_tx: u64,
+}
+
+/// Domain/heap geometry shared by every partition scenario: group A's hot
+/// range starts at word 0, group B's at word [`GROUP_B_BASE`], in a
+/// [`DOMAIN_WORDS`]-word space (64 profile buckets of 64 words).
+pub const DOMAIN_WORDS: usize = 4096;
+/// First word of group B's hot range (bucket 32).
+pub const GROUP_B_BASE: u64 = 2048;
+
+/// The adaptive-partitioning scenario matrix shipped in `BENCH_<n>.json`:
+/// the headline uniform write-heavy pair, the Zipf hot-key variant (spiky
+/// conflict profile), and the read-mostly variant (waste share driven by
+/// invalidated readers, not write-write conflicts).
+pub const PARTITION_SCENARIOS: [PartitionScenario; 3] = [
+    PartitionScenario {
+        name: "partition-uniform",
+        algo: TmAlgorithm::NOrec,
+        n_threads: 16,
+        ops_per_thread: 600,
+        group_span: 96,
+        dist: KeyDist::Uniform,
+        read_pct: 20,
+        accesses_per_tx: 3,
+    },
+    PartitionScenario {
+        name: "partition-zipf",
+        algo: TmAlgorithm::NOrec,
+        n_threads: 16,
+        ops_per_thread: 600,
+        group_span: 96,
+        dist: KeyDist::ZipfHot,
+        read_pct: 20,
+        accesses_per_tx: 3,
+    },
+    PartitionScenario {
+        name: "partition-readmostly",
+        algo: TmAlgorithm::NOrec,
+        n_threads: 16,
+        ops_per_thread: 600,
+        group_span: 96,
+        dist: KeyDist::Uniform,
+        read_pct: 90,
+        accesses_per_tx: 3,
+    },
+];
+
+/// The repartition policy the bench rows run: a fast controller (the runs
+/// are short) with the default hysteresis shape. Merges are reachable but
+/// never fire — the workloads are group-confined, so straddle pressure
+/// stays zero and the domain converges to a stable two-view split.
+fn bench_policy() -> votm::RepartitionPolicy {
+    votm::RepartitionPolicy {
+        interval: 1 << 13,
+        cooldown: 1 << 15,
+        min_separability: 0.6,
+        min_waste_share: 0.01,
+        min_aborts: 8,
+        merge_cross_threshold: 8,
+        max_views: 4,
+    }
+}
+
+/// Cumulative Zipf(s = 1.1) weights over `span` ranks.
+fn zipf_cdf(span: u64) -> Vec<f64> {
+    let mut acc = 0.0;
+    (1..=span)
+        .map(|r| {
+            acc += 1.0 / (r as f64).powf(1.1);
+            acc
+        })
+        .collect()
+}
+
+/// One key offset in `[0, span)` under `dist`.
+fn sample_offset(dist: KeyDist, span: u64, cdf: &[f64], rng: &mut votm_utils::XorShift64) -> u64 {
+    match dist {
+        KeyDist::Uniform => rng.next_below(span),
+        KeyDist::ZipfHot => {
+            let total = *cdf.last().expect("non-empty cdf");
+            let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * total;
+            (cdf.partition_point(|&c| c < u) as u64).min(span - 1)
+        }
+    }
+}
+
+/// Per-op access plan, drawn *outside* the transaction body so aborts and
+/// re-executions never consume extra randomness.
+fn op_plan(
+    s: &PartitionScenario,
+    base: u64,
+    cdf: &[f64],
+    rng: &mut votm_utils::XorShift64,
+) -> (Vec<u64>, bool) {
+    let addrs = (0..s.accesses_per_tx)
+        .map(|_| base + sample_offset(s.dist, s.group_span, cdf, rng))
+        .collect();
+    (addrs, rng.chance_percent(s.read_pct))
+}
+
+/// Outcome of one partition-scenario run (either mode).
+struct PartitionRun {
+    outcome: RunOutcome,
+    views: Vec<ViewStats>,
+    repartitions: u64,
+    split_drain_cycles: u64,
+    final_views: u32,
+}
+
+/// The adaptive mode: one domain, one initial view, controller live.
+fn run_partition_adaptive(s: &PartitionScenario, seed: u64) -> PartitionRun {
+    use std::sync::atomic::AtomicUsize;
+
+    let recorder = Arc::new(votm::FlightRecorder::new(s.n_threads as usize + 1, 1 << 14));
+    let sys = Votm::builder()
+        .algo(s.algo)
+        .threads(s.n_threads)
+        .recorder(Arc::clone(&recorder))
+        .build();
+    let domain = sys.create_domain(DOMAIN_WORDS, QuotaMode::Fixed(s.n_threads), bench_policy());
+    let remaining = Arc::new(AtomicUsize::new(s.n_threads as usize));
+    let mut seeds = votm_utils::SplitMix64::new(seed);
+    let mut ex = SimExecutor::new(SimConfig {
+        seed,
+        ..SimConfig::default()
+    });
+    for t in 0..s.n_threads as usize {
+        let domain = Arc::clone(&domain);
+        let remaining = Arc::clone(&remaining);
+        let mut rng = seeds.derive();
+        let s = *s;
+        let base = if t % 2 == 0 { 0 } else { GROUP_B_BASE };
+        ex.spawn(move |rt| async move {
+            let cdf = zipf_cdf(s.group_span);
+            for _ in 0..s.ops_per_thread {
+                let (addrs, read_only) = op_plan(&s, base, &cdf, &mut rng);
+                let hint = votm::Addr(addrs[0] as u32);
+                domain
+                    .transact(&rt, hint, async |tx| {
+                        for &a in &addrs {
+                            let v = tx.read(votm::Addr(a as u32)).await?;
+                            if !read_only {
+                                tx.write(votm::Addr(a as u32), v + 1).await?;
+                            }
+                        }
+                        Ok(())
+                    })
+                    .await;
+            }
+            remaining.fetch_sub(1, Ordering::AcqRel);
+        });
+    }
+    {
+        let domain = Arc::clone(&domain);
+        let remaining = Arc::clone(&remaining);
+        ex.spawn(move |rt| async move {
+            domain.run_controller(&rt, &remaining).await;
+        });
+    }
+    let outcome = ex.run();
+    let stats = domain.stats();
+    PartitionRun {
+        outcome,
+        views: domain.views().iter().map(|v| v.stats()).collect(),
+        repartitions: stats.repartitions,
+        split_drain_cycles: stats.split_drain_cycles,
+        final_views: stats.live_views as u32,
+    }
+}
+
+/// The hand-partitioned twin: two programmer-created views, group g's
+/// threads confined to view g — the paper's ideal the adaptive mode is
+/// measured against. Identical per-thread rng streams and access plans.
+fn run_partition_hand(s: &PartitionScenario, seed: u64) -> PartitionRun {
+    let sys = Votm::builder().algo(s.algo).threads(s.n_threads).build();
+    let views = [
+        sys.create_view(DOMAIN_WORDS / 2, QuotaMode::Fixed(s.n_threads)),
+        sys.create_view(DOMAIN_WORDS / 2, QuotaMode::Fixed(s.n_threads)),
+    ];
+    let mut seeds = votm_utils::SplitMix64::new(seed);
+    let mut ex = SimExecutor::new(SimConfig {
+        seed,
+        ..SimConfig::default()
+    });
+    for t in 0..s.n_threads as usize {
+        let view = Arc::clone(&views[t % 2]);
+        let mut rng = seeds.derive();
+        let s = *s;
+        // Hand views are half-size, so group B's plan re-bases to 0 by
+        // sampling with base 0 — the offsets stream is identical to the
+        // adaptive run's (op_plan adds the base after sampling).
+        ex.spawn(move |rt| async move {
+            let cdf = zipf_cdf(s.group_span);
+            for _ in 0..s.ops_per_thread {
+                let (addrs, read_only) = op_plan(&s, 0, &cdf, &mut rng);
+                view.transact(&rt, async |tx| {
+                    for &a in &addrs {
+                        let v = tx.read(votm::Addr(a as u32)).await?;
+                        if !read_only {
+                            tx.write(votm::Addr(a as u32), v + 1).await?;
+                        }
+                    }
+                    Ok(())
+                })
+                .await;
+            }
+        });
+    }
+    let outcome = ex.run();
+    PartitionRun {
+        outcome,
+        views: views.iter().map(|v| v.stats()).collect(),
+        repartitions: 0,
+        split_drain_cycles: 0,
+        final_views: 2,
+    }
+}
+
+/// Folds a [`PartitionRun`] into a gate row.
+fn partition_row(
+    s: &PartitionScenario,
+    version: &'static str,
+    run: &PartitionRun,
+    ratio: f64,
+    wall_s: f64,
+) -> GateRow {
+    let tm_sum =
+        |f: fn(&votm::StatsSnapshot) -> u64| -> u64 { run.views.iter().map(|v| f(&v.tm)).sum() };
+    let commits = tm_sum(|t| t.commits);
+    let aborts = tm_sum(|t| t.aborts);
+    let attempts = commits + aborts;
+    let fast: u64 = run.views.iter().map(|v| v.gate.fast_acquires).sum();
+    let slow: u64 = run.views.iter().map(|v| v.gate.slow_acquires).sum();
+    let admissions = fast + slow;
+    let wasted = tm_sum(|t| t.cycles_aborted);
+    let useful = tm_sum(|t| t.cycles_successful);
+    let mut wasted_by_reason = [0u64; AbortReason::COUNT];
+    for v in &run.views {
+        for (acc, c) in wasted_by_reason
+            .iter_mut()
+            .zip(v.tm.cycles_aborted_by_reason)
+        {
+            *acc += c;
+        }
+    }
+    let mut commit_hist = votm_obs::HistogramSnapshot::default();
+    for v in &run.views {
+        commit_hist.merge(&v.hists.commit);
+    }
+    let vtime = run.outcome.vtime;
+    GateRow {
+        algo: s.algo.name(),
+        policy: "backoff",
+        clock: "global",
+        version,
+        n_views: run.final_views,
+        n_threads: s.n_threads,
+        status: run.outcome.status,
+        commits,
+        aborts,
+        abort_rate: if attempts == 0 {
+            0.0
+        } else {
+            aborts as f64 / attempts as f64
+        },
+        vtime,
+        txns_per_vsec: if vtime == 0 {
+            0.0
+        } else {
+            commits as f64 / vsec(vtime)
+        },
+        wall_s,
+        gate_fast_path_hit_rate: if admissions == 0 {
+            1.0
+        } else {
+            fast as f64 / admissions as f64
+        },
+        fast_acquires: fast,
+        slow_acquires: slow,
+        busy_retries: tm_sum(|t| t.busy_retries),
+        busy_retries_per_commit: if commits == 0 {
+            0.0
+        } else {
+            tm_sum(|t| t.busy_retries) as f64 / commits as f64
+        },
+        clock_bumps: run.views.iter().map(|v| v.clock.bumps).sum(),
+        clock_bump_skips: run.views.iter().map(|v| v.clock.bump_skips).sum(),
+        wasted_cycles: wasted,
+        useful_cycles: useful,
+        waste_frac: if wasted + useful == 0 {
+            0.0
+        } else {
+            wasted as f64 / (wasted + useful) as f64
+        },
+        wasted_by_reason,
+        gate_wait_cycles: tm_sum(|t| t.gate_wait_cycles),
+        commit_p50_cycles: commit_hist.quantile(0.50),
+        commit_p99_cycles: commit_hist.quantile(0.99),
+        sim_steps: run.outcome.steps,
+        coalesced_polls: run.outcome.sched.coalesced,
+        parked_waits: tm_sum(|t| t.parked_waits),
+        lost_wakeups: tm_sum(|t| t.lost_wakeups),
+        escalations: tm_sum(|t| t.escalations),
+        repartitions: run.repartitions,
+        split_drain_cycles: run.split_drain_cycles,
+        converged_throughput_ratio: ratio,
+    }
+}
+
+/// Row-label pairs for [`PARTITION_SCENARIOS`] (static strings so
+/// [`GateRow::version`] stays `&'static str`).
+const PARTITION_VERSIONS: [(&str, &str); 3] = [
+    ("partition-uniform-adaptive", "partition-uniform-hand"),
+    ("partition-zipf-adaptive", "partition-zipf-hand"),
+    ("partition-readmostly-adaptive", "partition-readmostly-hand"),
+];
+
+/// Two gate rows per [`PARTITION_SCENARIOS`] entry — the adaptive run and
+/// its hand-partitioned twin. The adaptive row's
+/// `converged_throughput_ratio` is adaptive ÷ hand throughput; CI holds
+/// every nonzero ratio at ≥ 0.90 (the tentpole's convergence gate).
+pub fn partition_gate_rows(settings: &Settings) -> Vec<GateRow> {
+    let mut rows = Vec::new();
+    for (s, (adaptive_name, hand_name)) in PARTITION_SCENARIOS.iter().zip(PARTITION_VERSIONS) {
+        let t0 = std::time::Instant::now();
+        let hand = run_partition_hand(s, settings.seed);
+        let hand_wall = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let adaptive = run_partition_adaptive(s, settings.seed);
+        let adaptive_wall = t1.elapsed().as_secs_f64();
+        let tps = |r: &PartitionRun| {
+            let commits: u64 = r.views.iter().map(|v| v.tm.commits).sum();
+            if r.outcome.vtime == 0 {
+                0.0
+            } else {
+                commits as f64 / vsec(r.outcome.vtime)
+            }
+        };
+        let ratio = if tps(&hand) > 0.0 {
+            tps(&adaptive) / tps(&hand)
+        } else {
+            0.0
+        };
+        rows.push(partition_row(
+            s,
+            adaptive_name,
+            &adaptive,
+            ratio,
+            adaptive_wall,
+        ));
+        rows.push(partition_row(s, hand_name, &hand, 0.0, hand_wall));
+    }
+    rows
 }
 
 #[cfg(test)]

@@ -69,12 +69,14 @@
 
 #![warn(missing_docs)]
 
+mod domain;
 mod error;
 mod handle;
 mod system;
 mod view;
 mod wait;
 
+pub use domain::{AdaptiveDomain, DomainStats, DomainTx, RepartitionPolicy};
 pub use error::TxError;
 pub use handle::{HeapExhausted, TxAbort, TxHandle};
 pub use system::{Votm, VotmBuilder, VotmConfig};

@@ -145,6 +145,25 @@ impl Votm {
         view
     }
 
+    /// Creates an [`AdaptiveDomain`]: a self-partitioning group of views
+    /// over one `size_words`-word shared heap. The domain starts as a
+    /// single view and — once its controller task runs (spawn
+    /// [`AdaptiveDomain::run_controller`]) — splits and merges itself
+    /// online toward the conflict profile's suggested partitioning.
+    ///
+    /// Domains are independent of the [`Votm::create_view`] registry: they
+    /// allocate their own view ids starting at 0, so give a domain its own
+    /// [`crate::FlightRecorder`] rather than sharing one with registry
+    /// views (the repartitioner folds the profile per view id).
+    pub fn create_domain(
+        &self,
+        size_words: usize,
+        quota: QuotaMode,
+        policy: crate::RepartitionPolicy,
+    ) -> Arc<crate::AdaptiveDomain> {
+        crate::AdaptiveDomain::new(&self.config, size_words, quota, policy)
+    }
+
     /// Looks up a live view by id.
     pub fn view(&self, id: usize) -> Option<Arc<View>> {
         self.views.lock().get(id).and_then(Clone::clone)

@@ -49,6 +49,59 @@ impl View {
         contention: CmPolicy,
         clock: ClockKind,
     ) -> Self {
+        Self::assemble(
+            id,
+            TmInstance::with_reserve_clock(algo, size_words, capacity_words.max(size_words), clock),
+            quota_mode,
+            n_threads,
+            controller_config,
+            escalate_after,
+            recorder,
+            contention,
+        )
+    }
+
+    /// A view over an *existing* shared heap: its own metadata domain
+    /// (clock, orecs, seqlock), admission gate, contention manager and wait
+    /// table — but the word array belongs to the caller. This is how the
+    /// repartitioner ([`crate::AdaptiveDomain`]) materialises a split: the
+    /// data stays put, only the metadata domain and the route change.
+    #[allow(clippy::too_many_arguments)] // crate-internal constructor
+    pub(crate) fn new_over(
+        id: usize,
+        algo: TmAlgorithm,
+        heap: Arc<votm_stm::WordHeap>,
+        quota_mode: QuotaMode,
+        n_threads: u32,
+        controller_config: &ControllerConfig,
+        escalate_after: Option<u32>,
+        recorder: Option<Arc<FlightRecorder>>,
+        contention: CmPolicy,
+        clock: ClockKind,
+    ) -> Self {
+        Self::assemble(
+            id,
+            TmInstance::over_heap(algo, heap, clock),
+            quota_mode,
+            n_threads,
+            controller_config,
+            escalate_after,
+            recorder,
+            contention,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        id: usize,
+        tm: TmInstance,
+        quota_mode: QuotaMode,
+        n_threads: u32,
+        controller_config: &ControllerConfig,
+        escalate_after: Option<u32>,
+        recorder: Option<Arc<FlightRecorder>>,
+        contention: CmPolicy,
+    ) -> Self {
         let (initial_quota, controller) = match quota_mode {
             QuotaMode::Fixed(q) => (q, None),
             QuotaMode::Adaptive => (
@@ -61,12 +114,7 @@ impl View {
         };
         Self {
             id,
-            tm: TmInstance::with_reserve_clock(
-                algo,
-                size_words,
-                capacity_words.max(size_words),
-                clock,
-            ),
+            tm,
             gate: AdmissionGate::new(initial_quota, n_threads),
             controller,
             quota_mode,

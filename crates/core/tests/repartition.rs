@@ -1,0 +1,414 @@
+//! Online repartitioning under the virtual-time simulator: live splits
+//! and merges must never cost correctness.
+//!
+//! Four angles:
+//!
+//! * a deterministic convergence case — a single-view domain running two
+//!   disjoint hot groups MUST split;
+//! * a 36-seed serializability sweep with the repartitioner active (the
+//!   per-group ticket-replay scheme from `sim_serializability.rs`, plus a
+//!   counter-sum phase with deliberate cross-view straddles);
+//! * the split × parked-waiter adversary: a transaction parked via
+//!   `retry()` on a bucket that then *moves* must be re-homed, not lost;
+//! * merge-under-fault chaos: injected aborts and delays around the
+//!   drain windows, reusing [`FaultPlan`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use votm::{Addr, FlightRecorder, QuotaMode, RepartitionPolicy, TmAlgorithm, Votm};
+use votm_sim::{FaultPlan, RunStatus, SimConfig, SimExecutor};
+use votm_utils::{Mutex, SplitMix64};
+
+const WORDS: usize = 4096; // 64 words per profile bucket
+
+// Group A lives in the low half (buckets 0..32), group B in the high half
+// (buckets 32..64). Tickets sit at each group's base; data words nearby.
+const TICKET_A: Addr = Addr(0);
+const TICKET_B: Addr = Addr(2048);
+const DATA_SPAN: u64 = 100;
+
+// Phase-B counter words. They sit *inside* each group's hot buckets
+// (bucket 1 = words 64..128, bucket 33 = words 2112..2176) but past the
+// phase-A data spans, so a split that separates the hot groups also
+// separates the counters — making phase-B straddles real cross-view
+// transactions — while phase-A ticket replay never observes them.
+const COUNTER_A: u32 = 104;
+const COUNTER_B: u32 = 2152;
+const COUNTER_SPAN: u64 = 20;
+
+fn fast_policy() -> RepartitionPolicy {
+    RepartitionPolicy {
+        interval: 1 << 14,
+        cooldown: 1 << 15,
+        min_separability: 0.6,
+        min_waste_share: 0.01,
+        min_aborts: 4,
+        merge_cross_threshold: 2,
+        max_views: 4,
+    }
+}
+
+#[derive(Debug)]
+struct TxLog {
+    group: usize,
+    ticket: u64,
+    reads: Vec<(u32, u64)>,
+    writes: Vec<(u32, u64)>,
+}
+
+struct RunOut {
+    splits: u64,
+    merges: u64,
+    lost_wakeups: u64,
+}
+
+/// The shared harness: `threads` workers (alternating groups) run
+/// `ticketed` group-confined transactions (full serializability replay),
+/// then `mixed` counter transactions of which roughly `straddle_pct`% span
+/// both groups (atomicity checked by counter sums). A controller task
+/// splits/merges throughout.
+fn run_domain(
+    algo: TmAlgorithm,
+    threads: usize,
+    ticketed: usize,
+    mixed: usize,
+    straddle_pct: u64,
+    seed: u64,
+    fault_plan: Option<FaultPlan>,
+) -> RunOut {
+    let recorder = Arc::new(FlightRecorder::new(threads + 1, 8192));
+    let sys = Votm::builder()
+        .algo(algo)
+        .threads(threads as u32)
+        .recorder(Arc::clone(&recorder))
+        .build();
+    let domain = sys.create_domain(WORDS, QuotaMode::Fixed(threads as u32), fast_policy());
+    let log: Arc<Mutex<Vec<TxLog>>> = Arc::new(Mutex::new(Vec::new()));
+    let remaining = Arc::new(AtomicUsize::new(threads));
+
+    let mut seeds = SplitMix64::new(seed);
+    let mut ex = SimExecutor::new(SimConfig {
+        seed,
+        vtime_cap: Some(2_000_000_000),
+        fault_plan,
+        ..Default::default()
+    });
+    for t in 0..threads {
+        let domain = Arc::clone(&domain);
+        let log = Arc::clone(&log);
+        let remaining = Arc::clone(&remaining);
+        let mut rng = seeds.derive();
+        let group = t % 2;
+        ex.spawn(move |rt| async move {
+            let (ticket, base) = if group == 0 {
+                (TICKET_A, 1u64)
+            } else {
+                (TICKET_B, u64::from(TICKET_B.0) + 1)
+            };
+            for _ in 0..ticketed {
+                let read_addrs: Vec<u32> = (0..1 + rng.next_index(4))
+                    .map(|_| (base + rng.next_below(DATA_SPAN)) as u32)
+                    .collect();
+                let write_plan: Vec<(u32, u64)> = (0..1 + rng.next_index(2))
+                    .map(|_| ((base + rng.next_below(DATA_SPAN)) as u32, rng.next_u64()))
+                    .collect();
+                let entry = domain
+                    .transact(&rt, ticket, async |tx| {
+                        let t = tx.read(ticket).await?;
+                        tx.write(ticket, t + 1).await?;
+                        let mut reads = Vec::with_capacity(read_addrs.len());
+                        for &a in &read_addrs {
+                            reads.push((a, tx.read(Addr(a)).await?));
+                        }
+                        for &(a, v) in &write_plan {
+                            tx.write(Addr(a), v).await?;
+                        }
+                        Ok(TxLog {
+                            group,
+                            ticket: t,
+                            reads,
+                            writes: write_plan.clone(),
+                        })
+                    })
+                    .await;
+                log.lock().push(entry);
+            }
+            for _ in 0..mixed {
+                let a = (u64::from(COUNTER_A) + rng.next_below(COUNTER_SPAN)) as u32;
+                let b = (u64::from(COUNTER_B) + rng.next_below(COUNTER_SPAN)) as u32;
+                let straddle = rng.next_below(100) < straddle_pct;
+                let (first, second) = if straddle {
+                    (a, b)
+                } else if group == 0 {
+                    (
+                        a,
+                        (u64::from(COUNTER_A) + rng.next_below(COUNTER_SPAN)) as u32,
+                    )
+                } else {
+                    (
+                        b,
+                        (u64::from(COUNTER_B) + rng.next_below(COUNTER_SPAN)) as u32,
+                    )
+                };
+                // Two increments per transaction — if `second == first`
+                // the second read observes the first write, so the sum
+                // invariant (+2 per transaction) holds either way.
+                domain
+                    .transact(&rt, Addr(first), async |tx| {
+                        let x = tx.read(Addr(first)).await?;
+                        tx.write(Addr(first), x + 1).await?;
+                        let y = tx.read(Addr(second)).await?;
+                        tx.write(Addr(second), y + 1).await
+                    })
+                    .await;
+            }
+            remaining.fetch_sub(1, Ordering::AcqRel);
+        });
+    }
+    {
+        let domain = Arc::clone(&domain);
+        let remaining = Arc::clone(&remaining);
+        ex.spawn(move |rt| async move {
+            domain.run_controller(&rt, &remaining).await;
+        });
+    }
+    let out = ex.run();
+    assert_eq!(out.status, RunStatus::Completed, "{algo:?} seed {seed}");
+
+    // Phase A replay: each group's tickets are a permutation, and every
+    // read matches the sequential replay of lower-ticket writes.
+    let mut entries = Arc::try_unwrap(log).unwrap().into_inner();
+    entries.sort_by_key(|e| e.ticket);
+    for g in 0..2 {
+        let group_entries: Vec<&TxLog> = entries.iter().filter(|e| e.group == g).collect();
+        assert_eq!(
+            group_entries.len(),
+            (threads / 2 + threads % 2 * (1 - g)) * ticketed
+        );
+        let mut model: HashMap<u32, u64> = HashMap::new();
+        for (i, e) in group_entries.iter().enumerate() {
+            assert_eq!(e.ticket, i as u64, "{algo:?} seed {seed}: group {g} ticket");
+            for &(a, seen) in &e.reads {
+                let want = model.get(&a).copied().unwrap_or(0);
+                assert_eq!(
+                    seen, want,
+                    "{algo:?} seed {seed}: group {g} tx #{} read {a}",
+                    e.ticket
+                );
+            }
+            for &(a, v) in &e.writes {
+                model.insert(a, v);
+            }
+        }
+    }
+
+    // Phase B: every transaction incremented exactly two counter words
+    // atomically, so the counters sum to 2 × (threads × mixed) — true
+    // regardless of splits, merges, straddles, or injected faults.
+    let total: u64 = (0..COUNTER_SPAN as u32)
+        .map(|i| domain.heap().load(Addr(COUNTER_A + i)) + domain.heap().load(Addr(COUNTER_B + i)))
+        .sum();
+    assert_eq!(
+        total,
+        2 * (threads * mixed) as u64,
+        "{algo:?} seed {seed}: counter sum (lost or doubled update)"
+    );
+
+    let stats = domain.stats();
+    let lost: u64 = domain
+        .views()
+        .iter()
+        .map(|v| v.stats().tm.lost_wakeups)
+        .sum();
+    RunOut {
+        splits: stats.splits,
+        merges: stats.merges,
+        lost_wakeups: lost,
+    }
+}
+
+/// The headline behaviour: disjoint hot groups on one view make the
+/// controller split, and the split run stays correct.
+#[test]
+fn disjoint_groups_trigger_a_live_split() {
+    let out = run_domain(TmAlgorithm::NOrec, 8, 30, 0, 0, 42, None);
+    assert!(
+        out.splits >= 1,
+        "no split despite a fully separable workload"
+    );
+    assert_eq!(out.lost_wakeups, 0);
+}
+
+/// Sustained cross-view traffic after a split pulls the pair back
+/// together.
+#[test]
+fn straddle_pressure_triggers_a_merge() {
+    // The straddle phase must outlast the post-split cooldown window
+    // (1 << 15 cycles) for a merge wake to observe the pressure.
+    let out = run_domain(TmAlgorithm::NOrec, 8, 30, 60, 60, 43, None);
+    assert!(out.splits >= 1, "phase A should still split");
+    assert!(
+        out.merges >= 1,
+        "no merge despite sustained straddle pressure (splits {})",
+        out.splits
+    );
+}
+
+/// 36 seeds × three algorithms with the repartitioner live: splits,
+/// merges, stale-route re-dispatches and union-mode straddles may all
+/// occur; serializability and update atomicity must survive every one.
+#[test]
+fn sim_serializable_with_repartitioning_across_36_seeds() {
+    for seed in 0..36u64 {
+        let algo = match seed % 3 {
+            0 => TmAlgorithm::NOrec,
+            1 => TmAlgorithm::OrecEagerRedo,
+            _ => TmAlgorithm::OrecLazy,
+        };
+        run_domain(algo, 4, 10, 6, 25, 2000 + seed, None);
+    }
+}
+
+/// The split × parked-waiter adversary. A consumer parks (`retry()`) on a
+/// flag word in the half that the controller then moves to a new view.
+/// The split's wake-all re-homes the waiter: it must re-park on the view
+/// that now owns the flag and be woken by the producer's commit there —
+/// zero lost wakeups, no hang.
+#[test]
+fn parked_waiter_survives_a_split_of_its_bucket() {
+    const FLAG: Addr = Addr(3500); // group-B half, bucket 54
+
+    let threads = 6; // 4 contention workers + consumer + producer
+    let recorder = Arc::new(FlightRecorder::new(threads + 1, 8192));
+    let sys = Votm::builder()
+        .algo(TmAlgorithm::NOrec)
+        .threads(threads as u32)
+        .recorder(Arc::clone(&recorder))
+        .build();
+    let domain = sys.create_domain(WORDS, QuotaMode::Fixed(threads as u32), fast_policy());
+    let remaining = Arc::new(AtomicUsize::new(threads));
+
+    let mut seeds = SplitMix64::new(7);
+    let mut ex = SimExecutor::new(SimConfig {
+        seed: 7,
+        vtime_cap: Some(2_000_000_000),
+        ..Default::default()
+    });
+    // Contention workers: disjoint-group traffic that justifies the split.
+    for t in 0..4usize {
+        let domain = Arc::clone(&domain);
+        let remaining = Arc::clone(&remaining);
+        let mut rng = seeds.derive();
+        let group = t % 2;
+        ex.spawn(move |rt| async move {
+            let (ticket, base) = if group == 0 {
+                (TICKET_A, 1u64)
+            } else {
+                (TICKET_B, u64::from(TICKET_B.0) + 1)
+            };
+            for _ in 0..30 {
+                let a = (base + rng.next_below(DATA_SPAN)) as u32;
+                domain
+                    .transact(&rt, ticket, async |tx| {
+                        let t = tx.read(ticket).await?;
+                        tx.write(ticket, t + 1).await?;
+                        let v = tx.read(Addr(a)).await?;
+                        tx.write(Addr(a), v + 1).await
+                    })
+                    .await;
+            }
+            remaining.fetch_sub(1, Ordering::AcqRel);
+        });
+    }
+    // Consumer: parks until the flag is set.
+    let consumed = Arc::new(AtomicUsize::new(0));
+    {
+        let domain = Arc::clone(&domain);
+        let remaining = Arc::clone(&remaining);
+        let consumed = Arc::clone(&consumed);
+        ex.spawn(move |rt| async move {
+            let got = domain
+                .transact(&rt, FLAG, async |tx| {
+                    let v = tx.read(FLAG).await?;
+                    if v == 0 {
+                        return tx.retry();
+                    }
+                    Ok(v)
+                })
+                .await;
+            consumed.store(got as usize, Ordering::Release);
+            remaining.fetch_sub(1, Ordering::AcqRel);
+        });
+    }
+    // Producer: waits for the split to land, then sets the flag — on the
+    // *new* owner view of the flag's bucket.
+    {
+        let domain = Arc::clone(&domain);
+        let remaining = Arc::clone(&remaining);
+        ex.spawn(move |rt| async move {
+            while domain.stats().splits == 0 {
+                rt.charge(1024).await;
+            }
+            domain
+                .transact(&rt, FLAG, async |tx| tx.write(FLAG, 7).await)
+                .await;
+            remaining.fetch_sub(1, Ordering::AcqRel);
+        });
+    }
+    {
+        let domain = Arc::clone(&domain);
+        let remaining = Arc::clone(&remaining);
+        ex.spawn(move |rt| async move {
+            domain.run_controller(&rt, &remaining).await;
+        });
+    }
+    let out = ex.run();
+    assert_eq!(out.status, RunStatus::Completed);
+    assert!(domain.stats().splits >= 1, "the adversary needs a split");
+    assert_eq!(consumed.load(Ordering::Acquire), 7, "consumer saw the flag");
+    let lost: u64 = domain
+        .views()
+        .iter()
+        .map(|v| v.stats().tm.lost_wakeups)
+        .sum();
+    assert_eq!(lost, 0, "re-homing must not time a waiter out");
+}
+
+/// Merge-under-fault chaos: injected aborts and delays land around the
+/// drain windows while straddle pressure forces merges. Atomicity and
+/// completion must hold.
+#[test]
+fn merge_under_injected_faults_keeps_counters_exact() {
+    for seed in [5u64, 17, 29] {
+        let out = run_domain(
+            TmAlgorithm::OrecEagerRedo,
+            6,
+            20,
+            15,
+            50,
+            seed,
+            Some(FaultPlan {
+                seed,
+                abort_percent: 8,
+                delay_percent: 15,
+                max_delay: 300,
+                ..Default::default()
+            }),
+        );
+        assert!(
+            out.splits >= 1,
+            "seed {seed}: chaos run should still split first"
+        );
+    }
+}
+
+/// An unrestricted domain is a contradiction (no gate, no drain barrier);
+/// the constructor must refuse it loudly.
+#[test]
+#[should_panic(expected = "admission control")]
+fn unrestricted_domains_are_refused() {
+    let sys = Votm::builder().build();
+    let _ = sys.create_domain(64, QuotaMode::Unrestricted, RepartitionPolicy::default());
+}

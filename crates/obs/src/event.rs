@@ -157,6 +157,22 @@ pub enum EventKind {
         /// Cycles spent parked before the timeout fired.
         waited: u64,
     },
+    /// The repartitioner changed bucket ownership behind an exclusive
+    /// drain: a **split** carved `moved` buckets out of `view` into the
+    /// fresh view `partner`, a **merge** folded `partner`'s buckets back
+    /// into `view` and retired `partner`.
+    Repartition {
+        /// The drained view that survives the operation.
+        view: u16,
+        /// The view created (split) or absorbed (merge).
+        partner: u16,
+        /// `true` for a split, `false` for a merge.
+        split: bool,
+        /// Bitmap of address buckets whose owner changed.
+        moved: u64,
+        /// Cycles from the drain request to the barrier release.
+        drain_cycles: u64,
+    },
 }
 
 /// Number of address buckets the profiler folds a view's heap into.
@@ -237,6 +253,7 @@ const TAG_FOOTPRINT: u8 = 10;
 const TAG_PARK: u8 = 11;
 const TAG_WAKE: u8 = 12;
 const TAG_LOST_WAKEUP: u8 = 13;
+const TAG_REPARTITION: u8 = 14;
 
 impl EventKind {
     /// Encodes the kind into the three payload words `[meta, a, b]`.
@@ -314,6 +331,17 @@ impl EventKind {
             EventKind::Park { view, summary } => [meta(TAG_PARK, view), summary, 0],
             EventKind::Wake { view, waited } => [meta(TAG_WAKE, view), waited, 0],
             EventKind::LostWakeup { view, waited } => [meta(TAG_LOST_WAKEUP, view), waited, 0],
+            EventKind::Repartition {
+                view,
+                partner,
+                split,
+                moved,
+                drain_cycles,
+            } => [
+                meta(TAG_REPARTITION, view) | (u64::from(partner) << 24) | (u64::from(split) << 40),
+                moved,
+                drain_cycles,
+            ],
         }
     }
 
@@ -368,6 +396,13 @@ impl EventKind {
             TAG_PARK => EventKind::Park { view, summary: a },
             TAG_WAKE => EventKind::Wake { view, waited: a },
             TAG_LOST_WAKEUP => EventKind::LostWakeup { view, waited: a },
+            TAG_REPARTITION => EventKind::Repartition {
+                view,
+                partner: ((meta >> 24) & 0xffff) as u16,
+                split: (meta >> 40) & 1 == 1,
+                moved: a,
+                drain_cycles: b,
+            },
             _ => EventKind::TxBegin { view },
         }
     }
@@ -388,7 +423,8 @@ impl EventKind {
             | EventKind::Footprint { view, .. }
             | EventKind::Park { view, .. }
             | EventKind::Wake { view, .. }
-            | EventKind::LostWakeup { view, .. } => view,
+            | EventKind::LostWakeup { view, .. }
+            | EventKind::Repartition { view, .. } => view,
         }
     }
 }
@@ -481,6 +517,20 @@ mod tests {
             EventKind::LostWakeup {
                 view: 65535,
                 waited: u64::MAX,
+            },
+            EventKind::Repartition {
+                view: 3,
+                partner: 65535,
+                split: true,
+                moved: 0xffff_ffff_0000_0000,
+                drain_cycles: 1 << 50,
+            },
+            EventKind::Repartition {
+                view: 1,
+                partner: 2,
+                split: false,
+                moved: u64::MAX,
+                drain_cycles: 0,
             },
         ];
         for k in kinds {

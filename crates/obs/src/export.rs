@@ -25,8 +25,11 @@ use crate::recorder::ThreadTrace;
 /// History: 1.0.0 = pre-versioned artifacts (implicit, through BENCH_6);
 /// 1.1.0 adds the wasted-work ledger and conflict-profile fields;
 /// 1.2.0 adds the blocking-transaction surface (parked-wait counters and
-/// histograms, the `retry` abort reason, park/wake trace events).
-pub const SCHEMA_VERSION: &str = "1.2.0";
+/// histograms, the `retry` abort reason, park/wake trace events);
+/// 1.3.0 adds the online-repartitioning surface (`repartitions`,
+/// `split_drain_cycles`, `converged_throughput_ratio` gate fields, the
+/// Repartition trace event, and multi-seed policy aggregates).
+pub const SCHEMA_VERSION: &str = "1.3.0";
 
 /// Formats a cycle timestamp as fixed-precision microseconds.
 fn us(cycles: u64, cycles_per_us: u64) -> String {
@@ -199,6 +202,22 @@ pub fn chrome_trace(threads: &[ThreadTrace], cycles_per_us: u64) -> String {
                          \"pid\":0,\"tid\":{tid},\"ts\":{},\
                          \"args\":{{\"view\":{view},\"waited_cycles\":{waited}}}}}",
                         us(e.ts, cycles_per_us),
+                    ));
+                }
+                EventKind::Repartition {
+                    view,
+                    partner,
+                    split,
+                    moved,
+                    drain_cycles,
+                } => {
+                    ev.push(format!(
+                        "{{\"ph\":\"i\",\"s\":\"g\",\"name\":\"repartition\",\"cat\":\"rac\",\
+                         \"pid\":0,\"tid\":{tid},\"ts\":{},\
+                         \"args\":{{\"view\":{view},\"partner\":{partner},\
+                         \"kind\":\"{}\",\"moved\":{moved},\"drain_cycles\":{drain_cycles}}}}}",
+                        us(e.ts, cycles_per_us),
+                        if split { "split" } else { "merge" },
                     ));
                 }
             }

@@ -87,6 +87,18 @@ impl ConflictProfile {
     /// commutative counter bump, so the profile is deterministic for a
     /// deterministic simulation regardless of snapshot interleaving.
     pub fn from_traces(traces: &[ThreadTrace]) -> ConflictProfile {
+        Self::fold(traces, None)
+    }
+
+    /// Folds only the events recorded against `view`. This is the
+    /// repartitioner's input: with several views sharing one recorder, a
+    /// split decision for view V must not see the affinity of buckets the
+    /// route table already assigns elsewhere.
+    pub fn from_traces_for_view(traces: &[ThreadTrace], view: u16) -> ConflictProfile {
+        Self::fold(traces, Some(view))
+    }
+
+    fn fold(traces: &[ThreadTrace], only_view: Option<u16>) -> ConflictProfile {
         let mut p = ConflictProfile {
             buckets: vec![BucketRow::ZERO; PROFILE_BUCKETS],
             unattributed: BucketRow::ZERO,
@@ -100,6 +112,9 @@ impl ConflictProfile {
         };
         for trace in traces {
             for ev in &trace.events {
+                if only_view.is_some_and(|v| ev.kind.view() != v) {
+                    continue;
+                }
                 match ev.kind {
                     EventKind::TxAbort { cycles, .. } => {
                         p.abort_cycles_total += cycles;
@@ -573,6 +588,36 @@ mod tests {
             .to_json()
             .starts_with("{\"schema\":\"votm-obs-profile-v1\""));
         assert!(p1.to_json().contains("\"schema_version\""));
+    }
+
+    #[test]
+    fn per_view_folding_filters_other_views() {
+        let mixed = trace(vec![
+            fp(0b11, 0), // view 0
+            EventKind::Footprint {
+                view: 1,
+                committed: true,
+                reads: 0b1100,
+                writes: 0,
+            },
+            EventKind::TxAbort {
+                view: 1,
+                reason: AbortReason::NorecValidation,
+                cycles: 50,
+            },
+        ]);
+        let all = ConflictProfile::from_traces(std::slice::from_ref(&mixed));
+        assert_eq!(all.touches[0], 1);
+        assert_eq!(all.touches[2], 1);
+        assert_eq!(all.aborts_total, 1);
+        let v0 = ConflictProfile::from_traces_for_view(std::slice::from_ref(&mixed), 0);
+        assert_eq!(v0.touches[0], 1);
+        assert_eq!(v0.touches[2], 0, "view 1 footprints filtered out");
+        assert_eq!(v0.aborts_total, 0);
+        let v1 = ConflictProfile::from_traces_for_view(&[mixed], 1);
+        assert_eq!(v1.touches[2], 1);
+        assert_eq!(v1.aborts_total, 1);
+        assert_eq!(v1.abort_cycles_total, 50);
     }
 
     #[test]

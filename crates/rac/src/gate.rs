@@ -63,6 +63,7 @@ pub enum AdmissionMode {
 /// bits 16..32   quota             (Q)
 /// bits 32..48   drain_waiters     (escalators waiting for an empty view)
 /// bit  48       exclusive_inside  (the admitted holder is in lock mode)
+/// bit  49       retired           (slot merged away; see [`AdmissionGate::retire`])
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct PackedState {
@@ -70,12 +71,14 @@ struct PackedState {
     quota: u16,
     drain_waiters: u16,
     exclusive_inside: bool,
+    retired: bool,
 }
 
 const INSIDE_SHIFT: u64 = 0;
 const QUOTA_SHIFT: u64 = 16;
 const DRAIN_SHIFT: u64 = 32;
 const EXCL_BIT: u64 = 1 << 48;
+const RETIRED_BIT: u64 = 1 << 49;
 const FIELD_MASK: u64 = 0xFFFF;
 
 impl PackedState {
@@ -86,6 +89,7 @@ impl PackedState {
             quota: ((word >> QUOTA_SHIFT) & FIELD_MASK) as u16,
             drain_waiters: ((word >> DRAIN_SHIFT) & FIELD_MASK) as u16,
             exclusive_inside: word & EXCL_BIT != 0,
+            retired: word & RETIRED_BIT != 0,
         }
     }
 
@@ -95,6 +99,7 @@ impl PackedState {
             | (u64::from(self.quota) << QUOTA_SHIFT)
             | (u64::from(self.drain_waiters) << DRAIN_SHIFT)
             | if self.exclusive_inside { EXCL_BIT } else { 0 }
+            | if self.retired { RETIRED_BIT } else { 0 }
     }
 }
 
@@ -199,6 +204,7 @@ impl AdmissionGate {
             quota: initial_quota.clamp(1, max_threads) as u16,
             drain_waiters: 0,
             exclusive_inside: false,
+            retired: false,
         };
         Self {
             word: CachePadded::new(AtomicU64::new(init.pack())),
@@ -246,14 +252,52 @@ impl AdmissionGate {
         }
     }
 
+    /// Retires this gate's view slot after a merge folded its buckets into
+    /// a survivor. A retired gate still *admits* — a racer holding a stale
+    /// route must be able to enter, discover the stale route, and leave
+    /// through the re-route path rather than hang — but the slot is dead
+    /// for control purposes: [`Self::set_quota`] becomes a no-op so no
+    /// controller decision can resurrect a merged-away view's quota, and
+    /// [`Self::is_retired`] lets routers and diagnostics see the state.
+    pub fn retire(&self) {
+        let mut cur = self.word.load(Ordering::SeqCst);
+        loop {
+            let mut st = PackedState::unpack(cur);
+            st.retired = true;
+            match self.word.compare_exchange_weak(
+                cur,
+                st.pack(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(observed) => cur = observed,
+            }
+        }
+        // Anyone parked on a full pre-merge gate must re-check: the drain
+        // that preceded retirement already emptied the view, so they admit
+        // immediately and exit through the router's stale-route path.
+        self.slow_path_entries.fetch_add(1, Ordering::Relaxed);
+        self.notify.notify_all();
+    }
+
+    /// Whether [`Self::retire`] was called on this gate.
+    pub fn is_retired(&self) -> bool {
+        self.load().retired
+    }
+
     /// Sets the quota (clamped to `[1, max_threads]`) and wakes waiters so
     /// an increase admits them promptly. Quota changes are rare (one per
     /// controller window), so this always takes the broadcast slow path.
+    /// No-op on a retired gate (see [`Self::retire`]).
     pub fn set_quota(&self, quota: u32) {
         let q = quota.clamp(1, self.max_threads) as u16;
         let mut cur = self.word.load(Ordering::SeqCst);
         loop {
             let mut st = PackedState::unpack(cur);
+            if st.retired {
+                return;
+            }
             st.quota = q;
             match self.word.compare_exchange_weak(
                 cur,
@@ -585,6 +629,23 @@ mod tests {
         );
         g.release(excl);
         assert_eq!(g.try_acquire().unwrap(), AdmissionMode::Transactional);
+    }
+
+    #[test]
+    fn retired_gate_still_admits_but_refuses_quota_changes() {
+        let g = AdmissionGate::new(4, 16);
+        assert!(!g.is_retired());
+        g.retire();
+        assert!(g.is_retired());
+        // A racer with a stale route can still enter (and then leave via
+        // the router's re-route path) — retirement must not hang it.
+        let a = g.try_acquire().unwrap();
+        assert_eq!(a, AdmissionMode::Transactional);
+        g.release(a);
+        // But no controller decision can move the dead slot's quota.
+        g.set_quota(16);
+        assert_eq!(g.quota(), 4);
+        assert!(g.is_retired(), "retirement is permanent");
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! mode) presenting one polled read/write/commit interface to the layers
 //! above.
 
+use std::sync::Arc;
+
 use votm_obs::AbortReason;
 
 use crate::clock::{ClockKind, ClockStats};
@@ -61,8 +63,15 @@ enum Globals {
 }
 
 /// One independent TM system (heap + metadata + statistics).
+///
+/// The heap is held through an `Arc` so several instances can run
+/// independent metadata domains (clock, orecs, write-summary ring) over
+/// *one* word array — the substrate for online repartitioning, where a
+/// view split must migrate bucket ownership without copying data. The
+/// serializability obligation moves to the router: an address must only
+/// ever be accessed through the instance that currently owns its bucket.
 pub struct TmInstance {
-    heap: WordHeap,
+    heap: Arc<WordHeap>,
     globals: Globals,
     stats: TmStats,
     algo: TmAlgorithm,
@@ -88,6 +97,19 @@ impl TmInstance {
         capacity_words: usize,
         clock: ClockKind,
     ) -> Self {
+        Self::over_heap(
+            algo,
+            Arc::new(WordHeap::with_reserve(size_words, capacity_words)),
+            clock,
+        )
+    }
+
+    /// Creates an instance with fresh algorithm metadata (clock, orecs,
+    /// write-summary ring) over an *existing* heap. This is the split
+    /// primitive: the new view's metadata domain starts empty while the
+    /// data stays in place. The caller must guarantee disjoint routing —
+    /// no address may be accessed through two instances concurrently.
+    pub fn over_heap(algo: TmAlgorithm, heap: Arc<WordHeap>, clock: ClockKind) -> Self {
         let globals = match algo {
             TmAlgorithm::NOrec => Globals::NOrec(NOrecGlobal::with_kind(clock)),
             TmAlgorithm::OrecEagerRedo | TmAlgorithm::OrecLazy => {
@@ -95,7 +117,7 @@ impl TmInstance {
             }
         };
         Self {
-            heap: WordHeap::with_reserve(size_words, capacity_words),
+            heap,
             globals,
             stats: TmStats::new(),
             algo,
@@ -105,6 +127,12 @@ impl TmInstance {
     /// The instance's heap (allocation, direct inspection in tests).
     pub fn heap(&self) -> &WordHeap {
         &self.heap
+    }
+
+    /// A shareable handle to the heap, for building sibling instances
+    /// over the same word array (see [`TmInstance::over_heap`]).
+    pub fn heap_arc(&self) -> Arc<WordHeap> {
+        Arc::clone(&self.heap)
     }
 
     /// The algorithm this instance runs.

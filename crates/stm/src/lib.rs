@@ -45,12 +45,14 @@ pub mod instance;
 pub mod norec;
 pub mod orec;
 pub mod orec_lazy;
+pub mod route;
 pub mod stats;
 pub mod writeset;
 
 pub use clock::{ClockKind, ClockStats};
 pub use heap::{Addr, WordHeap};
 pub use instance::{TmAlgorithm, TmInstance, TxCtx};
+pub use route::RouteTable;
 pub use stats::{StatsSnapshot, TmStats};
 pub use writeset::bloom_bucket;
 // Re-exported so stats consumers don't need a separate votm-obs dependency

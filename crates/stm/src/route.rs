@@ -1,0 +1,152 @@
+//! The mutable address→view route table.
+//!
+//! Before online repartitioning, the address→view mapping was fixed at
+//! construction: a view owned its whole heap forever. [`RouteTable`] makes
+//! the mapping a first-class, atomically-updatable object: the heap's
+//! address space is folded into [`PROFILE_BUCKETS`] locality-preserving
+//! buckets (the same fold the conflict profiler uses, so a suggested
+//! bi-partition translates 1:1 into a remap), and each bucket maps to the
+//! *slot* of the view instance that currently owns it.
+//!
+//! # Safety contract
+//!
+//! The table itself is just atomics; the serializability argument lives in
+//! the caller's drain discipline:
+//!
+//! * a remap that moves buckets **out of** or **into** a view's ownership
+//!   may only run while every involved view is quiesced (admission gate
+//!   held in exclusive mode), so no transaction is mid-flight against a
+//!   stale owner;
+//! * a transaction must check, per access, that the address still routes
+//!   to the view it is running on. Because its own view is drained before
+//!   any of *its* buckets move, the check is stable for owned buckets for
+//!   the transaction's whole lifetime — a mismatch can only mean the
+//!   transaction entered through a stale route (or genuinely reached
+//!   across views) and must re-route after an innocuous exit.
+//!
+//! The `epoch` counter orders remaps: a router can snapshot it at entry
+//! and cheaply detect "the world changed while I was parked".
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use votm_obs::{addr_bucket, PROFILE_BUCKETS};
+
+use crate::heap::Addr;
+
+/// Mutable bucket→view-slot routing over one shared heap.
+pub struct RouteTable {
+    /// Owner slot per address bucket.
+    owners: [AtomicU32; PROFILE_BUCKETS],
+    /// Bumped on every remap (after the owner stores land).
+    epoch: AtomicU64,
+    /// Heap capacity in words — the bucket fold's scale factor.
+    capacity_words: u64,
+}
+
+impl RouteTable {
+    /// A table routing every bucket of a `capacity_words`-word heap to
+    /// slot `initial_slot`.
+    pub fn new(capacity_words: usize, initial_slot: u32) -> Self {
+        Self {
+            owners: std::array::from_fn(|_| AtomicU32::new(initial_slot)),
+            epoch: AtomicU64::new(0),
+            capacity_words: capacity_words as u64,
+        }
+    }
+
+    /// The locality-preserving bucket of `addr` (same fold as the
+    /// profiler's, so profile bipartitions map directly onto this table).
+    #[inline]
+    pub fn bucket_of(&self, addr: Addr) -> usize {
+        usize::from(addr_bucket(u64::from(addr.0), self.capacity_words))
+    }
+
+    /// Current owner slot of bucket `bucket`.
+    #[inline]
+    pub fn owner_of_bucket(&self, bucket: usize) -> u32 {
+        self.owners[bucket].load(Ordering::Acquire)
+    }
+
+    /// Current owner slot of the bucket containing `addr`.
+    #[inline]
+    pub fn owner_of(&self, addr: Addr) -> u32 {
+        self.owner_of_bucket(self.bucket_of(addr))
+    }
+
+    /// The remap epoch: bumped after every ownership change.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Moves every bucket in `mask` (bit `i` ⇒ bucket `i`) to `new_slot`
+    /// and bumps the epoch. Caller must hold the drain barrier on every
+    /// view losing or gaining buckets (see module docs).
+    pub fn remap(&self, mask: u64, new_slot: u32) {
+        let mut bits = mask;
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.owners[b].store(new_slot, Ordering::Release);
+        }
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Bitmap of buckets currently owned by `slot`.
+    pub fn owned_mask(&self, slot: u32) -> u64 {
+        let mut mask = 0u64;
+        for (b, owner) in self.owners.iter().enumerate() {
+            if owner.load(Ordering::Acquire) == slot {
+                mask |= 1 << b;
+            }
+        }
+        mask
+    }
+
+    /// Snapshot of the full owner table, for exports and assertions.
+    pub fn snapshot(&self) -> [u32; PROFILE_BUCKETS] {
+        std::array::from_fn(|b| self.owners[b].load(Ordering::Acquire))
+    }
+}
+
+impl std::fmt::Debug for RouteTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouteTable")
+            .field("epoch", &self.epoch())
+            .field("owners", &self.snapshot())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_follow_the_locality_fold() {
+        let t = RouteTable::new(4096, 0);
+        assert_eq!(t.bucket_of(Addr(0)), 0);
+        assert_eq!(t.bucket_of(Addr(2048)), 32);
+        assert_eq!(t.bucket_of(Addr(4095)), 63);
+        assert_eq!(t.owner_of(Addr(100)), 0);
+        assert_eq!(t.owned_mask(0), u64::MAX);
+        assert_eq!(t.owned_mask(1), 0);
+    }
+
+    #[test]
+    fn remap_moves_ownership_and_bumps_epoch() {
+        let t = RouteTable::new(4096, 0);
+        assert_eq!(t.epoch(), 0);
+        let upper_half: u64 = !0u64 << 32;
+        t.remap(upper_half, 1);
+        assert_eq!(t.epoch(), 1);
+        assert_eq!(t.owner_of(Addr(0)), 0);
+        assert_eq!(t.owner_of(Addr(2048)), 1);
+        assert_eq!(t.owned_mask(0), !upper_half);
+        assert_eq!(t.owned_mask(1), upper_half);
+        // Merge back.
+        t.remap(upper_half, 0);
+        assert_eq!(t.epoch(), 2);
+        assert_eq!(t.owned_mask(0), u64::MAX);
+    }
+}
